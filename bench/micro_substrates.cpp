@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks of the simulator substrates: these gate
+// the wall-clock cost of the figure sweeps (a full Fig 7 grid is ~400
+// simulations), so substrate regressions show up here first.
+#include <benchmark/benchmark.h>
+
+#include "coherence/directory.hpp"
+#include "coherence/l1_controller.hpp"
+#include "mem/cache_array.hpp"
+#include "mem/signature.hpp"
+#include "noc/mesh.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "config/runner.hpp"
+#include "workloads/micro.hpp"
+
+namespace {
+
+using namespace lktm;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      q.schedule(static_cast<Cycle>(i % 97), [&sink] { ++sink; });
+    }
+    while (q.runOne()) {
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_CacheArrayLookup(benchmark::State& state) {
+  mem::CacheArray cache({32 * 1024, 4});
+  sim::Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    const LineAddr l = rng.below(4096);
+    if (cache.find(l) == nullptr) {
+      if (auto* w = cache.invalidWay(l)) cache.install(*w, l, mem::MesiState::S, {});
+    }
+  }
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const LineAddr l = rng.below(4096);
+    hits += cache.find(l) != nullptr;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void BM_BloomSignature(benchmark::State& state) {
+  mem::BloomSignature sig(static_cast<unsigned>(state.range(0)), 4);
+  sim::Rng rng(9);
+  for (int i = 0; i < 128; ++i) sig.insert(rng.next());
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += sig.mayContain(rng.next());
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomSignature)->Arg(1024)->Arg(2048)->Arg(8192);
+
+void BM_MeshTraversal(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    noc::MeshNetwork net(e, {});
+    int delivered = 0;
+    sim::Rng rng(11);
+    for (int i = 0; i < 256; ++i) {
+      net.send(static_cast<noc::NodeId>(rng.below(64)),
+               static_cast<noc::NodeId>(rng.below(64)), noc::kDataFlits,
+               [&delivered] { ++delivered; });
+    }
+    e.queue().runUntilDrained(1'000'000);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_MeshTraversal);
+
+void BM_FullSimulationCounter(benchmark::State& state) {
+  const auto sys = cfg::systemByName(state.range(0) == 0 ? "CGL" : "LockillerTM");
+  for (auto _ : state) {
+    cfg::RunConfig rc;
+    rc.system = sys;
+    rc.threads = 8;
+    rc.runCoherenceChecker = false;
+    const auto r = cfg::runSimulation(
+        rc, [] { return wl::makeCounter(8, 2, 128); });
+    benchmark::DoNotOptimize(r.cycles);
+    if (!r.ok()) state.SkipWithError("simulation failed");
+  }
+}
+BENCHMARK(BM_FullSimulationCounter)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_FullSimulationStamp(benchmark::State& state) {
+  const auto sys = cfg::systemByName("LockillerTM");
+  for (auto _ : state) {
+    cfg::RunConfig rc;
+    rc.system = sys;
+    rc.threads = 8;
+    rc.runCoherenceChecker = false;
+    const auto r =
+        cfg::runSimulation(rc, [] { return wl::makeStamp("vacation+"); });
+    benchmark::DoNotOptimize(r.cycles);
+    if (!r.ok()) state.SkipWithError("simulation failed");
+  }
+}
+BENCHMARK(BM_FullSimulationStamp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

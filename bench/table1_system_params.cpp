@@ -1,0 +1,37 @@
+// Table I: system model parameters of the simulated 32-core tiled CMP.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace lktm;
+  const auto m = cfg::MachineParams::typical();
+  std::printf("TABLE I. System Model Parameters (reproduction)\n\n");
+  stats::Table t({"Component Parameter", "Value"});
+  t.addRow({"Number of Cores", std::to_string(m.numCores)});
+  t.addRow({"Frequency", "2 GHz (1 cycle = 0.5 ns, timing in cycles)"});
+  t.addRow({"Core Detail", "In-Order, Single-issue, bytecode ISA w/ TME-style HTM"});
+  t.addRow({"Cache Line Size", std::to_string(kLineBytes) + " bytes"});
+  t.addRow({"L1 I&D caches", "Private, " + std::to_string(m.l1.sizeBytes / 1024) +
+                                 "KB, " + std::to_string(m.l1.assoc) + "-way, " +
+                                 std::to_string(m.protocol.l1HitLatency) +
+                                 "-cycle hit latency"});
+  t.addRow({"L2 cache", "Shared, unified, " + std::to_string(m.llcBytes / (1024 * 1024)) +
+                            "MB, " + std::to_string(m.protocol.llcLatency) +
+                            "-cycle hit latency"});
+  t.addRow({"Memory", "8GB (sparse), " + std::to_string(m.protocol.memLatency) +
+                          "-cycle latency"});
+  t.addRow({"Coherence protocol", "MESI, directory-based (MESI-Two-Level-HTM)"});
+  t.addRow({"Topology and Routing",
+            "2-D mesh (" + std::to_string(m.mesh.rows) + " x " +
+                std::to_string(m.mesh.cols) + "), X-Y"});
+  t.addRow({"Flit size/message size", "16 bytes / 5 flits (data), 1 flit (control)"});
+  t.addRow({"Link latency/bandwidth", std::to_string(m.mesh.linkLatency) +
+                                          " cycle / 1 flit per cycle"});
+  t.addRow({"HTMLock signatures", std::to_string(m.signatureBits) + "-bit Bloom x2 in LLC"});
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Sensitivity configurations (Fig 13):\n  %s\n  %s\n",
+              cfg::MachineParams::smallCache().describe().c_str(),
+              cfg::MachineParams::largeCache().describe().c_str());
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Table II: the evaluated systems and their mechanism composition.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace lktm;
+  std::printf("TABLE II. Evaluated Systems (reproduction)\n\n");
+  stats::Table t({"System", "Description", "conflict", "reject action", "priority",
+                  "HTMLock", "switching", "lock subscr."});
+  for (const auto& s : cfg::evaluatedSystems()) {
+    const auto& p = s.policy;
+    t.addRow({s.name, s.description,
+              p.htmEnabled ? core::toString(p.conflict) : "-",
+              p.htmEnabled && p.conflict == core::ConflictPolicy::Recovery
+                  ? core::toString(p.rejectAction)
+                  : "-",
+              p.htmEnabled ? core::toString(p.priority) : "-",
+              p.htmLock ? "yes" : "no", p.switching ? "yes" : "no",
+              p.htmEnabled ? (p.subscribeLock ? "yes" : "no") : "-"});
+  }
+  std::printf("%s\n", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Contention explorer: sweep the sharing degree of a counter workload (the
+// number of distinct counter cells) and watch where best-effort HTM falls
+// behind locking and how much of that LockillerTM recovers — a miniature,
+// interactive version of the paper's motivation figure.
+#include <cstdio>
+
+#include "config/runner.hpp"
+#include "config/systems.hpp"
+#include "stats/report.hpp"
+#include "workloads/micro.hpp"
+
+int main() {
+  using namespace lktm;
+
+  constexpr unsigned kThreads = 16;
+  constexpr unsigned kTxs = 320;
+  std::printf(
+      "Counter workload, %u threads, %u transactions, 2 increments each.\n"
+      "Fewer cells = more contention. Speedups are vs CGL.\n\n",
+      kThreads, kTxs);
+
+  stats::Table t({"cells", "Baseline speedup", "rate", "LockillerTM speedup", "rate"});
+  for (unsigned cells : {1u, 2u, 4u, 8u, 16u, 64u, 256u}) {
+    auto runOne = [&](const char* name) {
+      cfg::RunConfig rc;
+      rc.system = cfg::systemByName(name);
+      rc.threads = kThreads;
+      return cfg::runSimulation(
+          rc, [cells] { return wl::makeCounter(cells, 2, kTxs); });
+    };
+    const auto cgl = runOne("CGL");
+    const auto base = runOne("Baseline");
+    const auto lk = runOne("LockillerTM");
+    if (!cgl.ok() || !base.ok() || !lk.ok()) {
+      std::printf("FAILURE at %u cells\n", cells);
+      return 1;
+    }
+    t.addRow({std::to_string(cells),
+              stats::Table::fixed(double(cgl.cycles) / base.cycles, 2),
+              stats::Table::pct(base.commitRate()),
+              stats::Table::fixed(double(cgl.cycles) / lk.cycles, 2),
+              stats::Table::pct(lk.commitRate())});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Expected shape: at high contention (1-4 cells) the baseline's\n"
+      "requester-wins friendly fire collapses its commit rate; LockillerTM's\n"
+      "recovery mechanism keeps one winner alive and stays ahead of CGL.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Quickstart: run one workload on a few evaluated systems and print the
+// aggregate statistics. Demonstrates the public API end to end:
+// machine config -> system spec -> workload factory -> runSimulation.
+#include <cstdio>
+
+#include "config/runner.hpp"
+#include "config/systems.hpp"
+#include "stats/report.hpp"
+#include "workloads/micro.hpp"
+
+int main() {
+  using namespace lktm;
+
+  cfg::MachineParams machine = cfg::MachineParams::typical();
+
+  stats::Table table({"system", "cycles", "commit rate", "htm", "lock", "stl",
+                      "aborts", "rejects", "ok"});
+  for (const char* name : {"CGL", "Baseline", "Lockiller-RWI", "LockillerTM"}) {
+    cfg::RunConfig rc;
+    rc.machine = machine;
+    rc.system = cfg::systemByName(name);
+    rc.threads = 8;
+    const cfg::RunResult r = cfg::runSimulation(
+        rc, [] { return wl::makeCounter(/*numCells=*/4, /*cellsPerTx=*/2,
+                                        /*totalTxs=*/256); });
+    table.addRow({r.system, std::to_string(r.cycles),
+                  stats::Table::pct(r.commitRate()), std::to_string(r.tx.htmCommits),
+                  std::to_string(r.tx.lockCommits), std::to_string(r.tx.stlCommits),
+                  std::to_string(r.tx.aborts), std::to_string(r.tx.rejectsReceived),
+                  r.ok() ? "yes" : "NO"});
+    if (!r.ok()) {
+      std::printf("%s\n", r.str().c_str());
+    }
+  }
+  std::printf("Shared-counter microbenchmark, 8 threads, typical machine\n\n%s\n",
+              table.str().c_str());
+  return 0;
+}

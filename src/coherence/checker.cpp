@@ -1,0 +1,98 @@
+#include "coherence/checker.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace lktm::coh {
+
+namespace {
+struct Copy {
+  CoreId core;
+  mem::MesiState state;
+  bool dirty;
+  bool txBits;
+  mem::LineData data;
+};
+}  // namespace
+
+std::vector<std::string> CoherenceChecker::check() const {
+  std::vector<std::string> out;
+  auto fail = [&](LineAddr line, const std::string& what) {
+    std::ostringstream oss;
+    oss << "line 0x" << std::hex << line << std::dec << ": " << what;
+    out.push_back(oss.str());
+  };
+
+  if (dir_->busyLines() != 0) {
+    out.push_back("directory not quiescent: " + std::to_string(dir_->busyLines()) +
+                  " busy lines");
+  }
+
+  std::map<LineAddr, std::vector<Copy>> copies;
+  for (std::size_t i = 0; i < l1s_.size(); ++i) {
+    const L1Controller* l1 = l1s_[i];
+    const CoreId core = static_cast<CoreId>(i);
+    l1->cache().forEachValid([&](const mem::CacheEntry& e) {
+      copies[e.line].push_back(
+          Copy{core, e.state, e.dirty, e.transactional(), e.data});
+    });
+    if (l1->mode() == TxMode::None) {
+      const auto txLines = l1->cache().countIf(
+          [](const mem::CacheEntry& e) { return e.transactional(); });
+      if (txLines != 0) {
+        out.push_back("core " + std::to_string(core) + " has " +
+                      std::to_string(txLines) + " tx-marked lines outside a tx");
+      }
+    }
+  }
+
+  for (const auto& [line, cs] : copies) {
+    unsigned exclusive = 0;
+    unsigned dirtyCount = 0;
+    CoreId owner = kNoCore;
+    for (const Copy& c : cs) {
+      if (c.state == mem::MesiState::E || c.state == mem::MesiState::M) {
+        ++exclusive;
+        owner = c.core;
+      }
+      if (c.dirty) ++dirtyCount;
+    }
+    if (exclusive > 1) fail(line, "multiple E/M copies (SWMR violated)");
+    if (exclusive == 1 && cs.size() > 1) fail(line, "E/M copy coexists with sharers");
+    if (dirtyCount > 1) fail(line, "multiple dirty copies");
+
+    const auto snap = dir_->snapshot(line);
+    if (exclusive == 1 && snap.owner != owner) {
+      fail(line, "directory owner=" + std::to_string(snap.owner) +
+                     " but E/M copy at core " + std::to_string(owner));
+    }
+    for (const Copy& c : cs) {
+      if (c.state == mem::MesiState::S && snap.owner == kNoCore &&
+          snap.sharers.count(c.core) == 0) {
+        fail(line, "S copy at core " + std::to_string(c.core) +
+                       " missing from the sharer list");
+      }
+      // Clean copies must agree with the LLC (value coherence). Dirty copies
+      // are by definition newer.
+      if (!c.dirty && !c.txBits && dir_->llcHas(line) &&
+          c.data != dir_->llcData(line)) {
+        fail(line, "clean copy at core " + std::to_string(c.core) +
+                       " disagrees with the LLC");
+      }
+    }
+  }
+  return out;
+}
+
+void CoherenceChecker::expectClean() const {
+  const auto violations = check();
+  if (violations.empty()) return;
+  std::ostringstream oss;
+  oss << violations.size() << " coherence violations:";
+  for (const auto& v : violations) oss << "\n  " << v;
+  throw std::logic_error(oss.str());
+}
+
+}  // namespace lktm::coh

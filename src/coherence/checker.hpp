@@ -1,0 +1,32 @@
+// Whole-system coherence invariant checker, run at quiescent points in tests
+// (barriers, end of simulation). Verifies SWMR and value coherence across all
+// L1s plus directory bookkeeping consistency, tolerating the protocol's
+// intentional laziness (silent clean-line drops leave stale directory hints).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coherence/directory.hpp"
+#include "coherence/l1_controller.hpp"
+
+namespace lktm::coh {
+
+class CoherenceChecker {
+ public:
+  CoherenceChecker(std::vector<const L1Controller*> l1s, const DirectoryController* dir)
+      : l1s_(std::move(l1s)), dir_(dir) {}
+
+  /// Returns a list of violation descriptions; empty means all invariants hold.
+  /// Preconditions: protocol quiescent (no in-flight messages, no busy lines).
+  std::vector<std::string> check() const;
+
+  /// Convenience: throws std::logic_error listing all violations.
+  void expectClean() const;
+
+ private:
+  std::vector<const L1Controller*> l1s_;
+  const DirectoryController* dir_;
+};
+
+}  // namespace lktm::coh

@@ -1,0 +1,388 @@
+#include "coherence/directory.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/log.hpp"
+
+namespace lktm::coh {
+
+DirectoryController::DirectoryController(sim::Engine& engine, noc::Network& net,
+                                         mem::MainMemory& memory,
+                                         ProtocolParams params, unsigned numCores,
+                                         core::HtmLockUnitParams sigParams)
+    : engine_(engine),
+      net_(net),
+      memory_(memory),
+      params_(params),
+      numCores_(numCores),
+      l1s_(numCores, nullptr),
+      hlUnit_(arbiter_, sigParams) {}
+
+void DirectoryController::connectL1(CoreId core, MsgSink* sink) {
+  l1s_.at(static_cast<std::size_t>(core)) = sink;
+}
+
+void DirectoryController::preloadLlc(LineAddr from, LineAddr to) {
+  for (LineAddr l = from; l < to; ++l) {
+    llc_.emplace(l, memory_.readLine(l));
+  }
+}
+
+void DirectoryController::sendToL1(CoreId core, Msg msg) {
+  MsgSink* sink = l1s_.at(static_cast<std::size_t>(core));
+  assert(sink != nullptr);
+  const unsigned flits = msg.hasData ? noc::kDataFlits : noc::kControlFlits;
+  net_.send(bankNode(msg.line), core, flits,
+            [sink, m = std::move(msg)]() { sink->onMessage(m); });
+}
+
+mem::LineData& DirectoryController::llcFetch(LineAddr line, bool& cold) {
+  auto it = llc_.find(line);
+  if (it != llc_.end()) {
+    cold = false;
+    ++counters_.llcHits;
+    return it->second;
+  }
+  cold = true;
+  ++counters_.llcMisses;
+  return llc_.emplace(line, memory_.readLine(line)).first->second;
+}
+
+DirectoryController::DirSnapshot DirectoryController::snapshot(LineAddr line) const {
+  DirSnapshot s;
+  auto it = dir_.find(line);
+  if (it != dir_.end()) {
+    s.owner = it->second.owner;
+    s.sharers = it->second.sharers;
+  }
+  s.busy = pending_.count(line) != 0;
+  return s;
+}
+
+mem::LineData DirectoryController::llcData(LineAddr line) const {
+  auto it = llc_.find(line);
+  if (it != llc_.end()) return it->second;
+  return memory_.readLine(line);
+}
+
+std::string DirectoryController::diagnostic() const {
+  std::ostringstream oss;
+  oss << "directory: " << pending_.size() << " busy lines";
+  for (const auto& [line, p] : pending_) {
+    oss << " [0x" << std::hex << line << std::dec << " " << toString(p.req.type)
+        << " from c" << p.req.from << " acksLeft=" << p.acksLeft
+        << (p.waitUnblock ? " waitUnblock" : "") << "]";
+  }
+  if (arbiter_.active()) {
+    oss << " HTMLock holder=c" << arbiter_.holder() << " (" << toString(arbiter_.holderMode())
+        << ", " << arbiter_.queued() << " TL queued)";
+  }
+  return oss.str();
+}
+
+void DirectoryController::onMessage(const Msg& msg) {
+  LKTM_LOG(sim::LogLevel::Trace, engine_.now(), "dir", "rx " + msg.str());
+  switch (msg.type) {
+    case MsgType::GetS:
+    case MsgType::GetX: {
+      if (pending_.count(msg.line) != 0) {
+        waitq_[msg.line].push_back(msg);
+        return;
+      }
+      startRequest(msg);
+      return;
+    }
+    case MsgType::Unblock: {
+      auto it = pending_.find(msg.line);
+      // Unblock must match an in-flight transaction.
+      if (it == pending_.end() || !it->second.waitUnblock) {
+        throw std::logic_error("stray Unblock at directory");
+      }
+      finishPending(msg.line);
+      return;
+    }
+    case MsgType::InvAck: return onInvResponse(msg, /*rejected=*/false);
+    case MsgType::InvReject: return onInvResponse(msg, /*rejected=*/true);
+    case MsgType::FwdAck:
+    case MsgType::FwdAckTxInv:
+    case MsgType::FwdReject: return onFwdResponse(msg);
+    case MsgType::PutM: return onPutM(msg);
+    case MsgType::WbClean: {
+      llc_[msg.line] = msg.data;
+      return;
+    }
+    case MsgType::TxAbortInv: {
+      if (pending_.count(msg.line) != 0) {
+        // A forward for this line is in flight to the aborting owner; its
+        // response (FwdAckTxInv) will carry the state fix. Drop.
+        return;
+      }
+      auto it = dir_.find(msg.line);
+      if (it != dir_.end() && it->second.owner == msg.from) {
+        it->second.owner = kNoCore;
+      }
+      return;
+    }
+    case MsgType::SigAdd: return onSigAdd(msg);
+    case MsgType::SigClear: return onSigClear(msg);
+    case MsgType::HlaReq: return onHlaReq(msg);
+    default:
+      throw std::logic_error(std::string("directory cannot handle ") + toString(msg.type));
+  }
+}
+
+void DirectoryController::startRequest(const Msg& msg) {
+  pending_.emplace(msg.line, Pending{msg, 0, false, AbortCause::MemConflict, false});
+  // LLC/tag access latency; cold lines additionally pay the memory latency.
+  const bool cold = llc_.count(msg.line) == 0;
+  const Cycle lat = params_.llcLatency + (cold ? params_.memLatency : 0);
+  engine_.schedule(lat, [this, line = msg.line]() { handleRequest(line); });
+}
+
+void DirectoryController::handleRequest(LineAddr line) {
+  auto pit = pending_.find(line);
+  assert(pit != pending_.end());
+  Pending& p = pit->second;
+  DirInfo& d = dir_[line];
+  bool cold = false;
+  llcFetch(line, cold);  // materialize data
+
+  // HTMLock mechanism: LLC overflow-signature filter (Fig 5 step 3).
+  const bool wantX = p.req.type == MsgType::GetX;
+  if (hlUnit_.shouldReject(line, wantX, d.hasCopies(), p.req.from)) {
+    ++sigRejects_;
+    hlUnit_.recordWaiter(line, p.req.from);
+    sendReject(p.req, AbortCause::LockConflict);
+    finishPending(line);
+    return;
+  }
+
+  if (wantX) {
+    handleGetX(p, d);
+  } else {
+    handleGetS(p, d);
+  }
+}
+
+void DirectoryController::handleGetS(Pending& p, DirInfo& d) {
+  const LineAddr line = p.req.line;
+  const CoreId r = p.req.from;
+  if (d.owner == r || !d.hasCopies()) {
+    // No other copies (or the owner silently dropped a clean line and is
+    // re-requesting): grant exclusive, MESI E-state optimization.
+    Msg resp{.type = MsgType::DataE, .line = line, .data = llc_[line], .hasData = true};
+    d.owner = r;
+    d.sharers.clear();
+    p.waitUnblock = true;
+    sendToL1(r, std::move(resp));
+    return;
+  }
+  if (d.owner != kNoCore) {
+    Msg fwd{.type = MsgType::FwdGetS, .line = line, .req = p.req.req};
+    p.acksLeft = 1;
+    sendToL1(d.owner, std::move(fwd));
+    return;
+  }
+  // Shared: serve from LLC.
+  Msg resp{.type = MsgType::DataS, .line = line, .data = llc_[line], .hasData = true};
+  d.sharers.insert(r);
+  p.waitUnblock = true;
+  sendToL1(r, std::move(resp));
+}
+
+void DirectoryController::handleGetX(Pending& p, DirInfo& d) {
+  const LineAddr line = p.req.line;
+  const CoreId r = p.req.from;
+  if (d.owner == r) {
+    // Owner silently dropped its clean copy and wants it back exclusively.
+    Msg resp{.type = MsgType::DataE, .line = line, .data = llc_[line], .hasData = true};
+    p.waitUnblock = true;
+    sendToL1(r, std::move(resp));
+    return;
+  }
+  if (d.owner != kNoCore) {
+    Msg fwd{.type = MsgType::FwdGetX, .line = line, .req = p.req.req};
+    p.acksLeft = 1;
+    sendToL1(d.owner, std::move(fwd));
+    return;
+  }
+  // Count sharers other than the requester.
+  unsigned others = 0;
+  for (CoreId s : d.sharers) {
+    if (s != r) ++others;
+  }
+  if (others == 0) {
+    // Even when the requester is a listed sharer, send data: it may have
+    // silently dropped its clean copy, and the directory cannot tell.
+    Msg resp{.type = MsgType::DataE, .line = line, .data = llc_[line], .hasData = true};
+    d.sharers.clear();
+    d.owner = r;
+    p.waitUnblock = true;
+    sendToL1(r, std::move(resp));
+    return;
+  }
+  p.acksLeft = others;
+  for (CoreId s : d.sharers) {
+    if (s == r) continue;
+    Msg inv{.type = MsgType::Inv, .line = line, .req = p.req.req};
+    sendToL1(s, std::move(inv));
+  }
+}
+
+void DirectoryController::sendReject(const Msg& req, AbortCause hint) {
+  Msg resp{.type = MsgType::RejectResp, .line = req.line, .rejectHint = hint};
+  sendToL1(req.from, std::move(resp));
+}
+
+void DirectoryController::onInvResponse(const Msg& msg, bool rejected) {
+  auto pit = pending_.find(msg.line);
+  assert(pit != pending_.end() && pit->second.acksLeft > 0);
+  Pending& p = pit->second;
+  DirInfo& d = dir_[msg.line];
+  if (rejected) {
+    p.anyReject = true;
+    if (msg.rejectHint == AbortCause::LockConflict) p.rejectHint = AbortCause::LockConflict;
+    // Rejecting sharer keeps its copy: stays in the sharer list.
+  } else {
+    d.sharers.erase(msg.from);
+  }
+  if (--p.acksLeft > 0) return;
+
+  const CoreId r = p.req.from;
+  if (p.anyReject) {
+    sendReject(p.req, p.rejectHint);
+    finishPending(msg.line);
+    return;
+  }
+  Msg resp{.type = MsgType::DataE, .line = msg.line, .data = llc_[msg.line],
+           .hasData = true};
+  d.sharers.clear();
+  d.owner = r;
+  p.waitUnblock = true;
+  sendToL1(r, std::move(resp));
+}
+
+void DirectoryController::onFwdResponse(const Msg& msg) {
+  auto pit = pending_.find(msg.line);
+  assert(pit != pending_.end() && pit->second.acksLeft == 1);
+  Pending& p = pit->second;
+  DirInfo& d = dir_[msg.line];
+  const CoreId r = p.req.from;
+  const bool isGetX = p.req.type == MsgType::GetX;
+
+  switch (msg.type) {
+    case MsgType::FwdReject:
+      sendReject(p.req, msg.rejectHint);
+      finishPending(msg.line);
+      return;
+    case MsgType::FwdAckTxInv: {
+      // Fig 3: the owner invalidated itself (aborted speculative line or a
+      // silently-dropped clean copy); the LLC copy is current, so the
+      // requester receives exclusive data either way.
+      d.owner = r;
+      d.sharers.clear();
+      Msg resp{.type = MsgType::DataE, .line = msg.line, .data = llc_[msg.line], .hasData = true};
+      p.acksLeft = 0;
+      p.waitUnblock = true;
+      sendToL1(r, std::move(resp));
+      return;
+    }
+    case MsgType::FwdAck: {
+      if (msg.hasData) {
+        llc_[msg.line] = msg.data;
+        ++counters_.writebacks;
+      }
+      Msg resp;
+      if (isGetX) {
+        d.sharers.clear();
+        d.owner = r;
+        resp = Msg{.type = MsgType::DataE, .line = msg.line, .data = llc_[msg.line], .hasData = true};
+      } else {
+        const CoreId prevOwner = d.owner;
+        d.owner = kNoCore;
+        d.sharers.insert(r);
+        if (msg.keptCopy && prevOwner != kNoCore) d.sharers.insert(prevOwner);
+        resp = Msg{.type = MsgType::DataS, .line = msg.line, .data = llc_[msg.line], .hasData = true};
+      }
+      p.acksLeft = 0;
+      p.waitUnblock = true;
+      sendToL1(r, std::move(resp));
+      return;
+    }
+    default:
+      throw std::logic_error("unexpected forward response");
+  }
+}
+
+void DirectoryController::onPutM(const Msg& msg) {
+  auto it = dir_.find(msg.line);
+  if (it != dir_.end() && it->second.owner == msg.from) {
+    llc_[msg.line] = msg.data;
+    it->second.owner = kNoCore;
+    ++counters_.writebacks;
+  }
+  // Stale PutM (ownership already moved via a forward served from the
+  // writeback buffer): the data was already delivered; just ack.
+  Msg ack{.type = MsgType::PutAck, .line = msg.line};
+  sendToL1(msg.from, std::move(ack));
+}
+
+void DirectoryController::onSigAdd(const Msg& msg) {
+  hlUnit_.noteOverflow(msg.line, msg.sigIsWrite);
+  auto it = dir_.find(msg.line);
+  if (it != dir_.end()) {
+    if (it->second.owner == msg.from) it->second.owner = kNoCore;
+    it->second.sharers.erase(msg.from);
+  }
+  if (msg.hasData) {
+    llc_[msg.line] = msg.data;
+    ++counters_.writebacks;
+    Msg ack{.type = MsgType::PutAck, .line = msg.line};
+    sendToL1(msg.from, std::move(ack));
+  }
+}
+
+void DirectoryController::onSigClear(const Msg& msg) {
+  for (const auto& w : hlUnit_.clearAndDrain()) {
+    Msg wake{.type = MsgType::Wakeup, .line = w.line};
+    sendToL1(w.core, std::move(wake));
+  }
+  if (auto next = arbiter_.release(msg.from)) {
+    Msg grant{.type = MsgType::HlaGrant, .line = 0};
+    sendToL1(*next, std::move(grant));
+  }
+}
+
+void DirectoryController::onHlaReq(const Msg& msg) {
+  switch (arbiter_.request(msg.from, msg.hlaMode)) {
+    case core::SwitchArbiter::Verdict::Grant: {
+      Msg grant{.type = MsgType::HlaGrant, .line = 0};
+      sendToL1(msg.from, std::move(grant));
+      return;
+    }
+    case core::SwitchArbiter::Verdict::Deny: {
+      Msg deny{.type = MsgType::HlaDeny, .line = 0};
+      sendToL1(msg.from, std::move(deny));
+      return;
+    }
+    case core::SwitchArbiter::Verdict::Queued:
+      return;  // granted later, on SigClear of the current holder
+  }
+}
+
+void DirectoryController::finishPending(LineAddr line) {
+  pending_.erase(line);
+  auto qit = waitq_.find(line);
+  if (qit == waitq_.end() || qit->second.empty()) {
+    waitq_.erase(line);
+    return;
+  }
+  Msg next = qit->second.front();
+  qit->second.pop_front();
+  if (qit->second.empty()) waitq_.erase(qit);
+  startRequest(next);
+}
+
+}  // namespace lktm::coh

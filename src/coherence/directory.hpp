@@ -1,0 +1,128 @@
+// Shared-LLC directory controller of the MESI-Two-Level-HTM protocol.
+//
+// The LLC is inclusive and holds the directory (owner / sharer list) per
+// line. Requests are serialized per line: while a transaction is in flight
+// the line is "busy" and later requests queue in FIFO order. All responses
+// route through the directory (the paper's Fig 2 topology where L1 caches
+// communicate through their subordinate), which centralizes the recovery
+// mechanism's reject aggregation and the HTMLock signature checks.
+//
+// Capacity note (documented in DESIGN.md): the LLC data store is sparse and
+// effectively unbounded; LLC capacity effects are second-order for the
+// paper's experiments (its sensitivity axis is the L1), while cold misses do
+// pay the memory latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/htmlock_unit.hpp"
+#include "core/switch_arbiter.hpp"
+#include "coherence/messages.hpp"
+#include "coherence/params.hpp"
+#include "mem/main_memory.hpp"
+#include "noc/network.hpp"
+#include "sim/engine.hpp"
+#include "stats/counters.hpp"
+
+namespace lktm::coh {
+
+class DirectoryController final : public MsgSink {
+ public:
+  DirectoryController(sim::Engine& engine, noc::Network& net,
+                      mem::MainMemory& memory, ProtocolParams params,
+                      unsigned numCores,
+                      core::HtmLockUnitParams sigParams = {});
+
+  void connectL1(CoreId core, MsgSink* sink);
+
+  /// Warm the inclusive LLC with the lines [from, to) before simulation, so
+  /// short benchmark runs measure steady-state behaviour instead of cold-miss
+  /// serialization (documented substitution in DESIGN.md).
+  void preloadLlc(LineAddr from, LineAddr to);
+
+  void onMessage(const Msg& msg) override;
+
+  // --- introspection (tests, checker, harness) ---
+  struct DirSnapshot {
+    CoreId owner = kNoCore;
+    std::set<CoreId> sharers;
+    bool busy = false;
+  };
+  DirSnapshot snapshot(LineAddr line) const;
+
+  bool llcHas(LineAddr line) const { return llc_.count(line) != 0; }
+  mem::LineData llcData(LineAddr line) const;
+
+  const core::SwitchArbiter& arbiter() const { return arbiter_; }
+  const core::HtmLockUnit& htmlockUnit() const { return hlUnit_; }
+  stats::ProtocolCounters& counters() { return counters_; }
+  std::uint64_t sigRejects() const { return sigRejects_; }
+
+  /// Pending per-line transactions (0 when the protocol is quiescent).
+  std::size_t busyLines() const { return pending_.size(); }
+
+  std::string diagnostic() const;
+
+ private:
+  struct DirInfo {
+    CoreId owner = kNoCore;
+    std::set<CoreId> sharers;
+
+    bool hasCopies() const { return owner != kNoCore || !sharers.empty(); }
+  };
+
+  struct Pending {
+    Msg req;
+    unsigned acksLeft = 0;
+    bool anyReject = false;
+    AbortCause rejectHint = AbortCause::MemConflict;
+    bool waitUnblock = false;
+  };
+
+  sim::Engine& engine_;
+  noc::Network& net_;
+  mem::MainMemory& memory_;
+  ProtocolParams params_;
+  unsigned numCores_;
+
+  std::vector<MsgSink*> l1s_;
+  std::unordered_map<LineAddr, mem::LineData> llc_;
+  std::unordered_map<LineAddr, DirInfo> dir_;
+  std::map<LineAddr, Pending> pending_;           // busy lines
+  std::map<LineAddr, std::deque<Msg>> waitq_;     // queued requests per line
+
+  core::SwitchArbiter arbiter_;
+  core::HtmLockUnit hlUnit_;
+  stats::ProtocolCounters counters_;
+  std::uint64_t sigRejects_ = 0;
+
+  // --- helpers ---
+  unsigned bankOf(LineAddr line) const { return static_cast<unsigned>(line % numCores_); }
+  noc::NodeId bankNode(LineAddr line) const { return static_cast<noc::NodeId>(numCores_ + bankOf(line)); }
+
+  void sendToL1(CoreId core, Msg msg);
+  mem::LineData& llcFetch(LineAddr line, bool& cold);
+
+  void startRequest(const Msg& msg);
+  void handleRequest(LineAddr line);
+  void finishPending(LineAddr line);
+
+  void handleGetS(Pending& p, DirInfo& d);
+  void handleGetX(Pending& p, DirInfo& d);
+  void sendReject(const Msg& req, AbortCause hint);
+
+  void onInvResponse(const Msg& msg, bool rejected);
+  void onFwdResponse(const Msg& msg);
+  void onPutM(const Msg& msg);
+  void onSigAdd(const Msg& msg);
+  void onSigClear(const Msg& msg);
+  void onHlaReq(const Msg& msg);
+};
+
+}  // namespace lktm::coh

@@ -1,0 +1,47 @@
+#include "coherence/messages.hpp"
+
+#include <sstream>
+
+namespace lktm::coh {
+
+const char* toString(MsgType t) {
+  switch (t) {
+    case MsgType::GetS: return "GetS";
+    case MsgType::GetX: return "GetX";
+    case MsgType::PutM: return "PutM";
+    case MsgType::WbClean: return "WbClean";
+    case MsgType::TxAbortInv: return "TxAbortInv";
+    case MsgType::SigAdd: return "SigAdd";
+    case MsgType::SigClear: return "SigClear";
+    case MsgType::HlaReq: return "HlaReq";
+    case MsgType::Unblock: return "Unblock";
+    case MsgType::DataE: return "DataE";
+    case MsgType::DataS: return "DataS";
+    case MsgType::UpgradeAck: return "UpgradeAck";
+    case MsgType::RejectResp: return "RejectResp";
+    case MsgType::PutAck: return "PutAck";
+    case MsgType::Inv: return "Inv";
+    case MsgType::FwdGetS: return "FwdGetS";
+    case MsgType::FwdGetX: return "FwdGetX";
+    case MsgType::HlaGrant: return "HlaGrant";
+    case MsgType::HlaDeny: return "HlaDeny";
+    case MsgType::InvAck: return "InvAck";
+    case MsgType::InvReject: return "InvReject";
+    case MsgType::FwdAck: return "FwdAck";
+    case MsgType::FwdAckTxInv: return "FwdAckTxInv";
+    case MsgType::FwdReject: return "FwdReject";
+    case MsgType::Wakeup: return "Wakeup";
+  }
+  return "?";
+}
+
+std::string Msg::str() const {
+  std::ostringstream oss;
+  oss << toString(type) << " line=0x" << std::hex << line << std::dec
+      << " from=" << from << " req.core=" << req.core
+      << (req.isTx ? " tx" : "") << (req.lockMode ? " LOCK" : "")
+      << " prio=" << req.priority << (hasData ? " +data" : "");
+  return oss.str();
+}
+
+}  // namespace lktm::coh

@@ -1,0 +1,41 @@
+#include "config/machine.hpp"
+
+#include <sstream>
+
+namespace lktm::cfg {
+
+MachineParams MachineParams::typical() { return MachineParams{}; }
+
+MachineParams MachineParams::smallCache() {
+  MachineParams m;
+  m.name = "small-cache";
+  m.l1 = mem::CacheGeometry{8 * 1024, 4};
+  m.llcBytes = 1ull * 1024 * 1024;
+  m.protocol.llcLatency = 10;  // smaller LLC is a touch faster
+  return m;
+}
+
+MachineParams MachineParams::largeCache() {
+  MachineParams m;
+  m.name = "large-cache";
+  m.l1 = mem::CacheGeometry{128 * 1024, 4};
+  m.llcBytes = 32ull * 1024 * 1024;
+  m.protocol.llcLatency = 16;  // bigger LLC is a touch slower
+  return m;
+}
+
+std::string MachineParams::describe() const {
+  std::ostringstream oss;
+  oss << name << ": " << numCores << " cores, L1 " << l1.sizeBytes / 1024 << "KB/"
+      << l1.assoc << "-way (" << protocol.l1HitLatency << "cyc), LLC "
+      << llcBytes / (1024 * 1024) << "MB (" << protocol.llcLatency
+      << "cyc), mem " << protocol.memLatency << "cyc, ";
+  if (idealNetwork) {
+    oss << "ideal net (" << idealNetworkLatency << "cyc)";
+  } else {
+    oss << "mesh " << mesh.rows << "x" << mesh.cols;
+  }
+  return oss.str();
+}
+
+}  // namespace lktm::cfg

@@ -1,0 +1,38 @@
+// Machine configurations: Table I (typical) plus the Fig 13 sensitivity
+// configurations (small: 8KB L1 / 1MB LLC, large: 128KB L1 / 32MB LLC).
+#pragma once
+
+#include <string>
+
+#include "coherence/params.hpp"
+#include "cpu/core.hpp"
+#include "mem/cache_array.hpp"
+#include "noc/mesh.hpp"
+
+namespace lktm::cfg {
+
+struct MachineParams {
+  std::string name = "typical";
+  unsigned numCores = 32;               ///< tiles on the mesh
+  mem::CacheGeometry l1{32 * 1024, 4};  ///< private, 4-way, 64B lines
+  std::uint64_t llcBytes = 8ull * 1024 * 1024;  ///< shared L2 (latency model)
+  coh::ProtocolParams protocol{};
+  noc::MeshParams mesh{};              ///< 4x8, X-Y routing, 1-cycle links
+  cpu::CpuParams cpu{};
+  unsigned signatureBits = 2048;       ///< HTMLock LLC overflow signatures
+  bool idealNetwork = false;           ///< ablation: contention-free fixed-latency net
+  Cycle idealNetworkLatency = 6;       ///< ~average mesh traversal
+  Cycle maxCycles = 400'000'000;       ///< per-run simulation budget
+  Cycle watchdogWindow = 4'000'000;    ///< forward-progress hang detector
+
+  /// Table I baseline configuration.
+  static MachineParams typical();
+  /// Fig 13 "small cache": 8 KB L1, 1 MB LLC.
+  static MachineParams smallCache();
+  /// Fig 13 "large cache": 128 KB L1, 32 MB LLC.
+  static MachineParams largeCache();
+
+  std::string describe() const;
+};
+
+}  // namespace lktm::cfg

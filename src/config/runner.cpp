@@ -1,0 +1,144 @@
+#include "config/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "coherence/checker.hpp"
+#include "coherence/directory.hpp"
+#include "coherence/l1_controller.hpp"
+#include "cpu/barrier.hpp"
+#include "cpu/core.hpp"
+#include "noc/ideal.hpp"
+#include "noc/mesh.hpp"
+#include "runtime/tm_runtime.hpp"
+#include "sim/engine.hpp"
+
+namespace lktm::cfg {
+
+std::string RunResult::str() const {
+  std::ostringstream oss;
+  oss << system << "/" << workload << "@" << threads << "t[" << machine
+      << "]: " << cycles << " cycles, commits htm=" << tx.htmCommits
+      << " lock=" << tx.lockCommits << " stl=" << tx.stlCommits
+      << " aborts=" << tx.aborts << " (rate=" << commitRate() << ")"
+      << (ok() ? "" : " FAILED");
+  for (const auto& v : violations) oss << "\n  violation: " << v;
+  if (hang) oss << "\n  HANG: " << hangDiagnostic;
+  return oss.str();
+}
+
+RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkload) {
+  RunResult res;
+  res.system = cfg.system.name;
+  res.machine = cfg.machine.name;
+  res.threads = cfg.threads;
+
+  sim::Engine engine(cfg.machine.watchdogWindow);
+  mem::MainMemory memory;
+  std::unique_ptr<noc::Network> netPtr;
+  if (cfg.machine.idealNetwork) {
+    netPtr = std::make_unique<noc::IdealNetwork>(engine, cfg.machine.idealNetworkLatency);
+  } else {
+    netPtr = std::make_unique<noc::MeshNetwork>(engine, cfg.machine.mesh);
+  }
+  noc::Network& net = *netPtr;
+  stats::ProtocolCounters netCounters;
+  net.attachCounters(&netCounters);
+
+  coh::DirectoryController dir(engine, net, memory, cfg.machine.protocol,
+                               cfg.machine.numCores,
+                               core::HtmLockUnitParams{cfg.machine.signatureBits, 4});
+
+  const unsigned n = cfg.threads;
+  std::unique_ptr<wl::Workload> workload = makeWorkload();
+  res.workload = workload->name();
+  workload->init(memory, n);
+
+  if (cfg.warmLlc) {
+    dir.preloadLlc(lineOf(wl::kFallbackLockAddr), lineOf(workload->footprintEnd()) + 1);
+  }
+
+  rt::TmRuntime runtime(rt::runtimeFor(cfg.system.policy), wl::kFallbackLockAddr,
+                        cfg.system.retry);
+
+  std::vector<std::unique_ptr<coh::L1Controller>> l1s;
+  l1s.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    l1s.push_back(std::make_unique<coh::L1Controller>(
+        engine, net, static_cast<CoreId>(i), cfg.machine.l1, cfg.machine.protocol,
+        cfg.system.policy, cfg.machine.numCores));
+    l1s.back()->connectDirectory(&dir);
+    l1s.back()->setLockLine(lineOf(wl::kFallbackLockAddr));
+    dir.connectL1(static_cast<CoreId>(i), l1s.back().get());
+  }
+  std::vector<coh::MsgSink*> peers;
+  for (auto& l1 : l1s) peers.push_back(l1.get());
+  for (auto& l1 : l1s) l1->connectPeers(peers);
+
+  cpu::BarrierUnit barrier(engine, n);
+  cpu::CpuParams cpuParams = cfg.machine.cpu;
+  cpuParams.priorityKind = cfg.system.policy.priority;
+  cpuParams.switchOnFault = cfg.system.policy.switching && cfg.system.policy.switchOnFault;
+
+  std::vector<std::unique_ptr<cpu::Cpu>> cpus;
+  cpus.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    cpus.push_back(std::make_unique<cpu::Cpu>(
+        engine, static_cast<CoreId>(i), *l1s[i], barrier,
+        workload->buildProgram(i, n, runtime), cpuParams));
+    engine.addDiagnostic([c = cpus.back().get()] { return c->diagnostic(); });
+  }
+  engine.addDiagnostic([&dir] { return dir.diagnostic(); });
+
+  for (auto& c : cpus) c->start();
+
+  try {
+    engine.run(cfg.machine.maxCycles);
+  } catch (const sim::SimulationHang& e) {
+    res.hang = true;
+    res.hangDiagnostic = e.what();
+  }
+
+  for (auto& c : cpus) {
+    if (!c->halted()) {
+      res.hang = true;
+      if (res.hangDiagnostic.empty()) res.hangDiagnostic = "thread never halted";
+      res.hangDiagnostic += "\n  " + c->diagnostic();
+    }
+    res.cycles = std::max(res.cycles, c->haltedAt());
+    res.breakdown.add(c->breakdown());
+    res.perThread.push_back(c->breakdown());
+    res.tx += c->txCounters();
+  }
+  res.tx.fallbackEntries = res.tx.lockCommits;
+  res.tx.sigRejects += dir.sigRejects();
+  res.protocol += netCounters;
+  res.protocol += dir.counters();
+  for (auto& l1 : l1s) res.protocol += l1->counters();
+  if (res.cycles == 0) res.cycles = engine.now();
+
+  if (!res.hang && cfg.runCoherenceChecker) {
+    std::vector<const coh::L1Controller*> cl1s;
+    for (auto& l1 : l1s) cl1s.push_back(l1.get());
+    coh::CoherenceChecker checker(cl1s, &dir);
+    for (auto& v : checker.check()) res.violations.push_back("coherence: " + v);
+  }
+
+  if (!res.hang && cfg.verifyWorkload) {
+    // Coherent word reader: freshest dirty L1 copy > LLC > main memory.
+    wl::WordReader read = [&](Addr addr) -> std::uint64_t {
+      const LineAddr line = lineOf(addr);
+      for (auto& l1 : l1s) {
+        const mem::CacheEntry* e = l1->cache().find(line);
+        if (e != nullptr && e->dirty) return e->data[wordOf(addr)];
+      }
+      if (dir.llcHas(line)) return dir.llcData(line)[wordOf(addr)];
+      return memory.readWord(addr);
+    };
+    for (auto& v : workload->verify(read, n)) res.violations.push_back(v);
+  }
+  return res;
+}
+
+}  // namespace lktm::cfg

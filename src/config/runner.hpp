@@ -1,0 +1,57 @@
+// End-to-end simulation harness: builds a full system (cores + L1s + mesh +
+// directory/LLC) for one (machine, system, workload, thread-count) tuple,
+// runs it to completion, verifies workload invariants and optionally the
+// coherence checker, and returns aggregated statistics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/machine.hpp"
+#include "config/systems.hpp"
+#include "stats/breakdown.hpp"
+#include "stats/counters.hpp"
+#include "workloads/workload.hpp"
+
+namespace lktm::cfg {
+
+struct RunResult {
+  std::string system;
+  std::string workload;
+  std::string machine;
+  unsigned threads = 0;
+
+  Cycle cycles = 0;  ///< wall-clock of the run (last thread's halt)
+  stats::TxCounters tx;
+  stats::ProtocolCounters protocol;
+  stats::BreakdownSummary breakdown;
+  std::vector<stats::ThreadBreakdown> perThread;
+
+  std::vector<std::string> violations;  ///< workload + coherence failures
+  bool hang = false;
+  std::string hangDiagnostic;
+
+  bool ok() const { return violations.empty() && !hang; }
+  double commitRate() const { return tx.commitRate(); }
+
+  std::string str() const;
+};
+
+/// A workload factory: each run needs a fresh instance.
+using WorkloadFactory = std::function<std::unique_ptr<wl::Workload>()>;
+
+struct RunConfig {
+  MachineParams machine = MachineParams::typical();
+  SystemSpec system;
+  unsigned threads = 2;
+  bool runCoherenceChecker = true;
+  bool verifyWorkload = true;
+  /// Warm the inclusive LLC with the workload footprint (steady-state runs).
+  bool warmLlc = true;
+};
+
+RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkload);
+
+}  // namespace lktm::cfg

@@ -1,0 +1,75 @@
+#include "config/sweep.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "workloads/workload.hpp"
+
+namespace lktm::cfg {
+
+std::vector<RunResult> runSweep(std::vector<SweepJob> jobs, unsigned hostThreads) {
+  if (hostThreads == 0) {
+    hostThreads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  hostThreads = std::min<unsigned>(hostThreads, static_cast<unsigned>(jobs.size()) + 1);
+
+  std::vector<RunResult> results(jobs.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      try {
+        results[i] = jobs[i].run();
+      } catch (const std::exception& e) {
+        RunResult r;
+        r.system = jobs[i].label;
+        r.hang = true;
+        r.hangDiagnostic = std::string("exception: ") + e.what();
+        results[i] = r;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(hostThreads);
+  for (unsigned t = 0; t < hostThreads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+std::vector<RunResult> sweepSystems(const MachineParams& machine,
+                                    const std::vector<SystemSpec>& systems,
+                                    const std::vector<std::string>& workloads,
+                                    const std::vector<unsigned>& threads,
+                                    unsigned hostThreads) {
+  std::vector<SweepJob> jobs;
+  for (const auto& w : workloads) {
+    for (const auto& s : systems) {
+      for (unsigned t : threads) {
+        jobs.push_back(SweepJob{
+            s.name + "/" + w + "@" + std::to_string(t),
+            [machine, s, w, t] {
+              RunConfig cfg;
+              cfg.machine = machine;
+              cfg.system = s;
+              cfg.threads = t;
+              return runSimulation(cfg, [&w] { return wl::makeStamp(w); });
+            }});
+      }
+    }
+  }
+  return runSweep(std::move(jobs), hostThreads);
+}
+
+const RunResult* findResult(const std::vector<RunResult>& results,
+                            const std::string& system, const std::string& workload,
+                            unsigned threads) {
+  for (const auto& r : results) {
+    if (r.system == system && r.workload == workload && r.threads == threads) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace lktm::cfg

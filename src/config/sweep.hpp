@@ -1,0 +1,36 @@
+// Parallel sweep executor: figure-reproduction benches run hundreds of
+// independent simulations (workload x system x threads x machine); each
+// simulation is single-threaded and deterministic, so sweeps parallelize
+// perfectly across host cores.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "config/runner.hpp"
+
+namespace lktm::cfg {
+
+struct SweepJob {
+  std::string label;
+  std::function<RunResult()> run;
+};
+
+/// Execute all jobs on `hostThreads` std::threads (0 = hardware concurrency),
+/// preserving job order in the result vector. Exceptions inside a job are
+/// captured as a failed RunResult rather than tearing the sweep down.
+std::vector<RunResult> runSweep(std::vector<SweepJob> jobs, unsigned hostThreads = 0);
+
+/// Convenience: build the jobs for a cross product and run them.
+std::vector<RunResult> sweepSystems(
+    const MachineParams& machine, const std::vector<SystemSpec>& systems,
+    const std::vector<std::string>& workloads, const std::vector<unsigned>& threads,
+    unsigned hostThreads = 0);
+
+/// Find the result for a (system, workload, threads) cell.
+const RunResult* findResult(const std::vector<RunResult>& results,
+                            const std::string& system, const std::string& workload,
+                            unsigned threads);
+
+}  // namespace lktm::cfg

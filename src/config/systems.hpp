@@ -1,0 +1,26 @@
+// The evaluated systems of the paper's Table II.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/conflict_manager.hpp"
+#include "runtime/retry_policy.hpp"
+
+namespace lktm::cfg {
+
+struct SystemSpec {
+  std::string name;
+  std::string description;
+  core::TmPolicy policy{};
+  rt::RetryPolicy retry{};
+};
+
+/// All nine rows of Table II, in paper order:
+/// CGL, Baseline, LosaTM-SAFU, Lockiller-RAI, -RRI, -RWI, -RWL, -RWIL,
+/// LockillerTM.
+std::vector<SystemSpec> evaluatedSystems();
+
+SystemSpec systemByName(const std::string& name);
+
+}  // namespace lktm::cfg

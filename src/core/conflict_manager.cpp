@@ -1,0 +1,64 @@
+#include "core/conflict_manager.hpp"
+
+namespace lktm::core {
+
+const char* toString(ConflictPolicy p) {
+  switch (p) {
+    case ConflictPolicy::RequesterWins: return "requester-wins";
+    case ConflictPolicy::Recovery: return "recovery";
+  }
+  return "?";
+}
+
+const char* toString(RejectAction a) {
+  switch (a) {
+    case RejectAction::SelfAbort: return "self-abort";
+    case RejectAction::RetryLater: return "retry-later";
+    case RejectAction::WaitWakeup: return "wait-wakeup";
+  }
+  return "?";
+}
+
+AbortCause ConflictManager::classify(const LocalSide& local, const ReqSide& req) {
+  if (req.lockMode) return AbortCause::LockConflict;
+  if (!req.isTx) {
+    // A non-transactional store to the fallback-lock word is precisely the
+    // "fallback path acquired the lock" event of baseline best-effort HTM.
+    return local.lineIsLockWord ? AbortCause::Mutex : AbortCause::NonTran;
+  }
+  return AbortCause::MemConflict;
+}
+
+Decision ConflictManager::decide(const LocalSide& local, const ReqSide& req) const {
+  // An irrevocable lock transaction can never be the victim, under any policy:
+  // its data must stay consistent through execution (HTMLock challenge 1).
+  if (local.lockMode) return {.rejectRequester = true, .abortCause = AbortCause::None};
+
+  // A lock-mode requester carries the globally-highest priority, so the local
+  // HTM transaction always loses (HTMLock challenge 2).
+  if (req.lockMode) {
+    return {.rejectRequester = false, .abortCause = classify(local, req)};
+  }
+
+  // Non-transactional requesters beat HTM transactions: best-effort HTM offers
+  // them no way to stall, and the paper keeps `non_tran` aborts in every
+  // configuration (Fig 10).
+  if (!req.isTx) {
+    return {.rejectRequester = false, .abortCause = classify(local, req)};
+  }
+
+  if (policy_ == ConflictPolicy::RequesterWins) {
+    return {.rejectRequester = false, .abortCause = classify(local, req)};
+  }
+
+  // Recovery: reject iff the responder's (priority, core id) outranks the
+  // requester's snapshot carried on the message.
+  const PrioKey mine{.lockMode = false, .value = local.priority, .core = local.core};
+  const PrioKey theirs{.lockMode = false, .value = req.priority, .core = req.core};
+  if (mine.beats(theirs)) {
+    return {.rejectRequester = true, .abortCause = AbortCause::None};
+  }
+  return {.rejectRequester = false, .abortCause = classify(local, req)};
+}
+
+}  // namespace lktm::core

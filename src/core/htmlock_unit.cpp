@@ -1,0 +1,32 @@
+#include "core/htmlock_unit.hpp"
+
+namespace lktm::core {
+
+HtmLockUnit::HtmLockUnit(const SwitchArbiter& arbiter, HtmLockUnitParams params)
+    : arbiter_(arbiter),
+      rd_(params.signatureBits, params.signatureHashes),
+      wr_(params.signatureBits, params.signatureHashes) {}
+
+void HtmLockUnit::noteOverflow(LineAddr line, bool isWrite) {
+  (isWrite ? wr_ : rd_).insert(line);
+}
+
+bool HtmLockUnit::shouldReject(LineAddr line, bool wantsExclusive,
+                               bool otherCopiesExist, CoreId requester) const {
+  if (!arbiter_.active() || requester == arbiter_.holder()) return false;
+  if (wr_.mayContain(line)) return true;
+  if (!rd_.mayContain(line)) return false;
+  // OfRdSig hit: writers always conflict; readers only if they would receive
+  // exclusive data (the paper's "no other copy in the upper level caches"
+  // case — an E grant would let the requester store and commit silently,
+  // leaving the irrevocable lock transaction reading inconsistent data).
+  return wantsExclusive || !otherCopiesExist;
+}
+
+std::vector<WakeupTable::Entry> HtmLockUnit::clearAndDrain() {
+  rd_.clear();
+  wr_.clear();
+  return waiters_.drainAll();
+}
+
+}  // namespace lktm::core

@@ -1,0 +1,53 @@
+// LLC-side support for the HTMLock mechanism: the two overflow signatures
+// (OfRdSig / OfWrSig, Fig 5) recording the lock transaction's read/write set
+// that spilled out of its L1, plus the waiter bookkeeping for requests the
+// signatures reject.
+#pragma once
+
+#include "core/switch_arbiter.hpp"
+#include "core/wakeup_table.hpp"
+#include "mem/signature.hpp"
+#include "sim/types.hpp"
+
+namespace lktm::core {
+
+struct HtmLockUnitParams {
+  unsigned signatureBits = 2048;
+  unsigned signatureHashes = 4;
+};
+
+class HtmLockUnit {
+ public:
+  HtmLockUnit(const SwitchArbiter& arbiter, HtmLockUnitParams params = {});
+
+  /// The lock transaction spilled `line` from its L1 (eviction in TL/STL
+  /// mode). Recorded conservatively in the corresponding signature.
+  void noteOverflow(LineAddr line, bool isWrite);
+
+  /// Signature check for an external request reaching the LLC (the paper's
+  /// rule: reject on OfWrSig hit; reject on OfRdSig hit too when the grant
+  /// would be exclusive — i.e. an exclusive request, or a read that would be
+  /// granted E because no other cached copy exists).
+  bool shouldReject(LineAddr line, bool wantsExclusive, bool otherCopiesExist,
+                    CoreId requester) const;
+
+  /// Remember a rejected requester so it can be woken when the lock
+  /// transaction finishes.
+  void recordWaiter(LineAddr line, CoreId core) { waiters_.record(line, core); }
+
+  /// Lock transaction finished (hlend): clear both signatures and return the
+  /// cores to wake.
+  std::vector<WakeupTable::Entry> clearAndDrain();
+
+  bool anyOverflow() const { return !rd_.empty() || !wr_.empty(); }
+  const mem::BloomSignature& readSig() const { return rd_; }
+  const mem::BloomSignature& writeSig() const { return wr_; }
+
+ private:
+  const SwitchArbiter& arbiter_;
+  mem::BloomSignature rd_;
+  mem::BloomSignature wr_;
+  WakeupTable waiters_;
+};
+
+}  // namespace lktm::core

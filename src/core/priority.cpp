@@ -1,0 +1,22 @@
+#include "core/priority.hpp"
+
+#include <sstream>
+
+namespace lktm::core {
+
+const char* toString(PriorityKind k) {
+  switch (k) {
+    case PriorityKind::None: return "none";
+    case PriorityKind::InstsBased: return "insts";
+    case PriorityKind::Progression: return "progression";
+  }
+  return "?";
+}
+
+std::string PrioKey::str() const {
+  std::ostringstream oss;
+  oss << (lockMode ? "LOCK" : "htm") << ":" << value << "@c" << core;
+  return oss.str();
+}
+
+}  // namespace lktm::core

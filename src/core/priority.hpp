@@ -1,0 +1,44 @@
+// User-defined transaction priorities (Section III-A of the paper).
+//
+// The recovery mechanism carries a priority value on every coherence request
+// (the paper piggybacks it on the ACE ARUSER field). A globally consistent
+// total order over (lock-mode, value, core id) guarantees at least one
+// transaction always wins, which is what rules out livelock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace lktm::core {
+
+/// How a transaction's priority value is derived.
+enum class PriorityKind : std::uint8_t {
+  None,        ///< constant 0: ties broken by core id only
+  InstsBased,  ///< instructions committed inside the current attempt (paper's choice)
+  Progression, ///< memory references completed in the attempt (LosaTM-style)
+};
+
+const char* toString(PriorityKind k);
+
+/// A comparable priority snapshot. Lock transactions (TL/STL) outrank every
+/// HTM transaction; among equals, the smaller core id wins (paper: "when
+/// carrying the same priority, the processor ID is compared, with smaller IDs
+/// having greater priority").
+struct PrioKey {
+  bool lockMode = false;
+  std::uint64_t value = 0;
+  CoreId core = kNoCore;
+
+  /// True if `*this` outranks `other`.
+  bool beats(const PrioKey& other) const {
+    if (lockMode != other.lockMode) return lockMode;
+    if (value != other.value) return value > other.value;
+    return core < other.core;
+  }
+
+  std::string str() const;
+};
+
+}  // namespace lktm::core

@@ -1,0 +1,42 @@
+#include "core/switch_arbiter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace lktm::core {
+
+SwitchArbiter::Verdict SwitchArbiter::request(CoreId core, TxMode mode) {
+  assert(isLockMode(mode));
+  if (holder_ == kNoCore) {
+    holder_ = core;
+    holderMode_ = mode;
+    return Verdict::Grant;
+  }
+  if (holder_ == core) {
+    throw std::logic_error("core already holds the HTMLock slot");
+  }
+  if (mode == TxMode::STL) return Verdict::Deny;
+  tlQueue_.push_back(core);
+  return Verdict::Queued;
+}
+
+std::optional<CoreId> SwitchArbiter::release(CoreId core) {
+  if (holder_ != core) {
+    throw std::logic_error("release by non-holder of the HTMLock slot");
+  }
+  holder_ = kNoCore;
+  holderMode_ = TxMode::None;
+  if (tlQueue_.empty()) return std::nullopt;
+  const CoreId next = tlQueue_.front();
+  tlQueue_.pop_front();
+  holder_ = next;
+  holderMode_ = TxMode::TL;
+  return next;
+}
+
+void SwitchArbiter::withdraw(CoreId core) {
+  tlQueue_.erase(std::remove(tlQueue_.begin(), tlQueue_.end(), core), tlQueue_.end());
+}
+
+}  // namespace lktm::core

@@ -1,0 +1,46 @@
+// The LLC's HTMLock-mode authorization point (Section III-C).
+//
+// At most one transaction system-wide may be in HTMLock mode (TL or STL).
+// Typical entry (TL) holds the software fallback lock *and* asks here;
+// switchingMode entry (STL) asks here *without* the lock, relying on the
+// LLC's serialization for atomic, exclusive admission. TL requests queue
+// (the requester already owns the software lock and simply waits its turn);
+// STL requests are denied outright when the slot is taken, in which case the
+// overflowing transaction aborts exactly as baseline best-effort HTM would.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sim/types.hpp"
+
+namespace lktm::core {
+
+class SwitchArbiter {
+ public:
+  enum class Verdict : std::uint8_t { Grant, Deny, Queued };
+
+  bool active() const { return holder_ != kNoCore; }
+  CoreId holder() const { return holder_; }
+  TxMode holderMode() const { return holderMode_; }
+
+  /// `mode` must be TL or STL.
+  Verdict request(CoreId core, TxMode mode);
+
+  /// Holder leaves HTMLock mode. Returns the next queued TL core to grant,
+  /// if any (the grant message is the caller's job).
+  std::optional<CoreId> release(CoreId core);
+
+  /// A queued TL requester aborted/withdrew (should not happen in practice;
+  /// kept for robustness).
+  void withdraw(CoreId core);
+
+  std::size_t queued() const { return tlQueue_.size(); }
+
+ private:
+  CoreId holder_ = kNoCore;
+  TxMode holderMode_ = TxMode::None;
+  std::deque<CoreId> tlQueue_;
+};
+
+}  // namespace lktm::core

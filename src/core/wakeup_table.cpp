@@ -1,0 +1,31 @@
+#include "core/wakeup_table.hpp"
+
+namespace lktm::core {
+
+std::size_t WakeupTable::size() const {
+  std::size_t n = 0;
+  for (const auto& [line, cores] : table_) n += cores.size();
+  return n;
+}
+
+std::vector<WakeupTable::Entry> WakeupTable::drainAll() {
+  std::vector<Entry> out;
+  out.reserve(size());
+  for (const auto& [line, cores] : table_) {
+    for (CoreId c : cores) out.push_back({line, c});
+  }
+  table_.clear();
+  return out;
+}
+
+std::vector<WakeupTable::Entry> WakeupTable::drain(LineAddr line) {
+  std::vector<Entry> out;
+  auto it = table_.find(line);
+  if (it == table_.end()) return out;
+  out.reserve(it->second.size());
+  for (CoreId c : it->second) out.push_back({line, c});
+  table_.erase(it);
+  return out;
+}
+
+}  // namespace lktm::core

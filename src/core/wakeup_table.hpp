@@ -1,0 +1,41 @@
+// The per-responder wakeup bookkeeping of the recovery mechanism (the green
+// shaded table in the paper's Fig 2): every time a request is rejected under
+// the WaitWakeup policy, the rejecting side records which core to wake; the
+// table is drained when the local transaction commits or aborts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace lktm::core {
+
+class WakeupTable {
+ public:
+  struct Entry {
+    LineAddr line;
+    CoreId core;
+  };
+
+  /// Record that `core`'s request for `line` was rejected here.
+  void record(LineAddr line, CoreId core) { table_[line].insert(core); }
+
+  bool empty() const { return table_.empty(); }
+  std::size_t size() const;
+
+  /// Remove and return every recorded waiter (commit/abort of the local
+  /// transaction releases all lines at once). Deterministic order.
+  std::vector<Entry> drainAll();
+
+  /// Remove and return waiters for one line (used by the LLC signatures when
+  /// a specific address is released).
+  std::vector<Entry> drain(LineAddr line);
+
+ private:
+  std::map<LineAddr, std::set<CoreId>> table_;
+};
+
+}  // namespace lktm::core

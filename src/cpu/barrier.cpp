@@ -1,0 +1,20 @@
+#include "cpu/barrier.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lktm::cpu {
+
+void BarrierUnit::arrive(CoreId id, std::function<void()> resume) {
+  (void)id;
+  waiters_.push_back(std::move(resume));
+  if (waiters_.size() < participants_) return;
+  ++episodes_;
+  engine_.noteProgress();
+  auto ready = std::exchange(waiters_, {});
+  for (auto& fn : ready) {
+    engine_.schedule(1, std::move(fn));
+  }
+}
+
+}  // namespace lktm::cpu

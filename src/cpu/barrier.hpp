@@ -1,0 +1,31 @@
+// Simple centralized barrier for the simulated threads (the paper's STAMP
+// runs use barrier-synchronized phases; each thread is pinned to one core).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace lktm::cpu {
+
+class BarrierUnit {
+ public:
+  BarrierUnit(sim::Engine& engine, unsigned participants)
+      : engine_(engine), participants_(participants) {}
+
+  /// Core `id` reached the barrier; `resume` fires when everyone has.
+  void arrive(CoreId id, std::function<void()> resume);
+
+  unsigned waiting() const { return static_cast<unsigned>(waiters_.size()); }
+  std::uint64_t episodes() const { return episodes_; }
+
+ private:
+  sim::Engine& engine_;
+  unsigned participants_;
+  std::vector<std::function<void()>> waiters_;
+  std::uint64_t episodes_ = 0;
+};
+
+}  // namespace lktm::cpu

@@ -1,0 +1,91 @@
+// In-order, single-issue simulated core (Table I: ARM-like in-order CPU with
+// TME-style transactional instructions). Interprets the bytecode ISA,
+// checkpoints the register file at xbegin, and resumes at the fallback point
+// with the abort cause on rollback — RTM/TME semantics.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "coherence/l1_controller.hpp"
+#include "cpu/barrier.hpp"
+#include "cpu/program.hpp"
+#include "sim/engine.hpp"
+#include "stats/breakdown.hpp"
+
+namespace lktm::cpu {
+
+struct CpuParams {
+  Cycle rollbackPenalty = 25;  ///< squash + register/cache restore cost
+  Cycle faultPenalty = 300;    ///< exception-induced abort: trap + handler + restore
+  Cycle syscallCost = 120;     ///< survivable exception service time
+  core::PriorityKind priorityKind = core::PriorityKind::None;
+  /// Extension ablation: attempt the STL switch on an in-transaction fault
+  /// instead of aborting (the paper chooses not to; see TmPolicy).
+  bool switchOnFault = false;
+};
+
+class Cpu {
+ public:
+  Cpu(sim::Engine& engine, CoreId id, coh::L1Controller& l1, BarrierUnit& barrier,
+      Program program, CpuParams params, std::function<void()> onHalt = [] {});
+
+  /// Schedule the first instruction.
+  void start();
+
+  bool halted() const { return halted_; }
+  CoreId id() const { return id_; }
+  Cycle haltedAt() const { return haltedAt_; }
+
+  stats::ThreadBreakdown& breakdown() { return bd_; }
+  const stats::ThreadBreakdown& breakdown() const { return bd_; }
+  stats::TxCounters& txCounters() { return l1_.txCounters(); }
+
+  /// Instructions retired since reset (all modes).
+  std::uint64_t instsRetired() const { return instsRetired_; }
+
+  std::string diagnostic() const;
+
+ private:
+  sim::Engine& engine_;
+  CoreId id_;
+  coh::L1Controller& l1_;
+  BarrierUnit& barrier_;
+  Program prog_;
+  CpuParams params_;
+  std::function<void()> onHalt_;
+
+  std::size_t pc_ = 0;
+  std::array<std::uint64_t, kNumRegs> regs_{};
+  std::uint64_t epoch_ = 0;  ///< bumped on abort to cancel stale continuations
+  bool halted_ = false;
+  Cycle haltedAt_ = 0;
+
+  struct Checkpoint {
+    std::size_t pc = 0;
+    std::array<std::uint64_t, kNumRegs> regs{};
+    std::uint8_t statusReg = 0;
+  } ckpt_;
+  unsigned nestDepth_ = 0;
+
+  std::uint64_t instsInTx_ = 0;   ///< insts-based dynamic priority (paper III-A)
+  std::uint64_t memRefsInTx_ = 0; ///< progression-based priority (LosaTM)
+  std::uint64_t instsRetired_ = 0;
+
+  stats::ThreadBreakdown bd_;
+
+  void step();
+  void scheduleNext(Cycle delay);
+  void retire(Cycle delay);
+  void setReg(unsigned rd, std::uint64_t v) {
+    if (rd != kZeroReg) regs_[rd] = v;
+  }
+  bool inTx() const { return nestDepth_ > 0 || l1_.mode() != TxMode::None; }
+
+  std::uint64_t priorityValue() const;
+  void onAbort(AbortCause cause);
+  void execMem(const Instr& i);
+  void execTx(const Instr& i);
+};
+
+}  // namespace lktm::cpu

@@ -1,0 +1,54 @@
+#include "cpu/isa.hpp"
+
+#include <sstream>
+
+namespace lktm::cpu {
+
+const char* toString(Op op) {
+  switch (op) {
+    case Op::Nop: return "nop";
+    case Op::Li: return "li";
+    case Op::Mov: return "mov";
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::AndB: return "and";
+    case Op::OrB: return "or";
+    case Op::XorB: return "xor";
+    case Op::Shl: return "shl";
+    case Op::Shr: return "shr";
+    case Op::AddI: return "addi";
+    case Op::Rem: return "rem";
+    case Op::Load: return "load";
+    case Op::Store: return "store";
+    case Op::Cas: return "cas";
+    case Op::Compute: return "compute";
+    case Op::DelayReg: return "delayreg";
+    case Op::Beq: return "beq";
+    case Op::Bne: return "bne";
+    case Op::Blt: return "blt";
+    case Op::Bge: return "bge";
+    case Op::Jmp: return "jmp";
+    case Op::XBegin: return "xbegin";
+    case Op::XEnd: return "xend";
+    case Op::XAbort: return "xabort";
+    case Op::HlBegin: return "hlbegin";
+    case Op::HlEnd: return "hlend";
+    case Op::TTest: return "ttest";
+    case Op::SysCall: return "syscall";
+    case Op::Mark: return "mark";
+    case Op::Note: return "note";
+    case Op::Barrier: return "barrier";
+    case Op::Halt: return "halt";
+  }
+  return "?";
+}
+
+std::string Instr::str() const {
+  std::ostringstream oss;
+  oss << toString(op) << " rd=r" << int(rd) << " rs1=r" << int(rs1) << " rs2=r"
+      << int(rs2) << " imm=" << imm;
+  return oss.str();
+}
+
+}  // namespace lktm::cpu

@@ -1,0 +1,87 @@
+// The tiny RISC-like ISA interpreted by the simulated in-order cores.
+//
+// It is just rich enough to express the paper's software layer faithfully:
+// the elided-lock runtime of Listings 1/2 (retry loops, lock spinning via
+// CAS, xbegin status dispatch, ttest-based release) and the STAMP-analog
+// workloads (pointer chasing through simulated memory, data-dependent
+// addresses via registers).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace lktm::cpu {
+
+inline constexpr unsigned kNumRegs = 32;
+/// Register 0 always reads zero; writes are discarded (RISC convention).
+inline constexpr unsigned kZeroReg = 0;
+
+/// _xbegin() result on (re-)entering the transaction body.
+inline constexpr std::uint64_t kTxStarted = ~std::uint64_t{0};
+
+/// Extended ttest return values (paper Section III-C).
+inline constexpr std::uint64_t kTtestStl = 0x0FFFFFFF;
+inline constexpr std::uint64_t kTtestTl = 0x1FFFFFFF;
+
+/// Software abort code used by Listing 1 line 9 (TME_LOCK_IS_ACQUIRED);
+/// accounted as a `mutex` abort like the paper does.
+inline constexpr std::int64_t kAbortCodeLockHeld = 0xFE;
+
+enum class Op : std::uint8_t {
+  Nop,
+  Li,       ///< rd = imm
+  Mov,      ///< rd = rs1
+  Add,      ///< rd = rs1 + rs2
+  Sub,      ///< rd = rs1 - rs2
+  Mul,      ///< rd = rs1 * rs2
+  AndB,     ///< rd = rs1 & rs2
+  OrB,      ///< rd = rs1 | rs2
+  XorB,     ///< rd = rs1 ^ rs2
+  Shl,      ///< rd = rs1 << (rs2 & 63)
+  Shr,      ///< rd = rs1 >> (rs2 & 63)
+  AddI,     ///< rd = rs1 + imm
+  Rem,      ///< rd = rs1 % rs2 (rs2 != 0)
+  Load,     ///< rd = mem[rs1 + imm]
+  Store,    ///< mem[rs1 + imm] = rs2
+  Cas,      ///< tmp = mem[rs1+imm]; if tmp == rs2: mem[rs1+imm] = rd; rd = tmp
+  Compute,  ///< busy for imm cycles (pure computation placeholder)
+  DelayReg, ///< busy for min(rs1, 1<<16) cycles (data-dependent backoff)
+  Beq,      ///< if rs1 == rs2 goto imm
+  Bne,      ///< if rs1 != rs2 goto imm
+  Blt,      ///< if rs1 <  rs2 goto imm (unsigned)
+  Bge,      ///< if rs1 >= rs2 goto imm (unsigned)
+  Jmp,      ///< goto imm
+  XBegin,   ///< start/flatten HTM tx; rd = kTxStarted, or abort cause on redo
+  XEnd,     ///< commit (outermost) / un-nest
+  XAbort,   ///< software abort with code imm
+  HlBegin,  ///< enter HTMLock TL mode (blocks for LLC authorization)
+  HlEnd,    ///< leave HTMLock mode (TL or STL)
+  TTest,    ///< rd = STL/TL marker or nesting depth
+  SysCall,  ///< exception: aborts an HTM tx (fault), survivable in TL/STL
+  Mark,     ///< attribute following cycles to TimeCat(imm) (profiling hint)
+  Note,     ///< statistics pulse: imm 0 = completed a lock-path critical section
+  Barrier,  ///< synchronize with all other cores
+  Halt,     ///< thread done
+};
+
+const char* toString(Op op);
+
+struct Instr {
+  Op op = Op::Nop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int64_t imm = 0;
+
+  std::string str() const;
+};
+
+/// Map an abort cause to the xbegin status code seen by software.
+constexpr std::uint64_t statusOf(AbortCause cause) {
+  return static_cast<std::uint64_t>(cause);
+}
+
+}  // namespace lktm::cpu

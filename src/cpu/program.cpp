@@ -1,0 +1,45 @@
+#include "cpu/program.hpp"
+
+namespace lktm::cpu {
+
+std::uint8_t ProgramBuilder::r8(unsigned r) {
+  if (r >= kNumRegs) throw std::out_of_range("register id out of range");
+  return static_cast<std::uint8_t>(r);
+}
+
+void ProgramBuilder::patchTarget(std::size_t at, Label target) {
+  Instr& i = code_.at(at);
+  switch (i.op) {
+    case Op::Beq:
+    case Op::Bne:
+    case Op::Blt:
+    case Op::Bge:
+    case Op::Jmp:
+      i.imm = static_cast<std::int64_t>(target);
+      return;
+    default:
+      throw std::logic_error("patchTarget on a non-control-flow instruction");
+  }
+}
+
+Program ProgramBuilder::build() {
+  // Validate branch targets.
+  for (const Instr& i : code_) {
+    switch (i.op) {
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blt:
+      case Op::Bge:
+      case Op::Jmp:
+        if (i.imm < 0 || static_cast<std::size_t>(i.imm) >= code_.size()) {
+          throw std::logic_error("branch target out of range: " + i.str());
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return Program{std::move(code_)};
+}
+
+}  // namespace lktm::cpu

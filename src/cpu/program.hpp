@@ -1,0 +1,122 @@
+// Program container and a small assembler (ProgramBuilder) with label
+// patching, used by the TM runtime and the workload generators.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "cpu/isa.hpp"
+
+namespace lktm::cpu {
+
+struct Program {
+  std::vector<Instr> code;
+
+  const Instr& at(std::size_t pc) const {
+    if (pc >= code.size()) throw std::out_of_range("pc past end of program");
+    return code[pc];
+  }
+  std::size_t size() const { return code.size(); }
+};
+
+class ProgramBuilder {
+ public:
+  using Label = std::size_t;  ///< instruction index
+
+  Label here() const { return code_.size(); }
+
+  /// Emit a raw instruction; returns its index (for later patching).
+  std::size_t emit(Instr i) {
+    code_.push_back(i);
+    return code_.size() - 1;
+  }
+
+  // -- convenience emitters (register ids unchecked < kNumRegs by assert) --
+  std::size_t nop() { return emit({Op::Nop}); }
+  std::size_t li(unsigned rd, std::int64_t imm) {
+    return emit({Op::Li, r8(rd), 0, 0, imm});
+  }
+  std::size_t mov(unsigned rd, unsigned rs1) { return emit({Op::Mov, r8(rd), r8(rs1), 0, 0}); }
+  std::size_t add(unsigned rd, unsigned rs1, unsigned rs2) {
+    return emit({Op::Add, r8(rd), r8(rs1), r8(rs2), 0});
+  }
+  std::size_t sub(unsigned rd, unsigned rs1, unsigned rs2) {
+    return emit({Op::Sub, r8(rd), r8(rs1), r8(rs2), 0});
+  }
+  std::size_t mul(unsigned rd, unsigned rs1, unsigned rs2) {
+    return emit({Op::Mul, r8(rd), r8(rs1), r8(rs2), 0});
+  }
+  std::size_t andb(unsigned rd, unsigned rs1, unsigned rs2) {
+    return emit({Op::AndB, r8(rd), r8(rs1), r8(rs2), 0});
+  }
+  std::size_t orb(unsigned rd, unsigned rs1, unsigned rs2) {
+    return emit({Op::OrB, r8(rd), r8(rs1), r8(rs2), 0});
+  }
+  std::size_t xorb(unsigned rd, unsigned rs1, unsigned rs2) {
+    return emit({Op::XorB, r8(rd), r8(rs1), r8(rs2), 0});
+  }
+  std::size_t shl(unsigned rd, unsigned rs1, unsigned rs2) {
+    return emit({Op::Shl, r8(rd), r8(rs1), r8(rs2), 0});
+  }
+  std::size_t shr(unsigned rd, unsigned rs1, unsigned rs2) {
+    return emit({Op::Shr, r8(rd), r8(rs1), r8(rs2), 0});
+  }
+  std::size_t addi(unsigned rd, unsigned rs1, std::int64_t imm) {
+    return emit({Op::AddI, r8(rd), r8(rs1), 0, imm});
+  }
+  std::size_t rem(unsigned rd, unsigned rs1, unsigned rs2) {
+    return emit({Op::Rem, r8(rd), r8(rs1), r8(rs2), 0});
+  }
+  std::size_t load(unsigned rd, unsigned rs1, std::int64_t off = 0) {
+    return emit({Op::Load, r8(rd), r8(rs1), 0, off});
+  }
+  std::size_t store(unsigned rs1, unsigned rs2, std::int64_t off = 0) {
+    return emit({Op::Store, 0, r8(rs1), r8(rs2), off});
+  }
+  std::size_t cas(unsigned rd, unsigned rs1, unsigned rs2, std::int64_t off = 0) {
+    return emit({Op::Cas, r8(rd), r8(rs1), r8(rs2), off});
+  }
+  std::size_t compute(std::int64_t cycles) { return emit({Op::Compute, 0, 0, 0, cycles}); }
+  std::size_t delayReg(unsigned rs1) { return emit({Op::DelayReg, 0, r8(rs1), 0, 0}); }
+  std::size_t beq(unsigned rs1, unsigned rs2, Label target = 0) {
+    return emit({Op::Beq, 0, r8(rs1), r8(rs2), static_cast<std::int64_t>(target)});
+  }
+  std::size_t bne(unsigned rs1, unsigned rs2, Label target = 0) {
+    return emit({Op::Bne, 0, r8(rs1), r8(rs2), static_cast<std::int64_t>(target)});
+  }
+  std::size_t blt(unsigned rs1, unsigned rs2, Label target = 0) {
+    return emit({Op::Blt, 0, r8(rs1), r8(rs2), static_cast<std::int64_t>(target)});
+  }
+  std::size_t bge(unsigned rs1, unsigned rs2, Label target = 0) {
+    return emit({Op::Bge, 0, r8(rs1), r8(rs2), static_cast<std::int64_t>(target)});
+  }
+  std::size_t jmp(Label target = 0) {
+    return emit({Op::Jmp, 0, 0, 0, static_cast<std::int64_t>(target)});
+  }
+  std::size_t xbegin(unsigned rdStatus) { return emit({Op::XBegin, r8(rdStatus), 0, 0, 0}); }
+  std::size_t xend() { return emit({Op::XEnd}); }
+  std::size_t xabort(std::int64_t code) { return emit({Op::XAbort, 0, 0, 0, code}); }
+  std::size_t hlbegin() { return emit({Op::HlBegin}); }
+  std::size_t hlend() { return emit({Op::HlEnd}); }
+  std::size_t ttest(unsigned rd) { return emit({Op::TTest, r8(rd), 0, 0, 0}); }
+  std::size_t syscall() { return emit({Op::SysCall}); }
+  std::size_t note(std::int64_t what) { return emit({Op::Note, 0, 0, 0, what}); }
+  std::size_t mark(TimeCat cat) {
+    return emit({Op::Mark, 0, 0, 0, static_cast<std::int64_t>(cat)});
+  }
+  std::size_t barrier() { return emit({Op::Barrier}); }
+  std::size_t halt() { return emit({Op::Halt}); }
+
+  /// Point a previously emitted branch/jump at `target`.
+  void patchTarget(std::size_t at, Label target);
+
+  Program build();
+
+ private:
+  std::vector<Instr> code_;
+
+  static std::uint8_t r8(unsigned r);
+};
+
+}  // namespace lktm::cpu

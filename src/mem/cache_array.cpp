@@ -1,0 +1,103 @@
+#include "mem/cache_array.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lktm::mem {
+
+const char* toString(MesiState s) {
+  switch (s) {
+    case MesiState::I: return "I";
+    case MesiState::S: return "S";
+    case MesiState::E: return "E";
+    case MesiState::M: return "M";
+  }
+  return "?";
+}
+
+namespace {
+bool isPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheArray::CacheArray(CacheGeometry geo) : geo_(geo), sets_(geo.numSets()) {
+  if (sets_ == 0 || !isPow2(sets_)) {
+    throw std::invalid_argument("cache geometry must yield a power-of-two set count");
+  }
+  entries_.resize(static_cast<std::size_t>(sets_) * geo_.assoc);
+}
+
+CacheEntry* CacheArray::find(LineAddr line) {
+  CacheEntry* b = base(setOf(line));
+  for (unsigned w = 0; w < geo_.assoc; ++w) {
+    if (b[w].valid() && b[w].line == line) return &b[w];
+  }
+  return nullptr;
+}
+
+const CacheEntry* CacheArray::find(LineAddr line) const {
+  const CacheEntry* b = base(setOf(line));
+  for (unsigned w = 0; w < geo_.assoc; ++w) {
+    if (b[w].valid() && b[w].line == line) return &b[w];
+  }
+  return nullptr;
+}
+
+std::vector<CacheEntry*> CacheArray::ways(LineAddr line) {
+  std::vector<CacheEntry*> out;
+  out.reserve(geo_.assoc);
+  CacheEntry* b = base(setOf(line));
+  for (unsigned w = 0; w < geo_.assoc; ++w) out.push_back(&b[w]);
+  return out;
+}
+
+CacheEntry* CacheArray::invalidWay(LineAddr line) {
+  CacheEntry* b = base(setOf(line));
+  for (unsigned w = 0; w < geo_.assoc; ++w) {
+    if (!b[w].valid()) return &b[w];
+  }
+  return nullptr;
+}
+
+CacheEntry* CacheArray::lruWay(LineAddr line,
+                               const std::function<bool(const CacheEntry&)>& pred) {
+  CacheEntry* b = base(setOf(line));
+  CacheEntry* best = nullptr;
+  for (unsigned w = 0; w < geo_.assoc; ++w) {
+    if (!b[w].valid() || !pred(b[w])) continue;
+    if (best == nullptr || b[w].lru < best->lru) best = &b[w];
+  }
+  return best;
+}
+
+void CacheArray::install(CacheEntry& e, LineAddr line, MesiState st, const LineData& data) {
+  assert(!e.valid());
+  assert(setOf(line) == static_cast<unsigned>((&e - entries_.data()) / geo_.assoc));
+  e.line = line;
+  e.state = st;
+  e.dirty = false;
+  e.txRead = e.txWrite = false;
+  e.data = data;
+  touch(e);
+}
+
+void CacheArray::forEachValid(const std::function<void(CacheEntry&)>& fn) {
+  for (auto& e : entries_) {
+    if (e.valid()) fn(e);
+  }
+}
+
+void CacheArray::forEachValid(const std::function<void(const CacheEntry&)>& fn) const {
+  for (const auto& e : entries_) {
+    if (e.valid()) fn(e);
+  }
+}
+
+std::uint64_t CacheArray::countIf(const std::function<bool(const CacheEntry&)>& pred) const {
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.valid() && pred(e)) ++n;
+  }
+  return n;
+}
+
+}  // namespace lktm::mem

@@ -1,0 +1,95 @@
+// Set-associative cache data/tag array with LRU replacement and per-line
+// transactional read/write bits (the L1 read/write-set tracking of best-effort
+// HTM). Pure storage: all protocol policy lives in the controllers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace lktm::mem {
+
+enum class MesiState : std::uint8_t { I = 0, S, E, M };
+
+const char* toString(MesiState s);
+
+/// One cache line's worth of data, word-granular so workloads can store and
+/// load real values (enables end-to-end atomicity checking).
+using LineData = std::array<std::uint64_t, kWordsPerLine>;
+
+struct CacheEntry {
+  LineAddr line = 0;
+  MesiState state = MesiState::I;
+  bool dirty = false;    ///< holds data newer than the LLC copy
+  bool txRead = false;   ///< in the current transaction's read set
+  bool txWrite = false;  ///< speculatively written by the current transaction
+  LineData data{};
+  std::uint64_t lru = 0;  ///< last-touch stamp, larger == more recent
+
+  bool valid() const { return state != MesiState::I; }
+  bool transactional() const { return txRead || txWrite; }
+
+  void invalidate() {
+    state = MesiState::I;
+    dirty = txRead = txWrite = false;
+  }
+};
+
+struct CacheGeometry {
+  std::uint64_t sizeBytes = 32 * 1024;
+  unsigned assoc = 4;
+
+  unsigned numSets() const {
+    return static_cast<unsigned>(sizeBytes / kLineBytes / assoc);
+  }
+};
+
+class CacheArray {
+ public:
+  explicit CacheArray(CacheGeometry geo);
+
+  unsigned numSets() const { return sets_; }
+  unsigned assoc() const { return geo_.assoc; }
+  unsigned setOf(LineAddr line) const { return static_cast<unsigned>(line % sets_); }
+
+  /// Returns the valid entry holding `line`, or nullptr.
+  CacheEntry* find(LineAddr line);
+  const CacheEntry* find(LineAddr line) const;
+
+  /// All ways of the set `line` maps to (valid or not).
+  std::vector<CacheEntry*> ways(LineAddr line);
+
+  /// First invalid way of the set, or nullptr if the set is full.
+  CacheEntry* invalidWay(LineAddr line);
+
+  /// Least-recently-used valid way satisfying `pred`, or nullptr.
+  CacheEntry* lruWay(LineAddr line, const std::function<bool(const CacheEntry&)>& pred);
+
+  /// Mark `e` as most recently used.
+  void touch(CacheEntry& e) { e.lru = ++stamp_; }
+
+  /// Install `line` into the given (previously victimized) entry.
+  void install(CacheEntry& e, LineAddr line, MesiState st, const LineData& data);
+
+  /// Iterate over every valid entry (used for commit/abort walks & checkers).
+  void forEachValid(const std::function<void(CacheEntry&)>& fn);
+  void forEachValid(const std::function<void(const CacheEntry&)>& fn) const;
+
+  std::uint64_t countIf(const std::function<bool(const CacheEntry&)>& pred) const;
+
+ private:
+  CacheGeometry geo_;
+  unsigned sets_;
+  std::vector<CacheEntry> entries_;  // sets_ x assoc, row-major
+  std::uint64_t stamp_ = 0;
+
+  CacheEntry* base(unsigned set) { return entries_.data() + static_cast<std::size_t>(set) * geo_.assoc; }
+  const CacheEntry* base(unsigned set) const {
+    return entries_.data() + static_cast<std::size_t>(set) * geo_.assoc;
+  }
+};
+
+}  // namespace lktm::mem

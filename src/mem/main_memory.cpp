@@ -1,0 +1,23 @@
+#include "mem/main_memory.hpp"
+
+namespace lktm::mem {
+
+LineData MainMemory::readLine(LineAddr line) const {
+  auto it = store_.find(line);
+  if (it == store_.end()) return LineData{};
+  return it->second;
+}
+
+void MainMemory::writeLine(LineAddr line, const LineData& data) { store_[line] = data; }
+
+std::uint64_t MainMemory::readWord(Addr addr) const {
+  auto it = store_.find(lineOf(addr));
+  if (it == store_.end()) return 0;
+  return it->second[wordOf(addr)];
+}
+
+void MainMemory::writeWord(Addr addr, std::uint64_t value) {
+  store_[lineOf(addr)][wordOf(addr)] = value;
+}
+
+}  // namespace lktm::mem

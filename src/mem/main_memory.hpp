@@ -1,0 +1,32 @@
+// Word-granular backing store for the simulated physical address space.
+// Sparse (hash map of lines) so 8 GB of simulated DRAM costs only what is
+// touched. Timing (the 100-cycle latency of Table I) is applied by the
+// directory controller, not here.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/cache_array.hpp"
+#include "sim/types.hpp"
+
+namespace lktm::mem {
+
+class MainMemory {
+ public:
+  /// Read a whole line; absent lines read as zero.
+  LineData readLine(LineAddr line) const;
+
+  void writeLine(LineAddr line, const LineData& data);
+
+  /// Word accessors for workload initialization and final invariant checks.
+  std::uint64_t readWord(Addr addr) const;
+  void writeWord(Addr addr, std::uint64_t value);
+
+  std::size_t touchedLines() const { return store_.size(); }
+
+ private:
+  std::unordered_map<LineAddr, LineData> store_;
+};
+
+}  // namespace lktm::mem

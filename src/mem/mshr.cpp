@@ -1,0 +1,29 @@
+#include "mem/mshr.hpp"
+
+namespace lktm::mem {
+
+const char* toString(MshrState s) {
+  switch (s) {
+    case MshrState::Issued: return "Issued";
+    case MshrState::HeldRejected: return "HeldRejected";
+    case MshrState::WaitingWakeup: return "WaitingWakeup";
+  }
+  return "?";
+}
+
+MshrEntry& MshrFile::allocate(LineAddr line) {
+  if (full()) throw std::runtime_error("MSHR file full");
+  auto [it, inserted] = entries_.try_emplace(line);
+  if (!inserted) throw std::runtime_error("MSHR already allocated for line");
+  it->second.line = line;
+  return it->second;
+}
+
+MshrEntry* MshrFile::find(LineAddr line) {
+  auto it = entries_.find(line);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void MshrFile::release(LineAddr line) { entries_.erase(line); }
+
+}  // namespace lktm::mem

@@ -1,0 +1,60 @@
+// Miss Status Holding Registers. An in-order single-issue core has one demand
+// miss outstanding at a time, but the recovery mechanism requires rejected
+// requests to be *held* in the MSHR ("mark it as incomplete, restore the state
+// before sending the request") until a retry timer or wakeup message fires, so
+// entries have an explicit little lifecycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+#include "sim/types.hpp"
+
+namespace lktm::mem {
+
+enum class MshrState : std::uint8_t {
+  Issued,         ///< request is out on the network
+  HeldRejected,   ///< rejected by the recovery mechanism; waiting to retry
+  WaitingWakeup,  ///< held and subscribed to a wakeup message
+};
+
+const char* toString(MshrState s);
+
+struct MshrEntry {
+  LineAddr line = 0;
+  bool isWrite = false;       ///< GETX/UPGRADE vs GETS
+  bool fromTx = false;        ///< issued from inside a transaction
+  MshrState state = MshrState::Issued;
+  bool squashed = false;      ///< owning transaction aborted; complete silently
+  bool earlyWakeup = false;   ///< wakeup raced ahead of the reject response
+  unsigned retries = 0;       ///< times this request has been re-sent
+  std::uint64_t priority = 0; ///< requester priority sampled at (re)issue
+};
+
+/// Keyed by line address; at most one entry per line.
+class MshrFile {
+ public:
+  explicit MshrFile(unsigned capacity = 8) : capacity_(capacity) {}
+
+  bool full() const { return entries_.size() >= capacity_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  MshrEntry& allocate(LineAddr line);
+  MshrEntry* find(LineAddr line);
+  void release(LineAddr line);
+
+  template <typename Fn>
+  void forEach(Fn&& fn) {
+    for (auto& [line, e] : entries_) fn(e);
+  }
+
+ private:
+  unsigned capacity_;
+  std::map<LineAddr, MshrEntry> entries_;  // ordered => deterministic iteration
+};
+
+}  // namespace lktm::mem

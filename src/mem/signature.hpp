@@ -1,0 +1,41 @@
+// LogTM-SE style address signatures: fixed-size Bloom filters over line
+// addresses. Used by the HTMLock mechanism's LLC overflow signatures
+// (OfRdSig / OfWrSig): conservative membership, never false negatives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace lktm::mem {
+
+class BloomSignature {
+ public:
+  /// `bits` must be a power of two; `hashes` independent H3-style hashes.
+  explicit BloomSignature(unsigned bits = 2048, unsigned hashes = 4);
+
+  void insert(LineAddr line);
+
+  /// True if `line` *may* have been inserted (false positives possible,
+  /// false negatives impossible).
+  bool mayContain(LineAddr line) const;
+
+  void clear();
+  bool empty() const { return population_ == 0; }
+
+  unsigned bits() const { return static_cast<unsigned>(filter_.size()); }
+  std::uint64_t population() const { return population_; }
+
+  /// Expected false-positive probability at the current population.
+  double falsePositiveRate() const;
+
+ private:
+  std::vector<bool> filter_;
+  unsigned hashes_;
+  std::uint64_t population_ = 0;  ///< number of insert() calls since clear()
+
+  std::uint64_t hash(LineAddr line, unsigned i) const;
+};
+
+}  // namespace lktm::mem

@@ -1,0 +1,17 @@
+#include "noc/ideal.hpp"
+
+#include <utility>
+
+namespace lktm::noc {
+
+void IdealNetwork::send(NodeId src, NodeId dst, unsigned flits,
+                        sim::EventQueue::Action onArrive) {
+  count(flits, 1);
+  Cycle arrive = engine_.now() + latency_ + flits - 1;
+  Cycle& last = lastArrival_[{src, dst}];
+  if (arrive <= last) arrive = last + 1;  // preserve point-to-point FIFO
+  last = arrive;
+  engine_.queue().scheduleAt(arrive, std::move(onArrive));
+}
+
+}  // namespace lktm::noc

@@ -1,0 +1,29 @@
+// Contention-free fixed-latency network, for unit tests and for isolating
+// protocol behaviour from NoC effects in ablation studies.
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "noc/network.hpp"
+
+namespace lktm::noc {
+
+class IdealNetwork final : public Network {
+ public:
+  IdealNetwork(sim::Engine& engine, Cycle latency = 3)
+      : engine_(engine), latency_(latency) {}
+
+  /// Contention-free, but still FIFO per (src, dst) pair: the coherence
+  /// protocol relies on point-to-point ordering (e.g. a PutM must not be
+  /// overtaken by a later GetS for the same line).
+  void send(NodeId src, NodeId dst, unsigned flits,
+            sim::EventQueue::Action onArrive) override;
+
+ private:
+  sim::Engine& engine_;
+  Cycle latency_;
+  std::map<std::pair<NodeId, NodeId>, Cycle> lastArrival_;
+};
+
+}  // namespace lktm::noc

@@ -1,0 +1,72 @@
+#include "noc/mesh.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+namespace lktm::noc {
+
+namespace {
+enum Dir : unsigned { E = 0, W = 1, N = 2, S = 3 };
+}
+
+MeshNetwork::MeshNetwork(sim::Engine& engine, MeshParams params)
+    : engine_(engine), params_(params), linkFree_(numTiles()) {}
+
+unsigned MeshNetwork::hops(NodeId src, NodeId dst) const {
+  const Pos a = posOf(tileOf(src));
+  const Pos b = posOf(tileOf(dst));
+  return static_cast<unsigned>(std::abs(static_cast<int>(a.x) - static_cast<int>(b.x)) +
+                               std::abs(static_cast<int>(a.y) - static_cast<int>(b.y)));
+}
+
+void MeshNetwork::send(NodeId src, NodeId dst, unsigned flits,
+                       sim::EventQueue::Action onArrive) {
+  const unsigned srcTile = tileOf(src);
+  const unsigned dstTile = tileOf(dst);
+  count(flits, hops(src, dst) + 1);
+  if (srcTile == dstTile) {
+    // Local: through the tile's router once (e.g. L1 to co-located LLC bank).
+    engine_.schedule(params_.routerLatency, std::move(onArrive));
+    return;
+  }
+  // Injection takes one router traversal; then hop along the X-Y path.
+  engine_.schedule(params_.routerLatency,
+                   [this, srcTile, dstTile, flits, fn = std::move(onArrive)]() mutable {
+                     hop(srcTile, dstTile, flits, 0, std::move(fn));
+                   });
+}
+
+void MeshNetwork::hop(unsigned tile, unsigned dstTile, unsigned flits,
+                      unsigned hopCount, sim::EventQueue::Action onArrive) {
+  assert(hopCount < params_.cols + params_.rows && "routing loop");
+  if (tile == dstTile) {
+    onArrive();
+    return;
+  }
+  const Pos here = posOf(tile);
+  const Pos dst = posOf(dstTile);
+  unsigned dir;
+  unsigned next;
+  if (here.x != dst.x) {  // X first
+    dir = here.x < dst.x ? E : W;
+    next = dir == E ? tile + 1 : tile - 1;
+  } else {
+    dir = here.y < dst.y ? S : N;
+    next = dir == S ? tile + params_.cols : tile - params_.cols;
+  }
+  // Store-and-forward: the message leaves when the link is free, occupies it
+  // for `flits` cycles, and is fully received linkLatency + flits - 1 later.
+  const Cycle now = engine_.now();
+  Cycle& nextFree = linkFree_[tile][dir];
+  const Cycle depart = std::max(now, nextFree);
+  nextFree = depart + flits;
+  const Cycle arrive = depart + params_.linkLatency + flits - 1 + params_.routerLatency;
+  engine_.queue().scheduleAt(
+      arrive, [this, next, dstTile, flits, hopCount, fn = std::move(onArrive)]() mutable {
+        hop(next, dstTile, flits, hopCount + 1, std::move(fn));
+      });
+}
+
+}  // namespace lktm::noc

@@ -1,0 +1,52 @@
+// 2-D mesh with dimension-ordered (X-Y) routing and store-and-forward link
+// occupancy tracking. Matches Table I: 4x8 mesh, 1-cycle links, 1 flit/cycle
+// bandwidth, 16-byte flits.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "noc/network.hpp"
+
+namespace lktm::noc {
+
+struct MeshParams {
+  unsigned cols = 8;
+  unsigned rows = 4;
+  Cycle routerLatency = 1;
+  Cycle linkLatency = 1;
+};
+
+class MeshNetwork final : public Network {
+ public:
+  MeshNetwork(sim::Engine& engine, MeshParams params);
+
+  void send(NodeId src, NodeId dst, unsigned flits,
+            sim::EventQueue::Action onArrive) override;
+
+  unsigned numTiles() const { return params_.cols * params_.rows; }
+
+  /// Tile a node is attached to (LLC bank b lives at tile b).
+  unsigned tileOf(NodeId n) const { return static_cast<unsigned>(n) % numTiles(); }
+
+  /// Number of mesh hops between two nodes (Manhattan distance).
+  unsigned hops(NodeId src, NodeId dst) const;
+
+ private:
+  sim::Engine& engine_;
+  MeshParams params_;
+  // nextFree cycle per directed link: [tile][direction], 0=E 1=W 2=N 3=S.
+  std::vector<std::array<Cycle, 4>> linkFree_;
+
+  struct Pos {
+    unsigned x, y;
+  };
+  Pos posOf(unsigned tile) const {
+    return {tile % params_.cols, tile / params_.cols};
+  }
+
+  void hop(unsigned tile, unsigned dstTile, unsigned flits, unsigned hopCount,
+           sim::EventQueue::Action onArrive);
+};
+
+}  // namespace lktm::noc

@@ -1,0 +1,4 @@
+#include "noc/network.hpp"
+
+// Interface-only translation unit: keeps the vtable anchored in one place.
+namespace lktm::noc {}

@@ -1,0 +1,45 @@
+// Interconnect abstraction. The coherence controllers hand the network a
+// payload-delivery action plus a flit count; the network decides *when* the
+// action runs. Two implementations: a 2-D mesh with X-Y routing (the paper's
+// Table I configuration) and an ideal fixed-latency network for unit tests.
+#pragma once
+
+#include <functional>
+
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+#include "stats/counters.hpp"
+
+namespace lktm::noc {
+
+/// Network endpoint id. Cores occupy [0, numCores); LLC banks occupy
+/// [numCores, 2*numCores), bank b co-located with tile b.
+using NodeId = int;
+
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// Deliver `onArrive` after the message's network traversal time.
+  /// `flits` models serialization (Table I: 5 flits data, 1 flit control).
+  virtual void send(NodeId src, NodeId dst, unsigned flits,
+                    sim::EventQueue::Action onArrive) = 0;
+
+  void attachCounters(stats::ProtocolCounters* c) { counters_ = c; }
+
+ protected:
+  stats::ProtocolCounters* counters_ = nullptr;
+
+  void count(unsigned flits, unsigned hops) {
+    if (counters_ != nullptr) {
+      ++counters_->messages;
+      if (flits > 1) ++counters_->dataMessages;
+      counters_->flitHops += static_cast<std::uint64_t>(flits) * hops;
+    }
+  }
+};
+
+inline constexpr unsigned kControlFlits = 1;
+inline constexpr unsigned kDataFlits = 5;  ///< 64B line + header at 16B/flit
+
+}  // namespace lktm::noc

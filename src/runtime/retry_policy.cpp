@@ -1,0 +1,4 @@
+#include "runtime/retry_policy.hpp"
+
+// Configuration-only translation unit.
+namespace lktm::rt {}

@@ -1,0 +1,28 @@
+// Parameters of the software retry loop around xbegin (Listing 1's
+// `retry_strategy`). Exposed separately so benches can ablate them.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace lktm::rt {
+
+/// Lock algorithm used for the coarse-grained-locking baseline. The fallback
+/// lock of the elision runtimes stays test-and-test-and-set (matching real
+/// elision implementations); CGL defaults to MCS so the locking baseline is a
+/// competent one (per-waiter queue nodes, O(1) coherence traffic on handoff).
+enum class LockImpl : unsigned char { TestAndSet, Mcs };
+
+struct RetryPolicy {
+  LockImpl cglLock = LockImpl::Mcs;
+  unsigned maxRetries = 8;    ///< attempts before taking the fallback path
+  Cycle backoff = 40;         ///< pause between speculative attempts
+  Cycle spinBackoff = 24;     ///< initial pause between lock-word polls
+  Cycle spinBackoffMax = 512;  ///< exponential backoff cap while spinning
+  /// Overflow/fault aborts are persistent: retrying speculation cannot help,
+  /// so go straight to the fallback path (standard best-effort practice).
+  bool skipRetriesOnPersistent = true;
+};
+
+}  // namespace lktm::rt

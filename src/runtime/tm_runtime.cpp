@@ -1,0 +1,244 @@
+#include "runtime/tm_runtime.hpp"
+
+#include <vector>
+
+using lktm::cpu::ProgramBuilder;
+
+namespace lktm::rt {
+
+const char* toString(RuntimeKind k) {
+  switch (k) {
+    case RuntimeKind::CGL: return "cgl";
+    case RuntimeKind::BestEffort: return "best-effort";
+    case RuntimeKind::HtmLock: return "htmlock";
+  }
+  return "?";
+}
+
+RuntimeKind runtimeFor(const core::TmPolicy& policy) {
+  if (!policy.htmEnabled) return RuntimeKind::CGL;
+  if (policy.htmLock) return RuntimeKind::HtmLock;
+  return RuntimeKind::BestEffort;
+}
+
+void TmRuntime::emitPrologue(ProgramBuilder& b, unsigned tid) const {
+  b.li(kRegLockAddr, static_cast<std::int64_t>(lockAddr_));
+  if (kind_ == RuntimeKind::CGL && retry_.cglLock == LockImpl::Mcs) {
+    b.li(kRegMcsNode, static_cast<std::int64_t>(mcsNodeAddr(tid)));
+  }
+}
+
+// MCS queue lock: swap self onto the tail, link behind the predecessor and
+// spin on our *own* node's flag — one invalidation + one refill per handoff,
+// no global refetch/CAS storm. Node layout: word0 = next, word1 = locked.
+void TmRuntime::emitMcsAcquire(ProgramBuilder& b) const {
+  b.store(kRegMcsNode, cpu::kZeroReg, 0);  // next = null
+  b.li(kRegMcsTmp, 1);
+  b.store(kRegMcsNode, kRegMcsTmp, 8);     // locked = 1
+  const auto swapLoop = b.here();
+  b.load(kRegMcsTmp, kRegLockAddr);        // expected = current tail
+  b.mov(kRegStatus, kRegMcsNode);          // desired = my node
+  b.cas(kRegStatus, kRegLockAddr, kRegMcsTmp);
+  const auto raced = b.bne(kRegStatus, kRegMcsTmp);
+  b.patchTarget(raced, swapLoop);
+  const auto noPred = b.beq(kRegMcsTmp, cpu::kZeroReg);  // prev == null -> ours
+  b.store(kRegMcsTmp, kRegMcsNode, 0);     // prev->next = me
+  const auto wait = b.here();
+  b.load(kRegStatus, kRegMcsNode, 8);      // spin locally on my flag
+  const auto granted = b.beq(kRegStatus, cpu::kZeroReg);
+  b.compute(8);
+  b.jmp(wait);
+  b.patchTarget(granted, b.here());
+  b.patchTarget(noPred, b.here());
+}
+
+void TmRuntime::emitMcsRelease(ProgramBuilder& b) const {
+  b.load(kRegMcsTmp, kRegMcsNode, 0);      // next
+  const auto handoffKnown = b.bne(kRegMcsTmp, cpu::kZeroReg);
+  // No visible successor: try to swing tail back to null.
+  b.li(kRegStatus, 0);                     // desired = null
+  b.cas(kRegStatus, kRegLockAddr, kRegMcsNode);
+  const auto released = b.beq(kRegStatus, kRegMcsNode);
+  // A successor is mid-enqueue: wait for the link.
+  const auto waitLink = b.here();
+  b.load(kRegMcsTmp, kRegMcsNode, 0);
+  const auto linked = b.bne(kRegMcsTmp, cpu::kZeroReg);
+  b.compute(8);
+  b.jmp(waitLink);
+  b.patchTarget(linked, b.here());
+  b.patchTarget(handoffKnown, b.here());
+  b.store(kRegMcsTmp, cpu::kZeroReg, 8);   // next->locked = 0
+  b.patchTarget(released, b.here());
+}
+
+void TmRuntime::emitEnter(ProgramBuilder& b) const {
+  switch (kind_) {
+    case RuntimeKind::CGL: return emitEnterCgl(b);
+    case RuntimeKind::BestEffort: return emitEnterBestEffort(b);
+    case RuntimeKind::HtmLock: return emitEnterHtmLock(b);
+  }
+}
+
+void TmRuntime::emitExit(ProgramBuilder& b) const {
+  switch (kind_) {
+    case RuntimeKind::CGL: return emitExitCgl(b);
+    case RuntimeKind::BestEffort: return emitExitBestEffort(b);
+    case RuntimeKind::HtmLock: return emitExitHtmLock(b);
+  }
+}
+
+// Test-and-test-and-set acquire of the fallback lock through the coherence
+// protocol (CAS needs exclusive ownership, polling reads stay shared).
+void TmRuntime::emitSpinAcquire(ProgramBuilder& b) const {
+  b.li(kRegScratch2, static_cast<std::int64_t>(retry_.spinBackoff));
+  const auto spin = b.here();
+  b.load(kRegStatus, kRegLockAddr);
+  const auto poll = b.bne(kRegStatus, cpu::kZeroReg);  // held -> backoff
+  b.li(kRegStatus, 1);
+  b.cas(kRegStatus, kRegLockAddr, cpu::kZeroReg);  // if *lock==0: *lock=1
+  const auto gotIt = b.beq(kRegStatus, cpu::kZeroReg);
+  // Exponential backoff (capped): avoids the thundering herd on release.
+  const auto backoff = b.here();
+  b.delayReg(kRegScratch2);
+  b.add(kRegScratch2, kRegScratch2, kRegScratch2);
+  b.li(kRegStatus, static_cast<std::int64_t>(retry_.spinBackoffMax));
+  const auto noCap = b.blt(kRegScratch2, kRegStatus);
+  b.mov(kRegScratch2, kRegStatus);
+  b.patchTarget(noCap, b.here());
+  b.jmp(spin);
+  b.patchTarget(poll, backoff);
+  b.patchTarget(gotIt, b.here());
+}
+
+void TmRuntime::emitEnterCgl(ProgramBuilder& b) const {
+  b.mark(TimeCat::WaitLock);
+  if (retry_.cglLock == LockImpl::Mcs) {
+    emitMcsAcquire(b);
+  } else {
+    emitSpinAcquire(b);
+  }
+  b.mark(TimeCat::Lock);
+}
+
+void TmRuntime::emitExitCgl(ProgramBuilder& b) const {
+  if (retry_.cglLock == LockImpl::Mcs) {
+    emitMcsRelease(b);
+  } else {
+    b.store(kRegLockAddr, cpu::kZeroReg);  // lock_release
+  }
+  b.note(0);  // completed a lock-path critical section
+  b.mark(TimeCat::NonTran);
+}
+
+// Listing 1, stock best-effort flavour: the transaction subscribes to the
+// fallback-lock word; any lock acquisition therefore aborts every running
+// transaction (the `mutex` pathology the HTMLock mechanism removes).
+void TmRuntime::emitEnterBestEffort(ProgramBuilder& b) const {
+  b.li(kRegRetries, static_cast<std::int64_t>(retry_.maxRetries));
+  const auto retryLoop = b.here();
+  b.xbegin(kRegStatus);
+  b.li(kRegScratch, static_cast<std::int64_t>(cpu::kTxStarted));
+  const auto toSubscribe = b.beq(kRegStatus, kRegScratch);
+  // --- abort fall-through: retry_strategy(xstatus, &num_retries, lock) ---
+  // A lock-holder abort (mutex) is not the transaction's fault: poll until
+  // the lock is free, then retry without consuming an attempt (this is what
+  // production elision runtimes do to avoid the lemming effect).
+  b.li(kRegScratch, static_cast<std::int64_t>(cpu::statusOf(AbortCause::Mutex)));
+  const auto notMutex = b.bne(kRegStatus, kRegScratch);
+  b.mark(TimeCat::WaitLock);  // waiting for the fallback path to release
+  const auto pollLock = b.here();
+  b.load(kRegScratch, kRegLockAddr);
+  const auto lockFree = b.beq(kRegScratch, cpu::kZeroReg);
+  b.compute(static_cast<std::int64_t>(retry_.spinBackoff));
+  b.jmp(pollLock);
+  b.patchTarget(lockFree, b.here());
+  b.jmp(retryLoop);
+  b.patchTarget(notMutex, b.here());
+  b.addi(kRegRetries, kRegRetries, -1);
+  std::vector<std::size_t> toFallback;
+  if (retry_.skipRetriesOnPersistent) {
+    b.li(kRegScratch, static_cast<std::int64_t>(cpu::statusOf(AbortCause::Overflow)));
+    toFallback.push_back(b.beq(kRegStatus, kRegScratch));
+    b.li(kRegScratch, static_cast<std::int64_t>(cpu::statusOf(AbortCause::Fault)));
+    toFallback.push_back(b.beq(kRegStatus, kRegScratch));
+  }
+  toFallback.push_back(b.beq(kRegRetries, cpu::kZeroReg));
+  b.compute(static_cast<std::int64_t>(retry_.backoff));
+  b.jmp(retryLoop);
+  // --- subscribe the fallback lock (lines 8-9 of Listing 1) ---
+  const auto subscribe = b.here();
+  b.patchTarget(toSubscribe, subscribe);
+  b.load(kRegScratch, kRegLockAddr);
+  const auto toBody = b.beq(kRegScratch, cpu::kZeroReg);
+  b.xabort(cpu::kAbortCodeLockHeld);
+  // --- fallback path: lock_acquire(lock) ---
+  const auto fallback = b.here();
+  for (auto at : toFallback) b.patchTarget(at, fallback);
+  b.mark(TimeCat::WaitLock);
+  emitSpinAcquire(b);
+  b.mark(TimeCat::Lock);
+  b.patchTarget(toBody, b.here());
+}
+
+void TmRuntime::emitExitBestEffort(ProgramBuilder& b) const {
+  b.load(kRegScratch, kRegLockAddr);
+  const auto toXend = b.beq(kRegScratch, cpu::kZeroReg);
+  b.store(kRegLockAddr, cpu::kZeroReg);  // lock_release
+  b.note(0);  // fallback-path critical section completed
+  b.mark(TimeCat::NonTran);
+  const auto toDone = b.jmp();
+  b.patchTarget(toXend, b.here());
+  b.xend();
+  b.patchTarget(toDone, b.here());
+}
+
+// Listing 1 with the grey HTMLock modifications: no lock-word subscription,
+// hlbegin after acquiring the fallback lock.
+void TmRuntime::emitEnterHtmLock(ProgramBuilder& b) const {
+  b.li(kRegRetries, static_cast<std::int64_t>(retry_.maxRetries));
+  const auto retryLoop = b.here();
+  b.xbegin(kRegStatus);
+  b.li(kRegScratch, static_cast<std::int64_t>(cpu::kTxStarted));
+  const auto toBody = b.beq(kRegStatus, kRegScratch);  // straight to the body
+  // --- abort fall-through ---
+  b.addi(kRegRetries, kRegRetries, -1);
+  std::vector<std::size_t> toFallback;
+  if (retry_.skipRetriesOnPersistent) {
+    b.li(kRegScratch, static_cast<std::int64_t>(cpu::statusOf(AbortCause::Overflow)));
+    toFallback.push_back(b.beq(kRegStatus, kRegScratch));
+    b.li(kRegScratch, static_cast<std::int64_t>(cpu::statusOf(AbortCause::Fault)));
+    toFallback.push_back(b.beq(kRegStatus, kRegScratch));
+  }
+  toFallback.push_back(b.beq(kRegRetries, cpu::kZeroReg));
+  b.compute(static_cast<std::int64_t>(retry_.backoff));
+  b.jmp(retryLoop);
+  // --- fallback: lock_acquire(lock); hlbegin(); (Listing 1 lines 16-17) ---
+  const auto fallback = b.here();
+  for (auto at : toFallback) b.patchTarget(at, fallback);
+  b.mark(TimeCat::WaitLock);
+  emitSpinAcquire(b);
+  b.hlbegin();  // waits for the LLC HTMLock authorization
+  b.patchTarget(toBody, b.here());
+}
+
+// Listing 2: dispatch on the extended ttest.
+void TmRuntime::emitExitHtmLock(ProgramBuilder& b) const {
+  b.ttest(kRegStatus);
+  b.li(kRegScratch, static_cast<std::int64_t>(cpu::kTtestStl));
+  const auto toStl = b.beq(kRegStatus, kRegScratch);
+  b.li(kRegScratch, static_cast<std::int64_t>(cpu::kTtestTl));
+  const auto toTl = b.beq(kRegStatus, kRegScratch);
+  b.xend();
+  const auto toDone1 = b.jmp();
+  b.patchTarget(toStl, b.here());
+  b.hlend();  // STL: switched from HTM, no lock to release
+  const auto toDone2 = b.jmp();
+  b.patchTarget(toTl, b.here());
+  b.hlend();  // TL: also release the fallback lock
+  b.store(kRegLockAddr, cpu::kZeroReg);
+  b.mark(TimeCat::NonTran);
+  b.patchTarget(toDone1, b.here());
+  b.patchTarget(toDone2, b.here());
+}
+
+}  // namespace lktm::rt

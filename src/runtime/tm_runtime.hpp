@@ -1,0 +1,78 @@
+// The software half of the system: critical-section entry/exit code emitted
+// as bytecode, matching the paper's Listings 1 and 2.
+//
+//  * CGL          — plain test-and-test-and-set spinlock around the section.
+//  * BestEffort   — Listing 1 as recommended for commercial HTM: xbegin,
+//                   subscribe the fallback-lock word, xabort if held, retry
+//                   loop, spin-acquire fallback.
+//  * HtmLock      — Listing 1 with the grey modifications (no lock-word
+//                   subscription; hlbegin after acquiring the lock) plus the
+//                   Listing 2 release that dispatches on the extended ttest,
+//                   so it transparently supports switchingMode (STL).
+//
+// Register convention: r27-r31 are reserved for the runtime; workload code
+// must not keep live values there across enter/exit.
+#pragma once
+
+#include "core/conflict_manager.hpp"
+#include "cpu/program.hpp"
+#include "runtime/retry_policy.hpp"
+#include "sim/types.hpp"
+
+namespace lktm::rt {
+
+enum class RuntimeKind : std::uint8_t { CGL, BestEffort, HtmLock };
+
+const char* toString(RuntimeKind k);
+
+/// Pick the runtime flavour implied by a TM policy (Table II row).
+RuntimeKind runtimeFor(const core::TmPolicy& policy);
+
+/// Runtime-reserved registers.
+inline constexpr unsigned kRegLockAddr = 28;
+inline constexpr unsigned kRegStatus = 29;
+inline constexpr unsigned kRegRetries = 30;
+inline constexpr unsigned kRegScratch = 31;
+inline constexpr unsigned kRegScratch2 = 27;
+inline constexpr unsigned kRegMcsNode = 26;  ///< this thread's MCS queue node
+inline constexpr unsigned kRegMcsTmp = 25;
+
+class TmRuntime {
+ public:
+  TmRuntime(RuntimeKind kind, Addr lockAddr, RetryPolicy retry = {})
+      : kind_(kind), lockAddr_(lockAddr), retry_(retry) {}
+
+  RuntimeKind kind() const { return kind_; }
+  Addr lockAddr() const { return lockAddr_; }
+
+  /// Emit once at program start: materialize the lock address (and, for the
+  /// MCS coarse-grained lock, this thread's queue-node address).
+  void emitPrologue(cpu::ProgramBuilder& b, unsigned tid = 0) const;
+
+  /// Per-thread MCS queue node (a line in the reserved lock region).
+  Addr mcsNodeAddr(unsigned tid) const { return lockAddr_ + kLineBytes * (tid + 1); }
+
+  /// lock_acquire_elided(): on return, the thread is inside the critical
+  /// section, either speculatively (HTM) or on the fallback path (TL).
+  void emitEnter(cpu::ProgramBuilder& b) const;
+
+  /// lock_release_elided().
+  void emitExit(cpu::ProgramBuilder& b) const;
+
+ private:
+  RuntimeKind kind_;
+  Addr lockAddr_;
+  RetryPolicy retry_;
+
+  void emitSpinAcquire(cpu::ProgramBuilder& b) const;
+  void emitMcsAcquire(cpu::ProgramBuilder& b) const;
+  void emitMcsRelease(cpu::ProgramBuilder& b) const;
+  void emitEnterCgl(cpu::ProgramBuilder& b) const;
+  void emitEnterBestEffort(cpu::ProgramBuilder& b) const;
+  void emitEnterHtmLock(cpu::ProgramBuilder& b) const;
+  void emitExitCgl(cpu::ProgramBuilder& b) const;
+  void emitExitBestEffort(cpu::ProgramBuilder& b) const;
+  void emitExitHtmLock(cpu::ProgramBuilder& b) const;
+};
+
+}  // namespace lktm::rt

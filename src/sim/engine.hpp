@@ -1,0 +1,45 @@
+// The simulation engine: owns the event queue and a forward-progress
+// watchdog. Protocol bugs that would livelock (e.g. a wakeup that never
+// arrives) surface as SimulationHang with a diagnostic instead of a hung test.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace lktm::sim {
+
+class Engine {
+ public:
+  explicit Engine(Cycle watchdogWindow = 4'000'000)
+      : watchdogWindow_(watchdogWindow) {}
+
+  EventQueue& queue() { return q_; }
+  Cycle now() const { return q_.now(); }
+
+  void schedule(Cycle delay, EventQueue::Action fn) { q_.schedule(delay, std::move(fn)); }
+
+  /// Components call this whenever application-visible progress happens
+  /// (an instruction retires, a transaction commits, ...).
+  void noteProgress() { lastProgress_ = q_.now(); }
+
+  /// Register a callback that contributes one line to the hang diagnostic.
+  void addDiagnostic(std::function<std::string()> fn) {
+    diagnostics_.push_back(std::move(fn));
+  }
+
+  /// Run until the event queue drains. Throws SimulationHang when either no
+  /// progress was observed for `watchdogWindow` cycles or `maxCycles` elapse.
+  void run(Cycle maxCycles = 2'000'000'000);
+
+ private:
+  EventQueue q_;
+  Cycle watchdogWindow_;
+  Cycle lastProgress_ = 0;
+  std::vector<std::function<std::string()>> diagnostics_;
+};
+
+}  // namespace lktm::sim

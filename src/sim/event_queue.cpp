@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace lktm::sim {
+
+void EventQueue::schedule(Cycle delay, Action fn) {
+  heap_.push(Ev{now_ + delay, seq_++, std::move(fn)});
+}
+
+void EventQueue::scheduleAt(Cycle when, Action fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  heap_.push(Ev{when, seq_++, std::move(fn)});
+}
+
+bool EventQueue::runOne() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent, so
+  // copy the action (cheap: std::function) and pop.
+  Ev ev = heap_.top();
+  heap_.pop();
+  assert(ev.when >= now_);
+  now_ = ev.when;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::runUntilDrained(Cycle maxCycles) {
+  const Cycle limit = now_ + maxCycles;
+  while (runOne()) {
+    if (now_ > limit) {
+      throw SimulationHang("event queue exceeded cycle budget of " +
+                           std::to_string(maxCycles) + " cycles");
+    }
+  }
+}
+
+}  // namespace lktm::sim

@@ -1,0 +1,60 @@
+// Deterministic discrete-event queue: events ordered by (cycle, insertion seq).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace lktm::sim {
+
+/// Thrown when the engine watchdog detects lack of forward progress
+/// (a protocol livelock/deadlock) or the cycle budget is exhausted.
+class SimulationHang : public std::runtime_error {
+ public:
+  explicit SimulationHang(const std::string& what) : std::runtime_error(what) {}
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `fn` to run `delay` cycles from now. delay==0 runs later in the
+  /// current cycle (after currently pending same-cycle events).
+  void schedule(Cycle delay, Action fn);
+
+  /// Schedule at an absolute cycle (must be >= now()).
+  void scheduleAt(Cycle when, Action fn);
+
+  Cycle now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Run the next event; returns false if the queue is empty.
+  bool runOne();
+
+  /// Run until the queue drains or `maxCycles` simulated cycles elapse.
+  /// Throws SimulationHang if the budget is exceeded.
+  void runUntilDrained(Cycle maxCycles);
+
+ private:
+  struct Ev {
+    Cycle when;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
+  Cycle now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace lktm::sim

@@ -1,0 +1,25 @@
+#include "sim/log.hpp"
+
+#include <cstdlib>
+
+namespace lktm::sim {
+
+namespace {
+LogLevel initialLevel() {
+  if (const char* env = std::getenv("LKTM_LOG")) {
+    return static_cast<LogLevel>(std::atoi(env));
+  }
+  return LogLevel::Off;
+}
+}  // namespace
+
+LogLevel Logger::level = initialLevel();
+
+void Logger::write(LogLevel lvl, Cycle cycle, const char* tag, const std::string& msg) {
+  static const char* names[] = {"off", "warn", "info", "debug", "trace"};
+  std::fprintf(stderr, "[%8llu] %-5s %-10s %s\n",
+               static_cast<unsigned long long>(cycle),
+               names[static_cast<int>(lvl)], tag, msg.c_str());
+}
+
+}  // namespace lktm::sim

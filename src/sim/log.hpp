@@ -1,0 +1,30 @@
+// Lightweight leveled logging with per-component tags. Off by default so the
+// simulator's hot path stays cheap; tests and debugging enable it.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace lktm::sim {
+
+enum class LogLevel : int { Off = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+class Logger {
+ public:
+  static LogLevel level;
+
+  static bool enabled(LogLevel lvl) { return static_cast<int>(lvl) <= static_cast<int>(level); }
+
+  static void write(LogLevel lvl, Cycle cycle, const char* tag, const std::string& msg);
+};
+
+#define LKTM_LOG(lvl, cycle, tag, msg)                                   \
+  do {                                                                   \
+    if (::lktm::sim::Logger::enabled(lvl)) {                             \
+      ::lktm::sim::Logger::write((lvl), (cycle), (tag), (msg));          \
+    }                                                                    \
+  } while (0)
+
+}  // namespace lktm::sim

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+// SplitMix64 for seeding, xoshiro256** for the stream — fast, reproducible,
+// and independent of the standard library's unspecified distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace lktm::sim {
+
+/// SplitMix64 step — used to expand a single seed into stream state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// True with probability pct/100.
+  bool percent(unsigned pct);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Geometric-ish burst length >= 1 with mean roughly `mean`.
+  std::uint64_t burst(std::uint64_t mean);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace lktm::sim

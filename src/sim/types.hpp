@@ -1,0 +1,71 @@
+// Fundamental simulator-wide types and constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lktm {
+
+/// Simulated clock cycle (2 GHz nominal, see config::MachineParams).
+using Cycle = std::uint64_t;
+
+/// Byte address in the simulated physical address space.
+using Addr = std::uint64_t;
+
+/// Cache-line address (byte address >> kLineShift).
+using LineAddr = std::uint64_t;
+
+/// Core / tile identifier. -1 means "no core".
+using CoreId = int;
+
+inline constexpr CoreId kNoCore = -1;
+
+inline constexpr unsigned kLineShift = 6;           ///< 64-byte cache lines.
+inline constexpr unsigned kLineBytes = 1u << kLineShift;
+inline constexpr unsigned kWordsPerLine = kLineBytes / sizeof(std::uint64_t);
+
+constexpr LineAddr lineOf(Addr a) { return a >> kLineShift; }
+constexpr Addr byteOf(LineAddr l) { return l << kLineShift; }
+constexpr unsigned wordOf(Addr a) { return static_cast<unsigned>((a >> 3) & (kWordsPerLine - 1)); }
+
+/// Why a transaction aborted. Mirrors the six categories of the paper's Fig 10.
+enum class AbortCause : std::uint8_t {
+  None = 0,
+  MemConflict,   ///< "mc"      — conflict with another HTM transaction
+  LockConflict,  ///< "lock"    — conflict with a TL/STL lock transaction
+  Mutex,         ///< "mutex"   — fallback lock acquired (lock-word subscription hit)
+  NonTran,       ///< "non_tran"— conflict with a non-transactional access
+  Overflow,      ///< "of"      — capacity overflow of the L1 read/write set
+  Fault,         ///< "fault"   — exception (syscall/page fault) inside the transaction
+  Explicit,      ///< software _xabort (e.g. TME_LOCK_IS_ACQUIRED in Listing 1)
+};
+
+const char* toString(AbortCause c);
+
+/// Execution-time categories of the paper's Figs 9/11.
+enum class TimeCat : std::uint8_t {
+  Htm = 0,     ///< cycles in speculative transactions that eventually commit
+  Aborted,     ///< cycles wasted in transaction attempts that abort
+  Lock,        ///< cycles in lock (TL) transactions on the fallback path
+  SwitchLock,  ///< cycles in transactions that switched to HTMLock (STL) mode
+  NonTran,     ///< non-transactional work, incl. barriers
+  WaitLock,    ///< spinning on a lock (CGL lock or fallback lock / LLC TL grant)
+  Rollback,    ///< abort handling: squash + register/cache restore
+  kCount,
+};
+
+const char* toString(TimeCat c);
+
+/// Transactional execution mode of a hardware thread.
+enum class TxMode : std::uint8_t {
+  None = 0,  ///< not inside any critical section
+  Htm,       ///< speculative best-effort HTM transaction
+  TL,        ///< lock transaction that entered HTMLock mode via hlbegin
+  STL,       ///< HTM transaction that switched to HTMLock mode (switchingMode)
+};
+
+const char* toString(TxMode m);
+
+constexpr bool isLockMode(TxMode m) { return m == TxMode::TL || m == TxMode::STL; }
+
+}  // namespace lktm

@@ -1,0 +1,45 @@
+#include "stats/breakdown.hpp"
+
+#include <cassert>
+
+namespace lktm::stats {
+
+void ThreadBreakdown::beginSegment(TimeCat cat, Cycle now) {
+  assert(now >= segStart_);
+  cycles_[static_cast<std::size_t>(cur_)] += now - segStart_;
+  cur_ = cat;
+  segStart_ = now;
+}
+
+void ThreadBreakdown::resolveSegment(TimeCat cat, Cycle now, TimeCat next) {
+  assert(now >= segStart_);
+  cycles_[static_cast<std::size_t>(cat)] += now - segStart_;
+  cur_ = next;
+  segStart_ = now;
+}
+
+void ThreadBreakdown::finish(Cycle now) { beginSegment(cur_, now); }
+
+Cycle ThreadBreakdown::total() const {
+  Cycle t = 0;
+  for (auto c : cycles_) t += c;
+  return t;
+}
+
+void BreakdownSummary::add(const ThreadBreakdown& tb) {
+  for (std::size_t i = 0; i < cycles.size(); ++i) cycles[i] += tb.raw()[i];
+}
+
+Cycle BreakdownSummary::total() const {
+  Cycle t = 0;
+  for (auto c : cycles) t += c;
+  return t;
+}
+
+double BreakdownSummary::fraction(TimeCat c) const {
+  const Cycle t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(cycles[static_cast<std::size_t>(c)]) / static_cast<double>(t);
+}
+
+}  // namespace lktm::stats

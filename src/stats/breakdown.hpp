@@ -1,0 +1,57 @@
+// Per-thread execution-time breakdown, the data behind the paper's Figs 9/11.
+//
+// A core is always in exactly one *segment* (speculative tx attempt, lock
+// transaction, waiting for a lock, non-transactional code, rollback). Segments
+// in speculative mode are provisional: only when the attempt resolves do we
+// know whether the cycles count as `htm`, `aborted` or `switchLock`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace lktm::stats {
+
+class ThreadBreakdown {
+ public:
+  /// Begin a new segment at `now`; cycles since the previous segment boundary
+  /// are attributed to the previous category.
+  void beginSegment(TimeCat cat, Cycle now);
+
+  /// Current provisional category (used when retargeting speculative time).
+  TimeCat current() const { return cur_; }
+
+  /// Reclassify the cycles accumulated in the *current open segment* plus any
+  /// cycles parked via `park()` into `cat`, then start a new segment.
+  /// Used when a speculative attempt resolves (commit -> Htm, abort ->
+  /// Aborted, switched-and-committed -> SwitchLock).
+  void resolveSegment(TimeCat cat, Cycle now, TimeCat next);
+
+  /// Close the open segment into its own category at `now`.
+  void finish(Cycle now);
+
+  Cycle total() const;
+  Cycle get(TimeCat c) const { return cycles_[static_cast<std::size_t>(c)]; }
+
+  const std::array<Cycle, static_cast<std::size_t>(TimeCat::kCount)>& raw() const {
+    return cycles_;
+  }
+
+ private:
+  std::array<Cycle, static_cast<std::size_t>(TimeCat::kCount)> cycles_{};
+  TimeCat cur_ = TimeCat::NonTran;
+  Cycle segStart_ = 0;
+};
+
+/// Aggregate of all threads' breakdowns, normalized for reporting.
+struct BreakdownSummary {
+  std::array<Cycle, static_cast<std::size_t>(TimeCat::kCount)> cycles{};
+
+  void add(const ThreadBreakdown& tb);
+  Cycle total() const;
+  double fraction(TimeCat c) const;
+};
+
+}  // namespace lktm::stats

@@ -1,0 +1,39 @@
+#include "stats/counters.hpp"
+
+namespace lktm::stats {
+
+double TxCounters::commitRate() const {
+  const std::uint64_t attempts = htmCommits + stlCommits + aborts;
+  if (attempts == 0) return 1.0;
+  return static_cast<double>(htmCommits + stlCommits) / static_cast<double>(attempts);
+}
+
+TxCounters& TxCounters::operator+=(const TxCounters& o) {
+  htmCommits += o.htmCommits;
+  lockCommits += o.lockCommits;
+  stlCommits += o.stlCommits;
+  aborts += o.aborts;
+  for (std::size_t i = 0; i < abortsByCause.size(); ++i) abortsByCause[i] += o.abortsByCause[i];
+  switchAttempts += o.switchAttempts;
+  switchGrants += o.switchGrants;
+  rejectsSent += o.rejectsSent;
+  rejectsReceived += o.rejectsReceived;
+  wakeupsSent += o.wakeupsSent;
+  sigRejects += o.sigRejects;
+  fallbackEntries += o.fallbackEntries;
+  return *this;
+}
+
+ProtocolCounters& ProtocolCounters::operator+=(const ProtocolCounters& o) {
+  messages += o.messages;
+  dataMessages += o.dataMessages;
+  flitHops += o.flitHops;
+  l1Hits += o.l1Hits;
+  l1Misses += o.l1Misses;
+  llcHits += o.llcHits;
+  llcMisses += o.llcMisses;
+  writebacks += o.writebacks;
+  return *this;
+}
+
+}  // namespace lktm::stats

@@ -1,0 +1,60 @@
+// Transaction outcome counters: commits, aborts by cause, switch attempts,
+// protocol message counts. Feeds the paper's Figs 8 and 10.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace lktm::stats {
+
+struct TxCounters {
+  std::uint64_t htmCommits = 0;    ///< transactions committed speculatively
+  std::uint64_t lockCommits = 0;   ///< critical sections completed in TL mode
+  std::uint64_t stlCommits = 0;    ///< transactions that switched (STL) and committed
+  std::uint64_t aborts = 0;        ///< total aborted speculative attempts
+  std::array<std::uint64_t, 8> abortsByCause{};  ///< indexed by AbortCause
+
+  std::uint64_t switchAttempts = 0;
+  std::uint64_t switchGrants = 0;
+  std::uint64_t rejectsSent = 0;      ///< recovery: toxic requests revoked
+  std::uint64_t rejectsReceived = 0;
+  std::uint64_t wakeupsSent = 0;
+  std::uint64_t sigRejects = 0;       ///< LLC signature-induced rejections
+  std::uint64_t fallbackEntries = 0;  ///< times a thread took the lock path
+
+  void recordAbort(AbortCause cause) {
+    ++aborts;
+    ++abortsByCause[static_cast<std::size_t>(cause)];
+  }
+
+  std::uint64_t abortCount(AbortCause cause) const {
+    return abortsByCause[static_cast<std::size_t>(cause)];
+  }
+
+  /// Commits of *speculative* attempts / all speculative attempts.
+  /// Lock-mode (TL) commits are excluded: they never abort. STL commits count
+  /// as commits of a speculative attempt (the attempt survived).
+  double commitRate() const;
+
+  /// Total committed critical sections of any kind.
+  std::uint64_t totalCommits() const { return htmCommits + lockCommits + stlCommits; }
+
+  TxCounters& operator+=(const TxCounters& o);
+};
+
+struct ProtocolCounters {
+  std::uint64_t messages = 0;
+  std::uint64_t dataMessages = 0;
+  std::uint64_t flitHops = 0;
+  std::uint64_t l1Hits = 0;
+  std::uint64_t l1Misses = 0;
+  std::uint64_t llcHits = 0;
+  std::uint64_t llcMisses = 0;
+  std::uint64_t writebacks = 0;
+
+  ProtocolCounters& operator+=(const ProtocolCounters& o);
+};
+
+}  // namespace lktm::stats

@@ -1,0 +1,62 @@
+#include "stats/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace lktm::stats {
+
+Table::Table(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+void Table::addRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream oss;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      oss << row[i];
+      if (i + 1 < row.size()) {
+        oss << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    oss << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+      oss << std::string(total, '-') << '\n';
+    }
+  }
+  return oss.str();
+}
+
+std::string Table::fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string bar(double fraction, int width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const int filled = static_cast<int>(std::lround(fraction * width));
+  std::string s;
+  s.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) s += (i < filled ? '#' : '.');
+  return s;
+}
+
+}  // namespace lktm::stats

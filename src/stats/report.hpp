@@ -1,0 +1,29 @@
+// Text-report helpers: aligned ASCII tables and bar strips used by the
+// figure-reproduction benches to print paper-style rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lktm::stats {
+
+/// Simple column-aligned table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  std::string str() const;
+
+  /// Format helpers.
+  static std::string fixed(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal unicode-ish bar of width `width` cells filled to `fraction`.
+std::string bar(double fraction, int width = 24);
+
+}  // namespace lktm::stats

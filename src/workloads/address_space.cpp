@@ -1,0 +1,17 @@
+#include "workloads/address_space.hpp"
+
+#include <stdexcept>
+
+namespace lktm::wl {
+
+Addr AddressSpace::alloc(std::uint64_t bytes, std::uint64_t align) {
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("alignment must be a power of two");
+  }
+  next_ = (next_ + align - 1) & ~(align - 1);
+  const Addr out = next_;
+  next_ += bytes == 0 ? align : bytes;
+  return out;
+}
+
+}  // namespace lktm::wl

@@ -1,0 +1,28 @@
+// Trivial bump allocator over the simulated physical address space, used by
+// workloads to lay out their shared data structures deterministically.
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace lktm::wl {
+
+/// The fallback lock lives on its own, well-known line.
+inline constexpr Addr kFallbackLockAddr = 0x1000;
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(Addr base = 0x10'0000) : next_(base) {}
+
+  /// Allocate `bytes`, aligned to `align` (power of two, default: line).
+  Addr alloc(std::uint64_t bytes, std::uint64_t align = kLineBytes);
+
+  /// Allocate `n` full cache lines; returns the first line's byte address.
+  Addr allocLines(std::uint64_t n) { return alloc(n * kLineBytes, kLineBytes); }
+
+  Addr used() const { return next_; }
+
+ private:
+  Addr next_;
+};
+
+}  // namespace lktm::wl

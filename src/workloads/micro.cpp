@@ -1,0 +1,212 @@
+#include "workloads/micro.hpp"
+
+#include <sstream>
+
+namespace lktm::wl {
+namespace {
+
+constexpr unsigned kRegAddr = 1;
+constexpr unsigned kRegVal = 2;
+constexpr unsigned kRegPtr = 3;
+constexpr unsigned kRegTmp = 5;
+
+// ------------------------------------------------------------------ counter
+
+class CounterWorkload final : public StampWorkloadBase {
+ public:
+  CounterWorkload(unsigned numCells, unsigned cellsPerTx, unsigned totalTxs,
+                  std::uint64_t seed)
+      : StampWorkloadBase(seed),
+        numCells_(numCells),
+        cellsPerTx_(cellsPerTx),
+        totalTxs_(totalTxs) {}
+
+  std::string name() const override {
+    std::ostringstream oss;
+    oss << "counter[" << numCells_ << "x" << cellsPerTx_ << "]";
+    return oss.str();
+  }
+
+ protected:
+  void setup(mem::MainMemory&, unsigned) override {
+    cells_ = space().allocLines(numCells_);
+  }
+
+  unsigned totalTransactions(unsigned) const override { return totalTxs_; }
+
+  TxDesc genTx(sim::Rng& rng, unsigned, unsigned, unsigned) override {
+    TxDesc d;
+    d.computeInside = 6;
+    d.gapAfter = 30;
+    for (unsigned i = 0; i < cellsPerTx_; ++i) {
+      d.accesses.push_back(
+          {cells_ + rng.below(numCells_) * kLineBytes, Access::Kind::Increment});
+    }
+    return d;
+  }
+
+ private:
+  unsigned numCells_;
+  unsigned cellsPerTx_;
+  unsigned totalTxs_;
+  Addr cells_ = 0;
+};
+
+// --------------------------------------------------------------------- bank
+
+class BankWorkload final : public Workload {
+ public:
+  BankWorkload(unsigned accounts, unsigned totalTxs, std::uint64_t seed)
+      : accounts_(accounts), totalTxs_(totalTxs), seed_(seed) {}
+
+  std::string name() const override { return "bank"; }
+
+  void init(mem::MainMemory& memory, unsigned) override {
+    base_ = space_.allocLines(accounts_);
+    for (unsigned a = 0; a < accounts_; ++a) {
+      memory.writeWord(base_ + a * kLineBytes, kInitialBalance);
+    }
+  }
+
+  cpu::Program buildProgram(unsigned tid, unsigned nthreads,
+                            const rt::TmRuntime& runtime) override {
+    cpu::ProgramBuilder b;
+    runtime.emitPrologue(b, tid);
+    b.mark(TimeCat::NonTran);
+    b.compute(static_cast<std::int64_t>(30 + 11 * tid));
+    sim::Rng rng(seed_ ^ (0xBA4Cull * (tid + 1)));
+    const unsigned lo = totalTxs_ * tid / nthreads;
+    const unsigned hi = totalTxs_ * (tid + 1) / nthreads;
+    for (unsigned t = lo; t < hi; ++t) {
+      const std::uint64_t from = rng.below(accounts_);
+      std::uint64_t to = rng.below(accounts_);
+      if (to == from) to = (to + 1) % accounts_;
+      runtime.emitEnter(b);
+      // balance[from] -= 1; balance[to] += 1 (atomically)
+      b.li(kRegAddr, static_cast<std::int64_t>(base_ + from * kLineBytes));
+      b.load(kRegVal, kRegAddr);
+      b.addi(kRegVal, kRegVal, -1);
+      b.store(kRegAddr, kRegVal);
+      b.compute(8);
+      b.li(kRegAddr, static_cast<std::int64_t>(base_ + to * kLineBytes));
+      b.load(kRegVal, kRegAddr);
+      b.addi(kRegVal, kRegVal, 1);
+      b.store(kRegAddr, kRegVal);
+      runtime.emitExit(b);
+      b.compute(25);
+    }
+    b.barrier();
+    b.halt();
+    return b.build();
+  }
+
+  std::vector<std::string> verify(const WordReader& read, unsigned) const override {
+    std::uint64_t total = 0;
+    for (unsigned a = 0; a < accounts_; ++a) total += read(base_ + a * kLineBytes);
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(accounts_) * kInitialBalance;
+    if (total == expected) return {};
+    std::ostringstream oss;
+    oss << "bank: total balance " << total << " != " << expected
+        << " (atomicity violated)";
+    return {oss.str()};
+  }
+
+  Addr footprintEnd() const override { return space_.used(); }
+
+ private:
+  static constexpr std::uint64_t kInitialBalance = 1000;
+  unsigned accounts_;
+  unsigned totalTxs_;
+  std::uint64_t seed_;
+  AddressSpace space_;
+  Addr base_ = 0;
+};
+
+// -------------------------------------------------------------- linked list
+
+class LinkedListWorkload final : public Workload {
+ public:
+  LinkedListWorkload(unsigned nodes, unsigned hops, unsigned totalTxs,
+                     std::uint64_t seed)
+      : nodes_(nodes), hops_(hops), totalTxs_(totalTxs), seed_(seed) {}
+
+  std::string name() const override { return "linkedlist"; }
+
+  void init(mem::MainMemory& memory, unsigned) override {
+    head_ = space_.allocLines(nodes_);
+    // Circular singly-linked list: word0 = next pointer, word1 = payload.
+    for (unsigned i = 0; i < nodes_; ++i) {
+      const Addr node = head_ + i * kLineBytes;
+      const Addr next = head_ + ((i + 1) % nodes_) * kLineBytes;
+      memory.writeWord(node, next);
+    }
+  }
+
+  cpu::Program buildProgram(unsigned tid, unsigned nthreads,
+                            const rt::TmRuntime& runtime) override {
+    cpu::ProgramBuilder b;
+    runtime.emitPrologue(b, tid);
+    b.mark(TimeCat::NonTran);
+    b.compute(static_cast<std::int64_t>(20 + 9 * tid));
+    sim::Rng rng(seed_ ^ (0x115Dull * (tid + 1)));
+    const unsigned lo = totalTxs_ * tid / nthreads;
+    const unsigned hi = totalTxs_ * (tid + 1) / nthreads;
+    for (unsigned t = lo; t < hi; ++t) {
+      const std::uint64_t start = rng.below(nodes_);
+      runtime.emitEnter(b);
+      b.li(kRegPtr, static_cast<std::int64_t>(head_ + start * kLineBytes));
+      // Pointer-chase `hops_` links: addresses are data-dependent, coming
+      // from simulated memory through the coherence protocol.
+      for (unsigned h = 0; h < hops_; ++h) {
+        b.load(kRegPtr, kRegPtr, 0);
+      }
+      b.load(kRegTmp, kRegPtr, 8);
+      b.addi(kRegTmp, kRegTmp, 1);
+      b.store(kRegPtr, kRegTmp, 8);
+      runtime.emitExit(b);
+      b.compute(20);
+    }
+    b.barrier();
+    b.halt();
+    return b.build();
+  }
+
+  std::vector<std::string> verify(const WordReader& read, unsigned) const override {
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < nodes_; ++i) total += read(head_ + i * kLineBytes + 8);
+    if (total == totalTxs_) return {};
+    std::ostringstream oss;
+    oss << "linkedlist: payload sum " << total << " != committed txs " << totalTxs_;
+    return {oss.str()};
+  }
+
+  Addr footprintEnd() const override { return space_.used(); }
+
+ private:
+  unsigned nodes_;
+  unsigned hops_;
+  unsigned totalTxs_;
+  std::uint64_t seed_;
+  AddressSpace space_;
+  Addr head_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeCounter(unsigned numCells, unsigned cellsPerTx,
+                                      unsigned totalTxs, std::uint64_t seed) {
+  return std::make_unique<CounterWorkload>(numCells, cellsPerTx, totalTxs, seed);
+}
+
+std::unique_ptr<Workload> makeBank(unsigned accounts, unsigned totalTxs,
+                                   std::uint64_t seed) {
+  return std::make_unique<BankWorkload>(accounts, totalTxs, seed);
+}
+
+std::unique_ptr<Workload> makeLinkedList(unsigned nodes, unsigned hops,
+                                         unsigned totalTxs, std::uint64_t seed) {
+  return std::make_unique<LinkedListWorkload>(nodes, hops, totalTxs, seed);
+}
+
+}  // namespace lktm::wl

@@ -1,0 +1,27 @@
+// Micro-workloads for unit/integration testing and the examples: each has a
+// crisp end-to-end invariant that any correct TM system must preserve.
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace lktm::wl {
+
+/// Every transaction increments `cellsPerTx` cells out of `numCells` shared
+/// counters. numCells == 1 is the maximum-contention stress test.
+std::unique_ptr<Workload> makeCounter(unsigned numCells, unsigned cellsPerTx,
+                                      unsigned totalTxs, std::uint64_t seed = 21);
+
+/// Money transfers between accounts; the total balance is conserved iff
+/// transactions are atomic.
+std::unique_ptr<Workload> makeBank(unsigned accounts, unsigned totalTxs,
+                                   std::uint64_t seed = 22);
+
+/// Pointer-chasing through a linked list initialized in simulated memory
+/// (exercises data-dependent addressing through the coherence protocol),
+/// incrementing the payload of the reached node.
+std::unique_ptr<Workload> makeLinkedList(unsigned nodes, unsigned hops,
+                                         unsigned totalTxs, std::uint64_t seed = 23);
+
+}  // namespace lktm::wl

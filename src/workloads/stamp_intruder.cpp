@@ -1,0 +1,66 @@
+// intruder analog.
+//
+// STAMP's intruder (network intrusion detection) pops packets from a shared
+// queue and reassembles flows in shared maps. Transactions are short but the
+// queue head is a single scorching-hot line, so contention is very high —
+// the classic friendly-fire victim that the recovery mechanism targets.
+#include "workloads/workload.hpp"
+
+namespace lktm::wl {
+namespace {
+
+class IntruderWorkload final : public StampWorkloadBase {
+ public:
+  explicit IntruderWorkload(std::uint64_t seed) : StampWorkloadBase(seed) {}
+
+  std::string name() const override { return "intruder"; }
+
+ protected:
+  void setup(mem::MainMemory&, unsigned) override {
+    queueHead_ = space().allocLines(1);
+    slots_ = space().allocLines(kSlots);
+    flowMap_ = space().allocLines(kMapLines);
+  }
+
+  unsigned totalTransactions(unsigned) const override { return 512; }
+
+  TxDesc genTx(sim::Rng& rng, unsigned, unsigned, unsigned txIndex) override {
+    TxDesc d;
+    d.computeInside = 10;
+    d.gapAfter = 55 + rng.below(40);
+    // Capture: inspect the queue head, then read the packet slot. Reading
+    // the hot counter up front and updating it at the end is the classic
+    // friendly-fire shape: concurrent transactions' read/write sets overlap
+    // on one line for the whole transaction.
+    d.accesses.push_back({queueHead_, Access::Kind::Read});
+    d.accesses.push_back(
+        {slots_ + (txIndex % kSlots) * kLineBytes, Access::Kind::Read});
+    // Reassembly: 2-5 touches in the flow map, about half of them updates.
+    const unsigned n = 2 + static_cast<unsigned>(rng.below(4));
+    for (unsigned i = 0; i < n; ++i) {
+      const Addr a = flowMap_ + rng.below(kMapLines) * kLineBytes;
+      d.accesses.push_back(
+          {a, rng.percent(50) ? Access::Kind::Increment : Access::Kind::Read});
+    }
+    // Hand off to the detection queue: the scorching-hot counter is written
+    // last, so the serialization window is the tail of the transaction (but
+    // requester-wins friendly fire still hammers it).
+    d.accesses.push_back({queueHead_, Access::Kind::Increment});
+    return d;
+  }
+
+ private:
+  static constexpr std::uint64_t kSlots = 1024;
+  static constexpr std::uint64_t kMapLines = 512;
+  Addr queueHead_ = 0;
+  Addr slots_ = 0;
+  Addr flowMap_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeIntruder(std::uint64_t seed) {
+  return std::make_unique<IntruderWorkload>(seed);
+}
+
+}  // namespace lktm::wl

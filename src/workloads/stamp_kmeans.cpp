@@ -1,0 +1,54 @@
+// kmeans analog (low- and high-contention variants).
+//
+// STAMP's kmeans assigns points to clusters outside transactions and updates
+// the chosen centroid inside a short transaction. Contention is set by the
+// cluster count: kmeans+ (high contention) uses few clusters, kmeans- many.
+// Transactions are tiny; most time is non-transactional distance math.
+#include "workloads/workload.hpp"
+
+namespace lktm::wl {
+namespace {
+
+class KmeansWorkload final : public StampWorkloadBase {
+ public:
+  KmeansWorkload(bool high, std::uint64_t seed)
+      : StampWorkloadBase(seed), high_(high), clusters_(high ? 8 : 48) {}
+
+  std::string name() const override { return high_ ? "kmeans+" : "kmeans-"; }
+
+ protected:
+  void setup(mem::MainMemory&, unsigned) override {
+    // Two lines per centroid: dimension accumulators + membership count.
+    centroids_ = space().allocLines(clusters_ * 2);
+  }
+
+  unsigned totalTransactions(unsigned) const override { return 512; }
+
+  TxDesc genTx(sim::Rng& rng, unsigned, unsigned, unsigned) override {
+    TxDesc d;
+    d.computeInside = 8;
+    d.gapAfter = 220 + rng.below(140);  // distance computation happens outside
+    const std::uint64_t c = rng.below(clusters_);
+    const Addr dims = centroids_ + c * 2 * kLineBytes;
+    const Addr count = dims + kLineBytes;
+    // Accumulate 3 dimensions + the membership count.
+    d.accesses.push_back({dims, Access::Kind::Increment});
+    d.accesses.push_back({dims + 8, Access::Kind::Increment});
+    d.accesses.push_back({dims + 16, Access::Kind::Increment});
+    d.accesses.push_back({count, Access::Kind::Increment});
+    return d;
+  }
+
+ private:
+  bool high_;
+  std::uint64_t clusters_;
+  Addr centroids_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeKmeans(bool highContention, std::uint64_t seed) {
+  return std::make_unique<KmeansWorkload>(highContention, seed);
+}
+
+}  // namespace lktm::wl

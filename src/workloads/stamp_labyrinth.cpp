@@ -1,0 +1,56 @@
+// labyrinth analog.
+//
+// STAMP's labyrinth routes paths in a 3-D grid; each transaction copies a
+// large region of the grid into a private buffer, computes a route and writes
+// the path back. The defining property is an enormous read/write set: at a
+// 32 KB L1 roughly half the transactions overflow some cache set; at 8 KB
+// essentially all of them do; at 128 KB almost none (the Fig 13 sensitivity
+// axis). Routing work happens *inside* the transaction, so aborts are costly.
+#include "workloads/workload.hpp"
+
+namespace lktm::wl {
+namespace {
+
+class LabyrinthWorkload final : public StampWorkloadBase {
+ public:
+  explicit LabyrinthWorkload(std::uint64_t seed) : StampWorkloadBase(seed) {}
+
+  std::string name() const override { return "labyrinth"; }
+
+ protected:
+  void setup(mem::MainMemory&, unsigned) override {
+    grid_ = space().allocLines(kGridLines);
+  }
+
+  unsigned totalTransactions(unsigned) const override { return 48; }
+
+  TxDesc genTx(sim::Rng& rng, unsigned, unsigned, unsigned) override {
+    TxDesc d;
+    d.computeInside = 800;  // route calculation over the grid copy
+    d.gapAfter = 320;
+    // Grid copy: a large sweep of distinct random lines.
+    const unsigned reads = 140 + static_cast<unsigned>(rng.below(80));
+    for (unsigned i = 0; i < reads; ++i) {
+      d.accesses.push_back({grid_ + rng.below(kGridLines) * kLineBytes, Access::Kind::Read});
+    }
+    // Write the routed path back.
+    const unsigned writes = 24 + static_cast<unsigned>(rng.below(16));
+    for (unsigned i = 0; i < writes; ++i) {
+      d.accesses.push_back(
+          {grid_ + rng.below(kGridLines) * kLineBytes, Access::Kind::Increment});
+    }
+    return d;
+  }
+
+ private:
+  static constexpr std::uint64_t kGridLines = 4096;
+  Addr grid_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeLabyrinth(std::uint64_t seed) {
+  return std::make_unique<LabyrinthWorkload>(seed);
+}
+
+}  // namespace lktm::wl

@@ -1,0 +1,50 @@
+// ssca2 analog.
+//
+// STAMP's ssca2 builds a graph's adjacency arrays: transactions are tiny
+// (a couple of writes to cells picked nearly uniformly from large arrays),
+// so both contention and overflow are negligible — HTM's best case.
+#include "workloads/workload.hpp"
+
+namespace lktm::wl {
+namespace {
+
+class Ssca2Workload final : public StampWorkloadBase {
+ public:
+  explicit Ssca2Workload(std::uint64_t seed) : StampWorkloadBase(seed) {}
+
+  std::string name() const override { return "ssca2"; }
+
+ protected:
+  void setup(mem::MainMemory&, unsigned) override {
+    adjacency_ = space().allocLines(kArrayLines);
+    degrees_ = space().allocLines(kArrayLines);
+  }
+
+  unsigned totalTransactions(unsigned) const override { return 768; }
+
+  TxDesc genTx(sim::Rng& rng, unsigned, unsigned, unsigned) override {
+    TxDesc d;
+    d.computeInside = 4;
+    d.gapAfter = 80 + rng.below(60);
+    d.accesses.push_back(
+        {degrees_ + rng.below(kArrayLines) * kLineBytes, Access::Kind::Read});
+    d.accesses.push_back(
+        {adjacency_ + rng.below(kArrayLines) * kLineBytes, Access::Kind::Increment});
+    d.accesses.push_back(
+        {degrees_ + rng.below(kArrayLines) * kLineBytes, Access::Kind::Increment});
+    return d;
+  }
+
+ private:
+  static constexpr std::uint64_t kArrayLines = 8192;
+  Addr adjacency_ = 0;
+  Addr degrees_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeSsca2(std::uint64_t seed) {
+  return std::make_unique<Ssca2Workload>(seed);
+}
+
+}  // namespace lktm::wl

@@ -1,0 +1,64 @@
+// vacation analog (low- and high-contention variants).
+//
+// STAMP's vacation is a travel-reservation server over red-black-tree tables
+// (cars / flights / rooms / customers). Transactions are medium-length tree
+// traversals (a dozen-plus reads) ending in a few updates. The contention
+// knob is the table size / query range: vacation+ narrows the range.
+#include <array>
+
+#include "workloads/workload.hpp"
+
+namespace lktm::wl {
+namespace {
+
+class VacationWorkload final : public StampWorkloadBase {
+ public:
+  VacationWorkload(bool high, std::uint64_t seed)
+      : StampWorkloadBase(seed), high_(high), tableLines_(high ? 256 : 4096) {}
+
+  std::string name() const override { return high_ ? "vacation+" : "vacation-"; }
+
+ protected:
+  void setup(mem::MainMemory&, unsigned) override {
+    for (auto& t : tables_) t = space().allocLines(tableLines_);
+  }
+
+  unsigned totalTransactions(unsigned) const override { return 384; }
+
+  TxDesc genTx(sim::Rng& rng, unsigned, unsigned, unsigned) override {
+    TxDesc d;
+    d.computeInside = 40;
+    d.gapAfter = 120 + rng.below(70);
+    // Query phase: traverse 2-3 tables, ~5 probes each (tree descent).
+    const unsigned ntab = 2 + static_cast<unsigned>(rng.below(2));
+    for (unsigned t = 0; t < ntab; ++t) {
+      const Addr table = tables_[rng.below(tables_.size())];
+      const unsigned probes = 4 + static_cast<unsigned>(rng.below(3));
+      for (unsigned i = 0; i < probes; ++i) {
+        d.accesses.push_back(
+            {table + rng.below(tableLines_) * kLineBytes, Access::Kind::Read});
+      }
+    }
+    // Reserve: 2-4 updates.
+    const unsigned upd = 2 + static_cast<unsigned>(rng.below(3));
+    for (unsigned i = 0; i < upd; ++i) {
+      const Addr table = tables_[rng.below(tables_.size())];
+      d.accesses.push_back(
+          {table + rng.below(tableLines_) * kLineBytes, Access::Kind::Increment});
+    }
+    return d;
+  }
+
+ private:
+  bool high_;
+  std::uint64_t tableLines_;
+  std::array<Addr, 3> tables_{};
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeVacation(bool highContention, std::uint64_t seed) {
+  return std::make_unique<VacationWorkload>(highContention, seed);
+}
+
+}  // namespace lktm::wl

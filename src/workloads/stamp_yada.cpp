@@ -1,0 +1,67 @@
+// yada analog.
+//
+// STAMP's yada performs Delaunay mesh refinement: long transactions over a
+// shared mesh that frequently allocate memory, which on real best-effort HTM
+// raises exceptions (syscalls/page faults) inside the transaction. Neither
+// baseline HTM nor LockillerTM survives exceptions (the paper deliberately
+// excludes switching on faults), so yada is the one workload where the paper
+// itself loses to coarse-grained locking.
+#include "workloads/workload.hpp"
+
+namespace lktm::wl {
+namespace {
+
+class YadaWorkload final : public StampWorkloadBase {
+ public:
+  explicit YadaWorkload(std::uint64_t seed) : StampWorkloadBase(seed) {}
+
+  std::string name() const override { return "yada"; }
+
+ protected:
+  void setup(mem::MainMemory&, unsigned) override {
+    mesh_ = space().allocLines(kMeshLines);
+    workHeap_ = space().allocLines(kHeapLines);
+  }
+
+  unsigned totalTransactions(unsigned) const override { return 128; }
+
+  TxDesc genTx(sim::Rng& rng, unsigned, unsigned, unsigned) override {
+    TxDesc d;
+    d.computeInside = 80;
+    d.gapAfter = 110 + rng.below(80);
+    d.syscall = rng.percent(85);  // cavity expansion hits the allocator
+    const unsigned n = 60 + static_cast<unsigned>(rng.below(60));
+    for (unsigned i = 0; i < n; ++i) {
+      const bool write = rng.percent(30);
+      // Refinement clusters around the active cavity: a quarter of the
+      // accesses hit a small hot region, so concurrent transactions (and the
+      // irrevocable fallback transaction) genuinely conflict.
+      Addr a;
+      if (rng.percent(25)) {
+        a = mesh_ + rng.below(kHotLines) * kLineBytes;
+      } else if (rng.percent(75)) {
+        a = mesh_ + rng.below(kMeshLines) * kLineBytes;
+      } else {
+        a = workHeap_ + rng.below(kHeapLines) * kLineBytes;
+      }
+      d.accesses.push_back(
+          {a, write ? Access::Kind::Increment : Access::Kind::Read});
+    }
+    return d;
+  }
+
+ private:
+  static constexpr std::uint64_t kMeshLines = 4096;
+  static constexpr std::uint64_t kHeapLines = 1024;
+  static constexpr std::uint64_t kHotLines = 48;
+  Addr mesh_ = 0;
+  Addr workHeap_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeYada(std::uint64_t seed) {
+  return std::make_unique<YadaWorkload>(seed);
+}
+
+}  // namespace lktm::wl

@@ -1,0 +1,134 @@
+#include "workloads/workload.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lktm::wl {
+
+namespace {
+// Workload body registers (runtime reserves r27-r31).
+constexpr unsigned kRegAddr = 1;
+constexpr unsigned kRegVal = 2;
+constexpr unsigned kRegPriv = 3;
+constexpr unsigned kRegTid = 4;
+}  // namespace
+
+void StampWorkloadBase::init(mem::MainMemory& memory, unsigned nthreads) {
+  if (initialized_) throw std::logic_error("workload already initialized");
+  initialized_ = true;
+  privCounters_.clear();
+  for (unsigned t = 0; t < nthreads; ++t) {
+    privCounters_.push_back(space_.allocLines(1));
+  }
+  setup(memory, nthreads);
+}
+
+cpu::Program StampWorkloadBase::buildProgram(unsigned tid, unsigned nthreads,
+                                             const rt::TmRuntime& runtime) {
+  if (!initialized_) throw std::logic_error("init() must run before buildProgram()");
+  cpu::ProgramBuilder b;
+  runtime.emitPrologue(b, tid);
+  b.li(kRegTid, static_cast<std::int64_t>(tid + 1));
+  b.mark(TimeCat::NonTran);
+  b.compute(static_cast<std::int64_t>(startupCompute(tid)));
+
+  const unsigned total = totalTransactions(nthreads);
+  // Fixed total work, statically partitioned like STAMP's thread loops.
+  const unsigned lo = total * tid / nthreads;
+  const unsigned hi = total * (tid + 1) / nthreads;
+  sim::Rng rng = makeRng(0x5157ull * (tid + 1));
+  for (unsigned t = lo; t < hi; ++t) {
+    const TxDesc d = genTx(rng, tid, nthreads, t);
+    emitTx(b, d, tid, runtime);
+  }
+  b.barrier();
+  b.halt();
+  return b.build();
+}
+
+void StampWorkloadBase::emitTx(cpu::ProgramBuilder& b, const TxDesc& d,
+                               unsigned tid, const rt::TmRuntime& runtime) {
+  runtime.emitEnter(b);
+  unsigned increments = 0;
+  const std::size_t n = d.accesses.size();
+  // Spread intra-tx computation between accesses.
+  const Cycle perGap = n > 0 ? d.computeInside / n : d.computeInside;
+  const std::size_t syscallAt = n > 0 ? n - 1 : 0;  // faults strike at the end:
+                                                    // the whole attempt is wasted
+  for (std::size_t i = 0; i < n; ++i) {
+    const Access& a = d.accesses[i];
+    b.li(kRegAddr, static_cast<std::int64_t>(a.addr));
+    switch (a.kind) {
+      case Access::Kind::Read:
+        b.load(kRegVal, kRegAddr);
+        break;
+      case Access::Kind::Write:
+        b.store(kRegAddr, kRegTid);
+        break;
+      case Access::Kind::Increment:
+        b.load(kRegVal, kRegAddr);
+        b.addi(kRegVal, kRegVal, 1);
+        b.store(kRegAddr, kRegVal);
+        incrementCells_.insert(a.addr);
+        ++increments;
+        ++expectedTotal_;
+        break;
+    }
+    if (perGap > 0) b.compute(static_cast<std::int64_t>(perGap));
+    if (d.syscall && i == syscallAt) b.syscall();
+  }
+  if (d.syscall && n == 0) b.syscall();
+  if (increments > 0) {
+    // Private commit ledger, updated atomically with the shared increments.
+    b.li(kRegPriv, static_cast<std::int64_t>(privCounters_.at(tid)));
+    b.load(kRegVal, kRegPriv);
+    b.addi(kRegVal, kRegVal, static_cast<std::int64_t>(increments));
+    b.store(kRegPriv, kRegVal);
+  }
+  runtime.emitExit(b);
+  if (d.gapAfter > 0) b.compute(static_cast<std::int64_t>(d.gapAfter));
+}
+
+std::vector<std::string> StampWorkloadBase::verify(const WordReader& read,
+                                                   unsigned nthreads) const {
+  std::vector<std::string> out;
+  std::uint64_t shared = 0;
+  for (Addr a : incrementCells_) shared += read(a);
+  std::uint64_t priv = 0;
+  for (unsigned t = 0; t < nthreads && t < privCounters_.size(); ++t) {
+    priv += read(privCounters_[t]);
+  }
+  if (shared != expectedTotal_) {
+    std::ostringstream oss;
+    oss << name() << ": shared increment sum " << shared << " != expected "
+        << expectedTotal_ << " (atomicity violated or work lost)";
+    out.push_back(oss.str());
+  }
+  if (priv != expectedTotal_) {
+    std::ostringstream oss;
+    oss << name() << ": private ledger sum " << priv << " != expected "
+        << expectedTotal_;
+    out.push_back(oss.str());
+  }
+  return out;
+}
+
+std::vector<std::string> stampNames() {
+  return {"genome",  "intruder", "kmeans+",   "kmeans-",   "labyrinth",
+          "ssca2",   "vacation+", "vacation-", "yada"};
+}
+
+std::unique_ptr<Workload> makeStamp(const std::string& name, std::uint64_t seed) {
+  if (name == "genome") return makeGenome(seed);
+  if (name == "intruder") return makeIntruder(seed);
+  if (name == "kmeans+") return makeKmeans(true, seed);
+  if (name == "kmeans-") return makeKmeans(false, seed);
+  if (name == "labyrinth") return makeLabyrinth(seed);
+  if (name == "ssca2") return makeSsca2(seed);
+  if (name == "vacation+") return makeVacation(true, seed);
+  if (name == "vacation-") return makeVacation(false, seed);
+  if (name == "yada") return makeYada(seed);
+  throw std::invalid_argument("unknown STAMP workload: " + name);
+}
+
+}  // namespace lktm::wl

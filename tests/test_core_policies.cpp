@@ -1,0 +1,296 @@
+// Unit tests for the LockillerTM policy layer in src/core: priorities,
+// conflict decisions, wakeup bookkeeping, the HTMLock signatures and the
+// LLC switch arbiter.
+#include <gtest/gtest.h>
+
+#include "core/conflict_manager.hpp"
+#include "core/htmlock_unit.hpp"
+#include "core/priority.hpp"
+#include "core/switch_arbiter.hpp"
+#include "core/wakeup_table.hpp"
+#include "sim/rng.hpp"
+
+namespace lktm::core {
+namespace {
+
+// ---------------------------------------------------------------- PrioKey
+
+TEST(Priority, LockModeBeatsEverything) {
+  PrioKey lockTx{.lockMode = true, .value = 0, .core = 31};
+  PrioKey htmTx{.lockMode = false, .value = 1'000'000, .core = 0};
+  EXPECT_TRUE(lockTx.beats(htmTx));
+  EXPECT_FALSE(htmTx.beats(lockTx));
+}
+
+TEST(Priority, HigherValueWins) {
+  PrioKey a{.lockMode = false, .value = 10, .core = 5};
+  PrioKey b{.lockMode = false, .value = 9, .core = 1};
+  EXPECT_TRUE(a.beats(b));
+  EXPECT_FALSE(b.beats(a));
+}
+
+TEST(Priority, TieBrokenBySmallerCoreId) {
+  PrioKey a{.lockMode = false, .value = 7, .core = 2};
+  PrioKey b{.lockMode = false, .value = 7, .core = 9};
+  EXPECT_TRUE(a.beats(b));
+  EXPECT_FALSE(b.beats(a));
+}
+
+TEST(Priority, TotalOrderOverRandomKeys) {
+  // The livelock-freedom argument needs a strict total order: exactly one of
+  // a.beats(b) / b.beats(a) for distinct keys, and transitivity.
+  sim::Rng rng(99);
+  std::vector<PrioKey> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back(PrioKey{.lockMode = rng.percent(20),
+                           .value = rng.below(4),
+                           .core = static_cast<CoreId>(i)});
+  }
+  for (const auto& a : keys) {
+    for (const auto& b : keys) {
+      if (a.core == b.core) continue;
+      EXPECT_NE(a.beats(b), b.beats(a)) << a.str() << " vs " << b.str();
+      for (const auto& c : keys) {
+        if (c.core == a.core || c.core == b.core) continue;
+        if (a.beats(b) && b.beats(c)) {
+          EXPECT_TRUE(a.beats(c)) << a.str() << " " << b.str() << " " << c.str();
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- ConflictManager
+
+ReqSide htmReq(CoreId c, std::uint64_t prio, bool excl = true) {
+  return ReqSide{.core = c, .isTx = true, .lockMode = false, .priority = prio,
+                 .wantsExclusive = excl};
+}
+
+LocalSide htmLocal(CoreId c, std::uint64_t prio) {
+  return LocalSide{.core = c, .lockMode = false, .priority = prio,
+                   .lineIsLockWord = false};
+}
+
+TEST(ConflictManager, RequesterWinsAlwaysAbortsLocal) {
+  ConflictManager cm(ConflictPolicy::RequesterWins, RejectAction::SelfAbort);
+  const auto d = cm.decide(htmLocal(0, 1'000'000), htmReq(1, 0));
+  EXPECT_FALSE(d.rejectRequester);
+  EXPECT_EQ(d.abortCause, AbortCause::MemConflict);
+}
+
+TEST(ConflictManager, RecoveryRejectsLowerPriorityRequester) {
+  ConflictManager cm(ConflictPolicy::Recovery, RejectAction::WaitWakeup);
+  const auto d = cm.decide(htmLocal(0, 100), htmReq(1, 50));
+  EXPECT_TRUE(d.rejectRequester);
+  EXPECT_EQ(d.abortCause, AbortCause::None);
+}
+
+TEST(ConflictManager, RecoveryYieldsToHigherPriorityRequester) {
+  ConflictManager cm(ConflictPolicy::Recovery, RejectAction::WaitWakeup);
+  const auto d = cm.decide(htmLocal(0, 50), htmReq(1, 100));
+  EXPECT_FALSE(d.rejectRequester);
+  EXPECT_EQ(d.abortCause, AbortCause::MemConflict);
+}
+
+TEST(ConflictManager, RecoveryTieGoesToSmallerCore) {
+  ConflictManager cm(ConflictPolicy::Recovery, RejectAction::WaitWakeup);
+  // Local core 0 vs requester core 1, equal priority: local wins.
+  EXPECT_TRUE(cm.decide(htmLocal(0, 5), htmReq(1, 5)).rejectRequester);
+  // Local core 1 vs requester core 0: requester wins.
+  EXPECT_FALSE(cm.decide(htmLocal(1, 5), htmReq(0, 5)).rejectRequester);
+}
+
+TEST(ConflictManager, LockModeResponderNeverAborts) {
+  for (auto policy : {ConflictPolicy::RequesterWins, ConflictPolicy::Recovery}) {
+    ConflictManager cm(policy, RejectAction::SelfAbort);
+    LocalSide local{.core = 3, .lockMode = true, .priority = 0, .lineIsLockWord = false};
+    EXPECT_TRUE(cm.decide(local, htmReq(1, 1'000'000)).rejectRequester);
+    // Even against non-transactional requesters.
+    ReqSide nonTx{.core = 1, .isTx = false, .lockMode = false, .priority = 0,
+                  .wantsExclusive = true};
+    EXPECT_TRUE(cm.decide(local, nonTx).rejectRequester);
+  }
+}
+
+TEST(ConflictManager, LockModeRequesterAlwaysWins) {
+  ConflictManager cm(ConflictPolicy::Recovery, RejectAction::WaitWakeup);
+  ReqSide lockReq{.core = 1, .isTx = true, .lockMode = true, .priority = 0,
+                  .wantsExclusive = true};
+  const auto d = cm.decide(htmLocal(0, 1'000'000), lockReq);
+  EXPECT_FALSE(d.rejectRequester);
+  EXPECT_EQ(d.abortCause, AbortCause::LockConflict);
+}
+
+TEST(ConflictManager, NonTransactionalRequesterBeatsHtm) {
+  ConflictManager cm(ConflictPolicy::Recovery, RejectAction::WaitWakeup);
+  ReqSide nonTx{.core = 1, .isTx = false, .lockMode = false, .priority = 0,
+                .wantsExclusive = true};
+  const auto d = cm.decide(htmLocal(0, 1'000'000), nonTx);
+  EXPECT_FALSE(d.rejectRequester);
+  EXPECT_EQ(d.abortCause, AbortCause::NonTran);
+}
+
+TEST(ConflictManager, LockWordConflictClassifiedAsMutex) {
+  ConflictManager cm(ConflictPolicy::RequesterWins, RejectAction::SelfAbort);
+  LocalSide local = htmLocal(0, 0);
+  local.lineIsLockWord = true;
+  ReqSide nonTx{.core = 1, .isTx = false, .lockMode = false, .priority = 0,
+                .wantsExclusive = true};
+  EXPECT_EQ(cm.decide(local, nonTx).abortCause, AbortCause::Mutex);
+}
+
+TEST(ConflictManager, ClassifyTable) {
+  LocalSide local = htmLocal(0, 0);
+  ReqSide lockReq{.core = 1, .isTx = true, .lockMode = true};
+  ReqSide htm{.core = 1, .isTx = true, .lockMode = false};
+  ReqSide nonTx{.core = 1, .isTx = false, .lockMode = false};
+  EXPECT_EQ(ConflictManager::classify(local, lockReq), AbortCause::LockConflict);
+  EXPECT_EQ(ConflictManager::classify(local, htm), AbortCause::MemConflict);
+  EXPECT_EQ(ConflictManager::classify(local, nonTx), AbortCause::NonTran);
+  local.lineIsLockWord = true;
+  EXPECT_EQ(ConflictManager::classify(local, nonTx), AbortCause::Mutex);
+}
+
+// ------------------------------------------------------------ WakeupTable
+
+TEST(WakeupTable, RecordAndDrainAll) {
+  WakeupTable t;
+  t.record(10, 1);
+  t.record(10, 2);
+  t.record(20, 1);
+  EXPECT_EQ(t.size(), 3u);
+  const auto all = t.drainAll();
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(WakeupTable, DuplicateWaitersCollapse) {
+  WakeupTable t;
+  t.record(10, 1);
+  t.record(10, 1);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(WakeupTable, DrainSingleLine) {
+  WakeupTable t;
+  t.record(10, 1);
+  t.record(20, 2);
+  const auto some = t.drain(10);
+  ASSERT_EQ(some.size(), 1u);
+  EXPECT_EQ(some[0].core, 1);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.drain(99).empty());
+}
+
+// ---------------------------------------------------------- SwitchArbiter
+
+TEST(SwitchArbiter, GrantsFirstRequester) {
+  SwitchArbiter a;
+  EXPECT_FALSE(a.active());
+  EXPECT_EQ(a.request(3, TxMode::TL), SwitchArbiter::Verdict::Grant);
+  EXPECT_TRUE(a.active());
+  EXPECT_EQ(a.holder(), 3);
+  EXPECT_EQ(a.holderMode(), TxMode::TL);
+}
+
+TEST(SwitchArbiter, StlDeniedWhileHeld) {
+  SwitchArbiter a;
+  a.request(0, TxMode::TL);
+  EXPECT_EQ(a.request(1, TxMode::STL), SwitchArbiter::Verdict::Deny);
+  EXPECT_EQ(a.holder(), 0);
+}
+
+TEST(SwitchArbiter, TlQueuesWhileHeldAndGetsGrantOnRelease) {
+  SwitchArbiter a;
+  a.request(0, TxMode::STL);
+  EXPECT_EQ(a.request(1, TxMode::TL), SwitchArbiter::Verdict::Queued);
+  EXPECT_EQ(a.queued(), 1u);
+  const auto next = a.release(0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, 1);
+  EXPECT_EQ(a.holder(), 1);
+  EXPECT_EQ(a.holderMode(), TxMode::TL);
+}
+
+TEST(SwitchArbiter, ReleaseWithEmptyQueueFreesSlot) {
+  SwitchArbiter a;
+  a.request(5, TxMode::STL);
+  EXPECT_FALSE(a.release(5).has_value());
+  EXPECT_FALSE(a.active());
+}
+
+TEST(SwitchArbiter, ReleaseByNonHolderThrows) {
+  SwitchArbiter a;
+  a.request(0, TxMode::TL);
+  EXPECT_THROW(a.release(1), std::logic_error);
+}
+
+TEST(SwitchArbiter, WithdrawRemovesFromQueue) {
+  SwitchArbiter a;
+  a.request(0, TxMode::TL);
+  a.request(1, TxMode::TL);
+  a.request(2, TxMode::TL);
+  a.withdraw(1);
+  const auto next = a.release(0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, 2);
+}
+
+// ------------------------------------------------------------ HtmLockUnit
+
+class HtmLockUnitTest : public ::testing::Test {
+ protected:
+  SwitchArbiter arbiter;
+  HtmLockUnit unit{arbiter};
+};
+
+TEST_F(HtmLockUnitTest, InactiveUnitNeverRejects) {
+  unit.noteOverflow(10, true);
+  EXPECT_FALSE(unit.shouldReject(10, true, false, 1));  // arbiter inactive
+}
+
+TEST_F(HtmLockUnitTest, HolderBypassesItsOwnSignatures) {
+  arbiter.request(0, TxMode::TL);
+  unit.noteOverflow(10, true);
+  EXPECT_FALSE(unit.shouldReject(10, true, false, 0));
+  EXPECT_TRUE(unit.shouldReject(10, true, false, 1));
+}
+
+TEST_F(HtmLockUnitTest, WriteSignatureRejectsEverything) {
+  arbiter.request(0, TxMode::TL);
+  unit.noteOverflow(10, /*isWrite=*/true);
+  EXPECT_TRUE(unit.shouldReject(10, /*wantsExclusive=*/false, /*otherCopies=*/true, 1));
+  EXPECT_TRUE(unit.shouldReject(10, true, true, 1));
+}
+
+TEST_F(HtmLockUnitTest, ReadSignatureRejectsExclusiveGrants) {
+  arbiter.request(0, TxMode::TL);
+  unit.noteOverflow(10, /*isWrite=*/false);
+  // GetX: reject.
+  EXPECT_TRUE(unit.shouldReject(10, true, true, 1));
+  // GetS with other cached copies: grant stays shared -> allowed.
+  EXPECT_FALSE(unit.shouldReject(10, false, true, 1));
+  // GetS with no other copy would be granted E -> reject (paper's rule).
+  EXPECT_TRUE(unit.shouldReject(10, false, false, 1));
+}
+
+TEST_F(HtmLockUnitTest, UnrelatedLinesPass) {
+  arbiter.request(0, TxMode::TL);
+  unit.noteOverflow(10, true);
+  EXPECT_FALSE(unit.shouldReject(11, true, false, 1));
+}
+
+TEST_F(HtmLockUnitTest, ClearAndDrainReturnsWaiters) {
+  arbiter.request(0, TxMode::TL);
+  unit.noteOverflow(10, true);
+  unit.recordWaiter(10, 1);
+  unit.recordWaiter(10, 2);
+  const auto waiters = unit.clearAndDrain();
+  EXPECT_EQ(waiters.size(), 2u);
+  EXPECT_FALSE(unit.anyOverflow());
+  EXPECT_FALSE(unit.shouldReject(10, true, false, 1));
+}
+
+}  // namespace
+}  // namespace lktm::core

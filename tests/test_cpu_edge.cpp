@@ -1,0 +1,203 @@
+// Edge-case tests of the CPU model that go beyond test_cpu.cpp: priority
+// accounting, DelayReg clamping, segment attribution corner cases, CAS inside
+// transactions, and abort semantics under unusual register choices.
+#include <gtest/gtest.h>
+
+#include "cpu_harness.hpp"
+#include "cpu/program.hpp"
+
+namespace lktm::test {
+namespace {
+
+using cpu::Op;
+using cpu::ProgramBuilder;
+
+constexpr Addr kOut = 0x20000;
+
+TEST(CpuEdge, DelayRegClampsHugeValues) {
+  ProgramBuilder b;
+  b.li(1, 1'000'000'000);  // would stall ~forever without the clamp
+  b.delayReg(1);
+  b.barrier();
+  b.halt();
+  CpuHarness h(1);
+  h.setProgram(0, b.build());
+  h.run(/*budget=*/200'000);
+  EXPECT_LE(h.cpu(0).haltedAt(), 70'000u);  // clamped to 65536
+}
+
+TEST(CpuEdge, DelayRegZeroStillAdvances) {
+  ProgramBuilder b;
+  b.delayReg(1);  // r1 == 0
+  b.barrier();
+  b.halt();
+  CpuHarness h(1);
+  h.setProgram(0, b.build());
+  h.run();
+  EXPECT_TRUE(h.cpu(0).halted());
+}
+
+TEST(CpuEdge, CasInsideTransactionIsSpeculative) {
+  CpuHarness h(1);
+  h.sys().memory().writeWord(0x60000, 5);
+  ProgramBuilder b;
+  b.li(5, 0);  // attempt flag
+  b.xbegin(10);
+  b.li(1, static_cast<std::int64_t>(cpu::kTxStarted));
+  const auto resumed = b.bne(10, 1);
+  b.li(1, 0x60000);
+  b.li(2, 5);   // expected
+  b.li(3, 77);  // desired
+  b.cas(3, 1, 2);
+  b.xabort(0x7);  // abort: the CAS write must vanish
+  const auto after = b.here();
+  b.patchTarget(resumed, after);
+  b.barrier();
+  b.halt();
+  h.setProgram(0, b.build());
+  h.run();
+  EXPECT_EQ(h.read(0x60000), 5u) << "speculative CAS must roll back";
+}
+
+TEST(CpuEdge, TxRetryLoopAbortsOnceThenCommits) {
+  // The paper's defeated-core-restarts-lowest property: after an abort the
+  // attempt restarts from the checkpoint; exactly one explicit abort and one
+  // commit must be recorded when a tx aborts itself on the first try only.
+  CpuHarness h(1, TestSystemOptions{},
+               cpu::CpuParams{.priorityKind = core::PriorityKind::InstsBased});
+  ProgramBuilder c;
+  c.li(5, 0);  // attempt flag, maintained OUTSIDE the tx (registers written
+               // inside an aborted tx roll back, like real RTM)
+  const auto retry = c.here();
+  c.xbegin(10);
+  c.li(1, static_cast<std::int64_t>(cpu::kTxStarted));
+  const auto ok = c.beq(10, 1);
+  c.li(5, 1);    // aborted at least once
+  c.jmp(retry);
+  c.patchTarget(ok, c.here());
+  for (int i = 0; i < 20; ++i) c.addi(2, 2, 1);
+  c.li(1, 1);
+  const auto secondTry = c.beq(5, 1);
+  c.xabort(0x7);  // first attempt dies here
+  c.patchTarget(secondTry, c.here());
+  c.xend();
+  c.barrier();
+  c.halt();
+  h.setProgram(0, c.build());
+  h.run();
+  EXPECT_EQ(h.cpu(0).txCounters().htmCommits, 1u);
+  EXPECT_EQ(h.cpu(0).txCounters().abortCount(AbortCause::Explicit), 1u);
+}
+
+TEST(CpuEdge, MarkInsideNonTranDoesNotBreakTotals) {
+  ProgramBuilder b;
+  b.mark(TimeCat::NonTran);
+  b.compute(50);
+  b.mark(TimeCat::WaitLock);
+  b.compute(30);
+  b.mark(TimeCat::NonTran);
+  b.compute(20);
+  b.barrier();
+  b.halt();
+  CpuHarness h(1);
+  h.setProgram(0, b.build());
+  h.run();
+  auto& bd = h.cpu(0).breakdown();
+  EXPECT_EQ(bd.total(), h.cpu(0).haltedAt());
+  EXPECT_GE(bd.get(TimeCat::WaitLock), 30u);
+}
+
+TEST(CpuEdge, NoteCountsLockCommits) {
+  ProgramBuilder b;
+  b.note(0);
+  b.note(0);
+  b.note(1);  // unknown note ids are ignored
+  b.barrier();
+  b.halt();
+  CpuHarness h(1);
+  h.setProgram(0, b.build());
+  h.run();
+  EXPECT_EQ(h.cpu(0).txCounters().lockCommits, 2u);
+}
+
+TEST(CpuEdge, AbortDuringComputeCancelsTheStaleContinuation) {
+  // Core 0 sits in a long Compute inside a tx; core 1's conflicting store
+  // aborts it mid-compute. The stale wakeup must not resurrect the dead
+  // attempt (epoch guard).
+  ProgramBuilder a;
+  const auto retry = a.here();
+  a.xbegin(10);
+  a.li(1, static_cast<std::int64_t>(cpu::kTxStarted));
+  const auto ok = a.beq(10, 1);
+  a.jmp(retry);
+  a.patchTarget(ok, a.here());
+  a.li(1, kOut);
+  a.li(2, 1);
+  a.store(1, 2);     // join write set
+  a.compute(5000);   // long window for the remote conflict
+  a.xend();
+  a.barrier();
+  a.halt();
+  ProgramBuilder bld;
+  bld.compute(200);  // let core 0 enter its tx first
+  bld.li(1, kOut);
+  bld.li(2, 99);
+  bld.store(1, 2);   // non-tx store: aborts core 0 (requester wins)
+  bld.barrier();
+  bld.halt();
+  CpuHarness h(2);
+  h.setProgram(0, a.build());
+  h.setProgram(1, bld.build());
+  h.run();
+  EXPECT_GE(h.cpu(0).txCounters().aborts, 1u);
+  EXPECT_EQ(h.cpu(0).txCounters().htmCommits, 1u);  // retried and committed
+  EXPECT_EQ(h.read(kOut), 1u) << "core 0's retry rewrites the cell last";
+}
+
+TEST(CpuEdge, BackToBackTransactions) {
+  ProgramBuilder b;
+  for (int i = 0; i < 10; ++i) {
+    b.xbegin(10);
+    b.li(1, kOut);
+    b.load(2, 1);
+    b.addi(2, 2, 1);
+    b.store(1, 2);
+    b.xend();
+  }
+  b.barrier();
+  b.halt();
+  CpuHarness h(1);
+  h.setProgram(0, b.build());
+  h.run();
+  EXPECT_EQ(h.read(kOut), 10u);
+  EXPECT_EQ(h.cpu(0).txCounters().htmCommits, 10u);
+}
+
+TEST(CpuEdge, HaltedAtMatchesBreakdownTotalAcrossAborts) {
+  ProgramBuilder b;
+  b.li(5, 0);
+  const auto retry = b.here();
+  b.xbegin(10);
+  b.li(1, static_cast<std::int64_t>(cpu::kTxStarted));
+  const auto ok = b.beq(10, 1);
+  b.li(5, 1);  // attempt flag lives outside the tx
+  b.jmp(retry);
+  b.patchTarget(ok, b.here());
+  b.compute(100);
+  b.li(1, 1);
+  const auto done = b.beq(5, 1);
+  b.xabort(0x7);
+  b.patchTarget(done, b.here());
+  b.xend();
+  b.barrier();
+  b.halt();
+  CpuHarness h(1);
+  h.setProgram(0, b.build());
+  h.run();
+  EXPECT_EQ(h.cpu(0).breakdown().total(), h.cpu(0).haltedAt());
+  EXPECT_GT(h.cpu(0).breakdown().get(TimeCat::Aborted), 0u);
+  EXPECT_GT(h.cpu(0).breakdown().get(TimeCat::Htm), 0u);
+}
+
+}  // namespace
+}  // namespace lktm::test

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+
+namespace lktm::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] { order.push_back(2); });
+  q.schedule(5, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(3); });
+  while (q.runOne()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 20u);
+}
+
+TEST(EventQueue, SameCycleIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    q.schedule(7, [&order, i] { order.push_back(i); });
+  }
+  while (q.runOne()) {
+  }
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ZeroDelayRunsWithinCurrentCycle) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule(3, [&] {
+    q.schedule(0, [&] { ran = true; });
+  });
+  while (q.runOne()) {
+  }
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), 3u);
+}
+
+TEST(EventQueue, NestedSchedulingAdvancesTime) {
+  EventQueue q;
+  Cycle sawAt = 0;
+  q.schedule(1, [&] {
+    q.schedule(4, [&] { sawAt = q.now(); });
+  });
+  while (q.runOne()) {
+  }
+  EXPECT_EQ(sawAt, 5u);
+}
+
+TEST(EventQueue, ScheduleAtAbsolute) {
+  EventQueue q;
+  Cycle at = 0;
+  q.scheduleAt(42, [&] { at = q.now(); });
+  while (q.runOne()) {
+  }
+  EXPECT_EQ(at, 42u);
+}
+
+TEST(EventQueue, RunUntilDrainedThrowsOnBudget) {
+  EventQueue q;
+  // Self-perpetuating event chain: must hit the budget.
+  std::function<void()> tick = [&] { q.schedule(1, tick); };
+  q.schedule(1, tick);
+  EXPECT_THROW(q.runUntilDrained(1000), SimulationHang);
+}
+
+TEST(EventQueue, PendingCount) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.runOne();
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(Engine, WatchdogFiresWithoutProgress) {
+  Engine e(/*watchdogWindow=*/100);
+  std::function<void()> tick = [&] { e.schedule(10, tick); };
+  e.schedule(1, tick);
+  EXPECT_THROW(e.run(), SimulationHang);
+}
+
+TEST(Engine, ProgressKeepsWatchdogQuiet) {
+  Engine e(/*watchdogWindow=*/100);
+  int steps = 0;
+  std::function<void()> tick = [&] {
+    e.noteProgress();
+    if (++steps < 50) e.schedule(90, tick);
+  };
+  e.schedule(1, tick);
+  EXPECT_NO_THROW(e.run());
+  EXPECT_EQ(steps, 50);
+}
+
+TEST(Engine, DiagnosticsAppearInHangMessage) {
+  Engine e(/*watchdogWindow=*/50);
+  e.addDiagnostic([] { return std::string("component-state-xyz"); });
+  std::function<void()> tick = [&] { e.schedule(10, tick); };
+  e.schedule(1, tick);
+  try {
+    e.run();
+    FAIL() << "expected hang";
+  } catch (const SimulationHang& ex) {
+    EXPECT_NE(std::string(ex.what()).find("component-state-xyz"), std::string::npos);
+  }
+}
+
+TEST(Engine, CycleBudgetEnforced) {
+  Engine e(/*watchdogWindow=*/1'000'000);
+  std::function<void()> tick = [&] {
+    e.noteProgress();
+    e.schedule(10, tick);
+  };
+  e.schedule(1, tick);
+  EXPECT_THROW(e.run(/*maxCycles=*/500), SimulationHang);
+}
+
+}  // namespace
+}  // namespace lktm::sim

@@ -1,0 +1,199 @@
+// Whole-stack integration: every Table II system x STAMP analogs x thread
+// counts completes, keeps atomicity, keeps SWMR, and is bit-deterministic.
+#include <gtest/gtest.h>
+
+#include "config/runner.hpp"
+#include "config/sweep.hpp"
+#include "config/systems.hpp"
+#include "workloads/micro.hpp"
+#include "workloads/workload.hpp"
+
+namespace lktm::cfg {
+namespace {
+
+RunResult run(const std::string& system, const std::string& workload,
+              unsigned threads, MachineParams machine = MachineParams::typical()) {
+  RunConfig rc;
+  rc.machine = machine;
+  rc.system = systemByName(system);
+  rc.threads = threads;
+  return runSimulation(rc, [&] { return wl::makeStamp(workload); });
+}
+
+// Cross product property test: "it completes and nothing is ever lost".
+struct MatrixCase {
+  const char* system;
+  const char* workload;
+  unsigned threads;
+};
+
+class MatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(MatrixTest, CompletesCoherentlyAndAtomically) {
+  const auto& c = GetParam();
+  const auto r = run(c.system, c.workload, c.threads);
+  EXPECT_TRUE(r.ok()) << r.str();
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.tx.totalCommits() + r.tx.htmCommits, 0u);
+}
+
+std::vector<MatrixCase> matrixCases() {
+  std::vector<MatrixCase> out;
+  const char* systems[] = {"CGL",           "Baseline",       "LosaTM-SAFU",
+                           "Lockiller-RAI", "Lockiller-RRI",  "Lockiller-RWI",
+                           "Lockiller-RWL", "Lockiller-RWIL", "LockillerTM"};
+  const char* workloads[] = {"intruder", "labyrinth", "yada", "kmeans+"};
+  for (const char* s : systems) {
+    for (const char* w : workloads) {
+      for (unsigned t : {2u, 4u}) out.push_back({s, w, t});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystemsHardWorkloads, MatrixTest,
+                         ::testing::ValuesIn(matrixCases()),
+                         [](const auto& info) {
+                           std::string s = std::string(info.param.system) + "_" +
+                                           info.param.workload + "_" +
+                                           std::to_string(info.param.threads) + "t";
+                           for (auto& c : s) {
+                             if (c == '-' || c == '+') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const auto a = run("LockillerTM", "intruder", 8);
+  const auto b = run("LockillerTM", "intruder", 8);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.tx.htmCommits, b.tx.htmCommits);
+  EXPECT_EQ(a.tx.aborts, b.tx.aborts);
+  EXPECT_EQ(a.tx.rejectsSent, b.tx.rejectsSent);
+  EXPECT_EQ(a.protocol.messages, b.protocol.messages);
+}
+
+TEST(Integration, DeterministicUnderAllPolicies) {
+  for (const auto& sys : evaluatedSystems()) {
+    const auto a = run(sys.name, "vacation+", 4);
+    const auto b = run(sys.name, "vacation+", 4);
+    EXPECT_EQ(a.cycles, b.cycles) << sys.name;
+    EXPECT_EQ(a.tx.aborts, b.tx.aborts) << sys.name;
+  }
+}
+
+TEST(Integration, SmallCacheStressesOverflowButStaysCorrect) {
+  for (const char* sys : {"Baseline", "Lockiller-RWIL", "LockillerTM"}) {
+    const auto r = run(sys, "labyrinth", 4, MachineParams::smallCache());
+    EXPECT_TRUE(r.ok()) << r.str();
+    EXPECT_GT(r.tx.abortCount(AbortCause::Overflow) + r.tx.stlCommits +
+                  r.tx.lockCommits,
+              0u)
+        << sys << ": 8KB L1 must trigger the overflow machinery";
+  }
+}
+
+TEST(Integration, LargeCacheRemovesMostOverflow) {
+  const auto small = run("Baseline", "labyrinth", 2, MachineParams::smallCache());
+  const auto large = run("Baseline", "labyrinth", 2, MachineParams::largeCache());
+  EXPECT_LT(large.tx.abortCount(AbortCause::Overflow),
+            small.tx.abortCount(AbortCause::Overflow));
+}
+
+TEST(Integration, ThreadScalingKeepsTotalWork) {
+  // Fixed total work: commits across all threads are ~constant in the
+  // thread count (lock commits + htm commits + stl commits).
+  const auto a = run("LockillerTM", "ssca2", 2);
+  const auto b = run("LockillerTM", "ssca2", 16);
+  EXPECT_EQ(a.tx.totalCommits(), b.tx.totalCommits());
+}
+
+TEST(Integration, SweepRunnerPreservesOrderAndLabels) {
+  std::vector<SweepJob> jobs;
+  for (unsigned t : {2u, 4u}) {
+    jobs.push_back({"job" + std::to_string(t), [t] {
+                      RunConfig rc;
+                      rc.system = systemByName("Baseline");
+                      rc.threads = t;
+                      return runSimulation(
+                          rc, [] { return wl::makeCounter(4, 2, 64); });
+                    }});
+  }
+  const auto results = runSweep(std::move(jobs), 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].threads, 2u);
+  EXPECT_EQ(results[1].threads, 4u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+}
+
+TEST(Integration, SweepCapturesExceptionsAsFailures) {
+  std::vector<SweepJob> jobs;
+  jobs.push_back({"boom", []() -> RunResult { throw std::runtime_error("boom"); }});
+  const auto results = runSweep(std::move(jobs), 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_NE(results[0].hangDiagnostic.find("boom"), std::string::npos);
+}
+
+TEST(Integration, FindResultLocatesCells) {
+  std::vector<RunResult> rs(2);
+  rs[0].system = "A";
+  rs[0].workload = "w";
+  rs[0].threads = 2;
+  rs[1].system = "B";
+  rs[1].workload = "w";
+  rs[1].threads = 4;
+  EXPECT_EQ(findResult(rs, "B", "w", 4), &rs[1]);
+  EXPECT_EQ(findResult(rs, "B", "w", 8), nullptr);
+}
+
+TEST(Integration, BreakdownAccountsForAllCycles) {
+  const auto r = run("LockillerTM", "vacation-", 4);
+  ASSERT_TRUE(r.ok()) << r.str();
+  // Every thread's breakdown sums to <= wall-clock; total > 0.
+  ASSERT_EQ(r.perThread.size(), 4u);
+  for (const auto& bd : r.perThread) {
+    EXPECT_LE(bd.total(), r.cycles);
+    EXPECT_GT(bd.total(), 0u);
+  }
+  EXPECT_GT(r.breakdown.total(), 0u);
+}
+
+TEST(Integration, Table2RegistryMatchesPaper) {
+  const auto systems = evaluatedSystems();
+  ASSERT_EQ(systems.size(), 9u);
+  EXPECT_EQ(systems[0].name, "CGL");
+  EXPECT_FALSE(systems[0].policy.htmEnabled);
+  EXPECT_EQ(systems[1].name, "Baseline");
+  EXPECT_EQ(systems[1].policy.conflict, core::ConflictPolicy::RequesterWins);
+  EXPECT_TRUE(systems[1].policy.subscribeLock);
+  EXPECT_EQ(systems[2].name, "LosaTM-SAFU");
+  EXPECT_EQ(systems[2].policy.priority, core::PriorityKind::Progression);
+  EXPECT_EQ(systems[5].name, "Lockiller-RWI");
+  EXPECT_EQ(systems[5].policy.rejectAction, core::RejectAction::WaitWakeup);
+  EXPECT_FALSE(systems[5].policy.htmLock);
+  EXPECT_EQ(systems[6].name, "Lockiller-RWL");
+  EXPECT_EQ(systems[6].policy.priority, core::PriorityKind::None);
+  EXPECT_TRUE(systems[6].policy.htmLock);
+  EXPECT_EQ(systems[8].name, "LockillerTM");
+  EXPECT_TRUE(systems[8].policy.htmLock);
+  EXPECT_TRUE(systems[8].policy.switching);
+  EXPECT_FALSE(systems[8].policy.subscribeLock);
+  EXPECT_THROW(systemByName("nope"), std::invalid_argument);
+}
+
+TEST(Integration, MachinePresetsMatchPaper) {
+  const auto typical = MachineParams::typical();
+  EXPECT_EQ(typical.numCores, 32u);
+  EXPECT_EQ(typical.l1.sizeBytes, 32u * 1024);
+  EXPECT_EQ(typical.protocol.l1HitLatency, 2u);
+  EXPECT_EQ(typical.protocol.llcLatency, 12u);
+  EXPECT_EQ(typical.protocol.memLatency, 100u);
+  EXPECT_EQ(typical.mesh.cols * typical.mesh.rows, 32u);
+  EXPECT_EQ(MachineParams::smallCache().l1.sizeBytes, 8u * 1024);
+  EXPECT_EQ(MachineParams::largeCache().l1.sizeBytes, 128u * 1024);
+}
+
+}  // namespace
+}  // namespace lktm::cfg

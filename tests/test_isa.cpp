@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "cpu/isa.hpp"
+#include "cpu/program.hpp"
+
+namespace lktm::cpu {
+namespace {
+
+TEST(Isa, StatusCodesMatchAbortCauses) {
+  EXPECT_EQ(statusOf(AbortCause::MemConflict), 1u);
+  EXPECT_EQ(statusOf(AbortCause::LockConflict), 2u);
+  EXPECT_EQ(statusOf(AbortCause::Mutex), 3u);
+  EXPECT_EQ(statusOf(AbortCause::NonTran), 4u);
+  EXPECT_EQ(statusOf(AbortCause::Overflow), 5u);
+  EXPECT_EQ(statusOf(AbortCause::Fault), 6u);
+}
+
+TEST(Isa, TtestMarkersAreDistinct) {
+  EXPECT_NE(kTtestStl, kTtestTl);
+  EXPECT_GT(kTtestStl, 1000u);  // never confusable with a nesting depth
+  EXPECT_GT(kTtestTl, 1000u);
+}
+
+TEST(Isa, InstrStringIncludesOpcode) {
+  Instr i{Op::Load, 3, 4, 0, 16};
+  EXPECT_NE(i.str().find("load"), std::string::npos);
+}
+
+TEST(Isa, EveryOpcodeHasAName) {
+  for (int o = 0; o <= static_cast<int>(Op::Halt); ++o) {
+    EXPECT_STRNE(toString(static_cast<Op>(o)), "?");
+  }
+}
+
+TEST(ProgramBuilder, EmitsSequentially) {
+  ProgramBuilder b;
+  EXPECT_EQ(b.here(), 0u);
+  b.li(1, 5);
+  b.add(2, 1, 1);
+  EXPECT_EQ(b.here(), 2u);
+  const Program p = b.build();
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.at(0).op, Op::Li);
+  EXPECT_EQ(p.at(1).op, Op::Add);
+}
+
+TEST(ProgramBuilder, PatchTargets) {
+  ProgramBuilder b;
+  const auto br = b.beq(1, 2);
+  b.nop();
+  const auto target = b.here();
+  b.halt();
+  b.patchTarget(br, target);
+  const Program p = b.build();
+  EXPECT_EQ(p.at(br).imm, static_cast<std::int64_t>(target));
+}
+
+TEST(ProgramBuilder, PatchOnNonBranchThrows) {
+  ProgramBuilder b;
+  const auto at = b.li(1, 0);
+  EXPECT_THROW(b.patchTarget(at, 0), std::logic_error);
+}
+
+TEST(ProgramBuilder, BuildValidatesBranchTargets) {
+  ProgramBuilder b;
+  b.jmp(99);  // out of range
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(ProgramBuilder, RegisterBoundsChecked) {
+  ProgramBuilder b;
+  EXPECT_THROW(b.li(kNumRegs, 0), std::out_of_range);
+  EXPECT_THROW(b.add(1, kNumRegs, 2), std::out_of_range);
+}
+
+TEST(Program, AtPastEndThrows) {
+  ProgramBuilder b;
+  b.halt();
+  const Program p = b.build();
+  EXPECT_NO_THROW(p.at(0));
+  EXPECT_THROW(p.at(1), std::out_of_range);
+}
+
+TEST(ProgramBuilder, AllConvenienceEmitters) {
+  ProgramBuilder b;
+  b.nop();
+  b.li(1, -7);
+  b.mov(2, 1);
+  b.add(3, 1, 2);
+  b.sub(3, 1, 2);
+  b.mul(3, 1, 2);
+  b.andb(3, 1, 2);
+  b.orb(3, 1, 2);
+  b.xorb(3, 1, 2);
+  b.shl(3, 1, 2);
+  b.shr(3, 1, 2);
+  b.addi(3, 1, 4);
+  b.rem(3, 1, 2);
+  b.load(3, 1, 8);
+  b.store(1, 3, 8);
+  b.cas(3, 1, 2, 0);
+  b.compute(10);
+  b.delayReg(1);
+  const auto l = b.here();
+  b.beq(1, 2, l);
+  b.bne(1, 2, l);
+  b.blt(1, 2, l);
+  b.bge(1, 2, l);
+  b.jmp(l);
+  b.xbegin(1);
+  b.xend();
+  b.xabort(0xFE);
+  b.hlbegin();
+  b.hlend();
+  b.ttest(1);
+  b.syscall();
+  b.mark(TimeCat::Lock);
+  b.barrier();
+  b.halt();
+  EXPECT_NO_THROW(b.build());
+}
+
+}  // namespace
+}  // namespace lktm::cpu

@@ -1,0 +1,247 @@
+// Directed MESI coherence scenarios on the mini system, driven at the L1 CPU
+// port (no CPUs): state transitions, data movement, directory bookkeeping,
+// silent-drop recovery, and SWMR/value invariants after every scenario.
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+
+namespace lktm::test {
+namespace {
+
+using mem::MesiState;
+
+constexpr Addr kA = 0x100000;
+constexpr Addr kB = 0x200040;
+
+TEST(Protocol, ColdLoadGrantsExclusive) {
+  TestSystem sys;
+  sys.memory().writeWord(kA, 42);
+  EXPECT_EQ(sys.load(0, kA), 42u);
+  const auto* e = sys.l1(0).cache().find(lineOf(kA));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, MesiState::E);  // MESI E optimization
+  sys.drain();
+  const auto snap = sys.dir().snapshot(lineOf(kA));
+  EXPECT_EQ(snap.owner, 0);
+  EXPECT_FALSE(snap.busy);
+  sys.expectCoherent();
+}
+
+TEST(Protocol, SecondReaderDowngradesToShared) {
+  TestSystem sys;
+  sys.memory().writeWord(kA, 7);
+  sys.load(0, kA);
+  EXPECT_EQ(sys.load(1, kA), 7u);
+  EXPECT_EQ(sys.l1(0).cache().find(lineOf(kA))->state, MesiState::S);
+  EXPECT_EQ(sys.l1(1).cache().find(lineOf(kA))->state, MesiState::S);
+  const auto snap = sys.dir().snapshot(lineOf(kA));
+  EXPECT_EQ(snap.owner, kNoCore);
+  EXPECT_EQ(snap.sharers.size(), 2u);
+  sys.drain();
+  sys.expectCoherent();
+}
+
+TEST(Protocol, StoreGivesModified) {
+  TestSystem sys;
+  sys.store(0, kA, 9);
+  const auto* e = sys.l1(0).cache().find(lineOf(kA));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, MesiState::M);
+  EXPECT_TRUE(e->dirty);
+  EXPECT_EQ(sys.load(0, kA), 9u);
+  sys.drain();
+  sys.expectCoherent();
+}
+
+TEST(Protocol, DirtyDataForwardedToReader) {
+  TestSystem sys;
+  sys.store(0, kA, 13);
+  EXPECT_EQ(sys.load(1, kA), 13u);  // via FwdGetS + writeback
+  EXPECT_EQ(sys.l1(0).cache().find(lineOf(kA))->state, MesiState::S);
+  EXPECT_FALSE(sys.l1(0).cache().find(lineOf(kA))->dirty);
+  // The LLC must have been updated by the forward writeback.
+  EXPECT_EQ(sys.dir().llcData(lineOf(kA))[wordOf(kA)], 13u);
+  sys.drain();
+  sys.expectCoherent();
+}
+
+TEST(Protocol, DirtyDataForwardedToWriter) {
+  TestSystem sys;
+  sys.store(0, kA, 21);
+  sys.store(1, kA, 22);
+  EXPECT_EQ(sys.l1(0).cache().find(lineOf(kA)), nullptr);  // invalidated
+  EXPECT_EQ(sys.l1(1).cache().find(lineOf(kA))->state, MesiState::M);
+  EXPECT_EQ(sys.load(1, kA), 22u);
+  sys.drain();
+  sys.expectCoherent();
+}
+
+TEST(Protocol, UpgradeInvalidatesSharers) {
+  TestSystem sys{TestSystemOptions{.cores = 4}};
+  for (CoreId c = 0; c < 4; ++c) sys.load(c, kA);
+  sys.store(2, kA, 5);
+  for (CoreId c = 0; c < 4; ++c) {
+    if (c == 2) continue;
+    EXPECT_EQ(sys.l1(c).cache().find(lineOf(kA)), nullptr) << "core " << c;
+  }
+  EXPECT_EQ(sys.l1(2).cache().find(lineOf(kA))->state, MesiState::M);
+  EXPECT_EQ(sys.load(0, kA), 5u);
+  sys.drain();
+  sys.expectCoherent();
+}
+
+TEST(Protocol, WritebackOnEviction) {
+  // 8KB 4-way L1 = 32 sets: lines kA, kA+32*64, ... collide in one set.
+  TestSystemOptions opt;
+  opt.l1 = mem::CacheGeometry{8 * 1024, 4};
+  TestSystem sys(opt);
+  const Addr base = 0x100000;
+  for (int i = 0; i < 5; ++i) {
+    sys.store(0, base + static_cast<Addr>(i) * 32 * kLineBytes, 100 + i);
+  }
+  sys.drain();
+  // The first line was evicted; its data must have reached the LLC.
+  EXPECT_EQ(sys.l1(0).cache().find(lineOf(base)), nullptr);
+  EXPECT_EQ(sys.dir().llcData(lineOf(base))[wordOf(base)], 100u);
+  EXPECT_EQ(sys.l1(0).writebackBufferSize(), 0u);  // PutAck retired it
+  EXPECT_EQ(sys.load(1, base), 100u);
+  sys.expectCoherent();
+}
+
+TEST(Protocol, SilentCleanDropRecovery) {
+  TestSystemOptions opt;
+  opt.l1 = mem::CacheGeometry{8 * 1024, 4};
+  TestSystem sys(opt);
+  sys.memory().writeWord(kA, 55);
+  sys.load(0, kA);  // E, clean
+  // Evict it silently by filling the set with clean loads.
+  for (int i = 1; i <= 4; ++i) {
+    sys.load(0, kA + static_cast<Addr>(i) * 32 * kLineBytes);
+  }
+  EXPECT_EQ(sys.l1(0).cache().find(lineOf(kA)), nullptr);
+  // Directory still believes core 0 owns it; both re-request paths must work.
+  EXPECT_EQ(sys.load(1, kA), 55u);  // forwarded to stale owner -> FwdAckTxInv
+  sys.drain();
+  sys.expectCoherent();
+}
+
+TEST(Protocol, StaleOwnerReRequestsItsOwnLine) {
+  TestSystemOptions opt;
+  opt.l1 = mem::CacheGeometry{8 * 1024, 4};
+  TestSystem sys(opt);
+  sys.memory().writeWord(kA, 66);
+  sys.load(0, kA);
+  for (int i = 1; i <= 4; ++i) {
+    sys.load(0, kA + static_cast<Addr>(i) * 32 * kLineBytes);
+  }
+  // Re-request: directory sees owner == requester.
+  EXPECT_EQ(sys.load(0, kA), 66u);
+  sys.drain();
+  sys.expectCoherent();
+}
+
+TEST(Protocol, UpgradeAfterSilentSharedDrop) {
+  TestSystemOptions opt;
+  opt.l1 = mem::CacheGeometry{8 * 1024, 4};
+  TestSystem sys(opt);
+  sys.load(0, kA);
+  sys.load(1, kA);  // both S
+  // Core 0 silently drops its S copy.
+  for (int i = 1; i <= 4; ++i) {
+    sys.load(0, kA + static_cast<Addr>(i) * 32 * kLineBytes);
+  }
+  // Store: directory thinks core 0 is still a sharer; must send data anyway.
+  sys.store(0, kA, 77);
+  EXPECT_EQ(sys.l1(0).cache().find(lineOf(kA))->state, MesiState::M);
+  EXPECT_EQ(sys.load(1, kA), 77u);
+  sys.drain();
+  sys.expectCoherent();
+}
+
+TEST(Protocol, CasTransfersOwnership) {
+  TestSystem sys;
+  sys.memory().writeWord(kA, 0);
+  EXPECT_EQ(sys.cas(0, kA, 0, 1), 0u);  // success
+  EXPECT_EQ(sys.cas(1, kA, 0, 2), 1u);  // failure: sees 1
+  EXPECT_EQ(sys.cas(1, kA, 1, 2), 1u);  // success
+  EXPECT_EQ(sys.load(0, kA), 2u);
+  sys.drain();
+  sys.expectCoherent();
+}
+
+TEST(Protocol, WordGranularityWithinLine) {
+  TestSystem sys;
+  sys.store(0, kA, 1);
+  sys.store(0, kA + 8, 2);
+  sys.store(0, kA + 56, 8);
+  EXPECT_EQ(sys.load(1, kA), 1u);
+  EXPECT_EQ(sys.load(1, kA + 8), 2u);
+  EXPECT_EQ(sys.load(1, kA + 56), 8u);
+  sys.drain();
+  sys.expectCoherent();
+}
+
+TEST(Protocol, ManyCoresPingPong) {
+  TestSystem sys{TestSystemOptions{.cores = 8}};
+  for (int round = 0; round < 4; ++round) {
+    for (CoreId c = 0; c < 8; ++c) {
+      const std::uint64_t v = sys.load(c, kA);
+      sys.store(c, kA, v + 1);
+    }
+  }
+  EXPECT_EQ(sys.load(0, kA), 32u);
+  sys.drain();
+  sys.expectCoherent();
+}
+
+TEST(Protocol, IndependentLinesDontInterfere) {
+  TestSystem sys;
+  sys.store(0, kA, 1);
+  sys.store(1, kB, 2);
+  EXPECT_EQ(sys.load(0, kB), 2u);
+  EXPECT_EQ(sys.load(1, kA), 1u);
+  sys.drain();
+  sys.expectCoherent();
+}
+
+TEST(Protocol, LlcPreloadAvoidsMemoryLatency) {
+  TestSystem cold;
+  cold.memory().writeWord(kA, 5);
+  const Cycle t0 = cold.engine().now();
+  cold.load(0, kA);
+  const Cycle coldLat = cold.engine().now() - t0;
+
+  TestSystem warm;
+  warm.memory().writeWord(kA, 5);
+  warm.dir().preloadLlc(lineOf(kA), lineOf(kA) + 1);
+  const Cycle t1 = warm.engine().now();
+  warm.load(0, kA);
+  const Cycle warmLat = warm.engine().now() - t1;
+  EXPECT_GE(coldLat, warmLat + 90);  // ~the 100-cycle memory latency
+}
+
+TEST(Protocol, LatencyRoughlyMatchesTableI) {
+  TestSystem sys;
+  sys.dir().preloadLlc(lineOf(kA), lineOf(kA) + 1);
+  const Cycle t0 = sys.engine().now();
+  sys.load(0, kA);  // miss: L1 + net + LLC + net
+  const Cycle missLat = sys.engine().now() - t0;
+  EXPECT_GE(missLat, 2u + 12u);  // at least L1 + LLC latency
+  EXPECT_LE(missLat, 60u);       // plus bounded mesh traversal
+
+  const Cycle t1 = sys.engine().now();
+  sys.load(0, kA);  // hit
+  EXPECT_EQ(sys.engine().now() - t1, 2u);  // Table I: 2-cycle L1 hit
+}
+
+TEST(Protocol, CountersTrackHitsAndMisses) {
+  TestSystem sys;
+  sys.load(0, kA);
+  sys.load(0, kA);
+  sys.load(0, kA);
+  EXPECT_EQ(sys.l1(0).counters().l1Misses, 1u);
+  EXPECT_EQ(sys.l1(0).counters().l1Hits, 2u);
+}
+
+}  // namespace
+}  // namespace lktm::test

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hpp"
+
+namespace lktm::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+class RngBoundsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundsTest, BelowStaysInBound) {
+  Rng r(GetParam());
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST_P(RngBoundsTest, RangeInclusive) {
+  Rng r(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngBoundsTest,
+                         ::testing::Values(1, 42, 0xdeadbeef, 987654321));
+
+TEST(Rng, BelowOneIsZero) {
+  Rng r(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.below(1), 0u);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, PercentExtremes) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.percent(0));
+    EXPECT_TRUE(r.percent(100));
+  }
+}
+
+TEST(Rng, PercentRoughlyCalibrated) {
+  Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.percent(25);
+  EXPECT_NEAR(hits, 2500, 250);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BurstMeanApproximatelyRight) {
+  Rng r(17);
+  std::uint64_t total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += r.burst(4);
+  EXPECT_NEAR(static_cast<double>(total) / n, 4.0, 0.4);
+}
+
+TEST(Rng, BurstOfOne) {
+  Rng r(19);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.burst(1), 1u);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 42;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace lktm::sim

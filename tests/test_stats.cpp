@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "stats/breakdown.hpp"
+#include "stats/counters.hpp"
+#include "stats/report.hpp"
+
+namespace lktm::stats {
+namespace {
+
+TEST(Breakdown, AttributesSegments) {
+  ThreadBreakdown bd;
+  bd.beginSegment(TimeCat::NonTran, 0);
+  bd.beginSegment(TimeCat::WaitLock, 100);  // 100 cycles of NonTran
+  bd.beginSegment(TimeCat::Lock, 150);      // 50 cycles of WaitLock
+  bd.finish(400);                           // 250 cycles of Lock
+  EXPECT_EQ(bd.get(TimeCat::NonTran), 100u);
+  EXPECT_EQ(bd.get(TimeCat::WaitLock), 50u);
+  EXPECT_EQ(bd.get(TimeCat::Lock), 250u);
+  EXPECT_EQ(bd.total(), 400u);
+}
+
+TEST(Breakdown, ResolveRetargetsSpeculativeCycles) {
+  ThreadBreakdown bd;
+  bd.beginSegment(TimeCat::NonTran, 0);
+  bd.beginSegment(TimeCat::Htm, 10);  // provisional attempt
+  // Attempt aborts at 70: the 60 cycles become Aborted, rollback starts.
+  bd.resolveSegment(TimeCat::Aborted, 70, TimeCat::Rollback);
+  bd.beginSegment(TimeCat::Htm, 95);  // 25 cycles of rollback, retry
+  bd.resolveSegment(TimeCat::Htm, 155, TimeCat::NonTran);  // commit: 60 htm
+  bd.finish(200);
+  EXPECT_EQ(bd.get(TimeCat::Aborted), 60u);
+  EXPECT_EQ(bd.get(TimeCat::Rollback), 25u);
+  EXPECT_EQ(bd.get(TimeCat::Htm), 60u);
+  EXPECT_EQ(bd.get(TimeCat::NonTran), 10u + 45u);
+  EXPECT_EQ(bd.total(), 200u);
+}
+
+TEST(Breakdown, SwitchLockResolution) {
+  ThreadBreakdown bd;
+  bd.beginSegment(TimeCat::Htm, 0);
+  bd.resolveSegment(TimeCat::SwitchLock, 500, TimeCat::NonTran);
+  bd.finish(500);
+  EXPECT_EQ(bd.get(TimeCat::SwitchLock), 500u);
+  EXPECT_EQ(bd.get(TimeCat::Htm), 0u);
+}
+
+TEST(Breakdown, SummaryAggregatesAndNormalizes) {
+  ThreadBreakdown a, b;
+  a.beginSegment(TimeCat::Htm, 0);
+  a.finish(100);
+  b.beginSegment(TimeCat::Lock, 0);
+  b.finish(300);
+  BreakdownSummary s;
+  s.add(a);
+  s.add(b);
+  EXPECT_EQ(s.total(), 400u);
+  EXPECT_DOUBLE_EQ(s.fraction(TimeCat::Htm), 0.25);
+  EXPECT_DOUBLE_EQ(s.fraction(TimeCat::Lock), 0.75);
+}
+
+TEST(Breakdown, EmptySummaryFractionIsZero) {
+  BreakdownSummary s;
+  EXPECT_DOUBLE_EQ(s.fraction(TimeCat::Htm), 0.0);
+}
+
+TEST(Counters, CommitRateCountsSpeculativeAttemptsOnly) {
+  TxCounters c;
+  c.htmCommits = 60;
+  c.stlCommits = 20;
+  c.lockCommits = 1000;  // irrelevant: lock transactions never abort
+  c.aborts = 20;
+  EXPECT_DOUBLE_EQ(c.commitRate(), 0.8);
+  EXPECT_EQ(c.totalCommits(), 1080u);
+}
+
+TEST(Counters, CommitRateWithNoAttemptsIsOne) {
+  TxCounters c;
+  EXPECT_DOUBLE_EQ(c.commitRate(), 1.0);
+}
+
+TEST(Counters, RecordAbortByCause) {
+  TxCounters c;
+  c.recordAbort(AbortCause::Overflow);
+  c.recordAbort(AbortCause::Overflow);
+  c.recordAbort(AbortCause::Fault);
+  EXPECT_EQ(c.aborts, 3u);
+  EXPECT_EQ(c.abortCount(AbortCause::Overflow), 2u);
+  EXPECT_EQ(c.abortCount(AbortCause::Fault), 1u);
+  EXPECT_EQ(c.abortCount(AbortCause::MemConflict), 0u);
+}
+
+TEST(Counters, Aggregation) {
+  TxCounters a, b;
+  a.htmCommits = 5;
+  a.recordAbort(AbortCause::Mutex);
+  b.htmCommits = 7;
+  b.rejectsSent = 3;
+  a += b;
+  EXPECT_EQ(a.htmCommits, 12u);
+  EXPECT_EQ(a.rejectsSent, 3u);
+  EXPECT_EQ(a.abortCount(AbortCause::Mutex), 1u);
+}
+
+TEST(Counters, ProtocolAggregation) {
+  ProtocolCounters a, b;
+  a.messages = 10;
+  b.messages = 5;
+  b.flitHops = 100;
+  a += b;
+  EXPECT_EQ(a.messages, 15u);
+  EXPECT_EQ(a.flitHops, 100u);
+}
+
+TEST(Report, TableAligns) {
+  Table t({"name", "value"});
+  t.addRow({"a", "1"});
+  t.addRow({"long-name", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(Table::fixed(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.5), "50.0%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Report, BarWidthAndFill) {
+  EXPECT_EQ(bar(0.0, 10), "..........");
+  EXPECT_EQ(bar(1.0, 10), "##########");
+  EXPECT_EQ(bar(0.5, 10), "#####.....");
+  EXPECT_EQ(bar(2.0, 4), "####");   // clamped
+  EXPECT_EQ(bar(-1.0, 4), "....");  // clamped
+}
+
+}  // namespace
+}  // namespace lktm::stats

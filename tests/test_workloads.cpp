@@ -1,0 +1,190 @@
+// Workload generators: structural properties, determinism, footprints, and
+// end-to-end invariant verification through the full simulator.
+#include <gtest/gtest.h>
+
+#include "config/runner.hpp"
+#include "config/systems.hpp"
+#include "workloads/micro.hpp"
+#include "workloads/workload.hpp"
+
+namespace lktm::wl {
+namespace {
+
+TEST(AddressSpace, BumpAllocatesAligned) {
+  AddressSpace s(0x1000);
+  const Addr a = s.alloc(100);
+  const Addr b = s.alloc(1, 256);
+  EXPECT_EQ(a % kLineBytes, 0u);
+  EXPECT_EQ(b % 256, 0u);
+  EXPECT_GT(b, a);
+  EXPECT_THROW(s.alloc(8, 3), std::invalid_argument);
+}
+
+TEST(AddressSpace, AllocLinesAdvances) {
+  AddressSpace s(0);
+  const Addr a = s.allocLines(4);
+  const Addr b = s.allocLines(1);
+  EXPECT_EQ(b - a, 4 * kLineBytes);
+}
+
+TEST(Stamp, RegistryCoversAllNineWorkloads) {
+  const auto names = stampNames();
+  EXPECT_EQ(names.size(), 9u);
+  for (const auto& n : names) {
+    auto w = makeStamp(n);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->name(), n);
+  }
+  EXPECT_THROW(makeStamp("bayes"), std::invalid_argument);  // excluded by paper
+}
+
+TEST(Stamp, ProgramsAreBuildableForEveryThreadCount) {
+  mem::MainMemory mem;
+  for (const auto& n : stampNames()) {
+    auto w = makeStamp(n);
+    w->init(mem, 32);
+    rt::TmRuntime runtime(rt::RuntimeKind::HtmLock, kFallbackLockAddr);
+    std::size_t total = 0;
+    for (unsigned t = 0; t < 32; ++t) {
+      const auto p = w->buildProgram(t, 32, runtime);
+      EXPECT_GT(p.size(), 4u) << n;
+      total += p.size();
+    }
+    EXPECT_GT(total, 500u) << n;
+    EXPECT_GT(w->footprintEnd(), 0x100000u) << n;
+  }
+}
+
+TEST(Stamp, InitTwiceThrows) {
+  mem::MainMemory mem;
+  auto w = makeGenome();
+  w->init(mem, 2);
+  EXPECT_THROW(w->init(mem, 2), std::logic_error);
+}
+
+TEST(Stamp, GenerationIsDeterministic) {
+  mem::MainMemory m1, m2;
+  auto a = makeVacation(true, 42);
+  auto b = makeVacation(true, 42);
+  a->init(m1, 4);
+  b->init(m2, 4);
+  rt::TmRuntime runtime(rt::RuntimeKind::BestEffort, kFallbackLockAddr);
+  for (unsigned t = 0; t < 4; ++t) {
+    const auto pa = a->buildProgram(t, 4, runtime);
+    const auto pb = b->buildProgram(t, 4, runtime);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa.code[i].op, pb.code[i].op);
+      EXPECT_EQ(pa.code[i].imm, pb.code[i].imm);
+    }
+  }
+}
+
+TEST(Stamp, DifferentSeedsDiffer) {
+  mem::MainMemory m1, m2;
+  auto a = makeVacation(true, 1);
+  auto b = makeVacation(true, 2);
+  a->init(m1, 2);
+  b->init(m2, 2);
+  rt::TmRuntime runtime(rt::RuntimeKind::BestEffort, kFallbackLockAddr);
+  const auto pa = a->buildProgram(0, 2, runtime);
+  const auto pb = b->buildProgram(0, 2, runtime);
+  bool differs = pa.size() != pb.size();
+  for (std::size_t i = 0; !differs && i < pa.size(); ++i) {
+    differs = pa.code[i].imm != pb.code[i].imm;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Stamp, WorkIsPartitionedNotReplicated) {
+  // Total expected increments must not depend on the thread count.
+  auto total = [](unsigned threads) {
+    mem::MainMemory mem;
+    auto w = makeSsca2(7);
+    auto* base = dynamic_cast<StampWorkloadBase*>(w.get());
+    w->init(mem, threads);
+    rt::TmRuntime runtime(rt::RuntimeKind::BestEffort, kFallbackLockAddr);
+    for (unsigned t = 0; t < threads; ++t) w->buildProgram(t, threads, runtime);
+    return base->expectedIncrementTotal();
+  };
+  EXPECT_EQ(total(2), total(32));
+}
+
+struct LabyrinthProfile : ::testing::Test {};
+
+TEST(Stamp, LabyrinthHasLargeSets) {
+  mem::MainMemory mem;
+  auto w = makeLabyrinth(3);
+  w->init(mem, 2);
+  rt::TmRuntime runtime(rt::RuntimeKind::BestEffort, kFallbackLockAddr);
+  const auto p = w->buildProgram(0, 2, runtime);
+  // 24 txs/thread, each >120 accesses: the program must be large.
+  EXPECT_GT(p.size(), 24u * 120u);
+}
+
+TEST(Stamp, YadaRaisesExceptions) {
+  mem::MainMemory mem;
+  auto w = makeYada(3);
+  w->init(mem, 2);
+  rt::TmRuntime runtime(rt::RuntimeKind::BestEffort, kFallbackLockAddr);
+  const auto p = w->buildProgram(0, 2, runtime);
+  unsigned syscalls = 0;
+  for (const auto& i : p.code) syscalls += i.op == cpu::Op::SysCall;
+  EXPECT_GT(syscalls, 20u);  // ~70% of 64 transactions
+}
+
+TEST(Stamp, KmeansContentionKnob) {
+  // kmeans+ concentrates its updates on far fewer lines than kmeans-.
+  auto distinctCells = [](bool high) {
+    mem::MainMemory mem;
+    auto w = makeKmeans(high, 5);
+    w->init(mem, 2);
+    rt::TmRuntime runtime(rt::RuntimeKind::BestEffort, kFallbackLockAddr);
+    w->buildProgram(0, 1, runtime);
+    return w->footprintEnd();
+  };
+  EXPECT_LT(distinctCells(true), distinctCells(false));
+}
+
+// ------------------------------------------------- full-stack invariants
+
+cfg::RunResult runMicro(const char* system, const cfg::WorkloadFactory& f,
+                        unsigned threads) {
+  cfg::RunConfig rc;
+  rc.system = cfg::systemByName(system);
+  rc.threads = threads;
+  return cfg::runSimulation(rc, f);
+}
+
+class MicroInvariantTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MicroInvariantTest, MaxContentionCounter) {
+  const auto r = runMicro(GetParam(), [] { return makeCounter(1, 1, 96); }, 8);
+  EXPECT_TRUE(r.ok()) << r.str();
+}
+
+TEST_P(MicroInvariantTest, BankConservesMoney) {
+  const auto r = runMicro(GetParam(), [] { return makeBank(32, 120); }, 8);
+  EXPECT_TRUE(r.ok()) << r.str();
+}
+
+TEST_P(MicroInvariantTest, LinkedListPointerChase) {
+  const auto r = runMicro(GetParam(), [] { return makeLinkedList(64, 5, 80); }, 4);
+  EXPECT_TRUE(r.ok()) << r.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, MicroInvariantTest,
+                         ::testing::Values("CGL", "Baseline", "LosaTM-SAFU",
+                                           "Lockiller-RAI", "Lockiller-RRI",
+                                           "Lockiller-RWI", "Lockiller-RWL",
+                                           "Lockiller-RWIL", "LockillerTM"),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (auto& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace lktm::wl

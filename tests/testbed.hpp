@@ -1,0 +1,184 @@
+// Shared test scaffolding: a hand-wired mini system (L1s + directory + mesh)
+// driven directly at the L1 CPU port, without full CPUs. Lets protocol and
+// HTM tests issue single operations and observe every intermediate state.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coherence/checker.hpp"
+#include "coherence/directory.hpp"
+#include "coherence/l1_controller.hpp"
+#include "noc/mesh.hpp"
+#include "sim/engine.hpp"
+
+namespace lktm::test {
+
+struct TestSystemOptions {
+  unsigned cores = 2;
+  unsigned tiles = 32;  // directory banking / mesh size
+  mem::CacheGeometry l1{32 * 1024, 4};
+  coh::ProtocolParams protocol{};
+  core::TmPolicy policy{};
+  core::HtmLockUnitParams sig{};
+};
+
+class TestSystem {
+ public:
+  explicit TestSystem(TestSystemOptions opt = {})
+      : opt_(opt),
+        net_(engine_, noc::MeshParams{}),
+        dir_(engine_, net_, memory_, opt.protocol, opt.tiles, opt.sig) {
+    prio_.resize(opt.cores, 0);
+    aborts_.resize(opt.cores);
+    switched_.resize(opt.cores, 0);
+    for (unsigned i = 0; i < opt.cores; ++i) {
+      l1s_.push_back(std::make_unique<coh::L1Controller>(
+          engine_, net_, static_cast<CoreId>(i), opt.l1, opt.protocol, opt.policy,
+          opt.tiles));
+      l1s_.back()->connectDirectory(&dir_);
+      dir_.connectL1(static_cast<CoreId>(i), l1s_.back().get());
+      auto* self = this;
+      const CoreId id = static_cast<CoreId>(i);
+      l1s_.back()->setCallbacks(coh::L1Controller::Callbacks{
+          .priorityValue = [self, id] { return self->prio_[id]; },
+          .onAbort = [self, id](AbortCause c) { self->aborts_[id].push_back(c); },
+          .onSwitchedToStl = [self, id] { ++self->switched_[id]; },
+      });
+    }
+    std::vector<coh::MsgSink*> peers;
+    for (auto& l1 : l1s_) peers.push_back(l1.get());
+    for (auto& l1 : l1s_) l1->connectPeers(peers);
+  }
+
+  sim::Engine& engine() { return engine_; }
+  mem::MainMemory& memory() { return memory_; }
+  coh::DirectoryController& dir() { return dir_; }
+  coh::L1Controller& l1(CoreId c) { return *l1s_.at(static_cast<std::size_t>(c)); }
+  std::vector<AbortCause>& aborts(CoreId c) { return aborts_.at(static_cast<std::size_t>(c)); }
+  unsigned switchedCount(CoreId c) const { return switched_.at(static_cast<std::size_t>(c)); }
+  void setPriority(CoreId c, std::uint64_t v) { prio_.at(static_cast<std::size_t>(c)) = v; }
+
+  /// Run the event queue until `done` becomes true (or fail after budget).
+  void runUntil(const bool& done, Cycle budget = 1'000'000) {
+    const Cycle limit = engine_.now() + budget;
+    while (!done) {
+      ASSERT_TRUE(engine_.queue().runOne()) << "event queue drained before completion";
+      ASSERT_LT(engine_.now(), limit) << "operation did not complete in budget";
+    }
+  }
+
+  /// Drain every outstanding event (protocol quiesces).
+  void drain(Cycle budget = 1'000'000) { engine_.queue().runUntilDrained(budget); }
+
+  /// Advance simulated time by up to `n` cycles (for scenarios with polling
+  /// retries that never let the queue drain).
+  void runFor(Cycle n) {
+    const Cycle limit = engine_.now() + n;
+    while (!engine_.queue().empty() && engine_.now() < limit) {
+      engine_.queue().runOne();
+    }
+  }
+
+  // Blocking single-op helpers.
+  std::uint64_t load(CoreId c, Addr a) {
+    bool done = false;
+    std::uint64_t out = 0;
+    l1(c).load(a, [&](std::uint64_t v) {
+      out = v;
+      done = true;
+    });
+    runUntil(done);
+    return out;
+  }
+
+  void store(CoreId c, Addr a, std::uint64_t v) {
+    bool done = false;
+    l1(c).store(a, v, [&] { done = true; });
+    runUntil(done);
+  }
+
+  std::uint64_t cas(CoreId c, Addr a, std::uint64_t expect, std::uint64_t desired) {
+    bool done = false;
+    std::uint64_t out = 0;
+    l1(c).cas(a, expect, desired, [&](std::uint64_t old) {
+      out = old;
+      done = true;
+    });
+    runUntil(done);
+    return out;
+  }
+
+  void commit(CoreId c) {
+    bool done = false;
+    l1(c).txCommit([&] { done = true; });
+    runUntil(done);
+  }
+
+  void hlBegin(CoreId c) {
+    bool done = false;
+    l1(c).hlBegin([&] { done = true; });
+    runUntil(done);
+  }
+
+  void hlEnd(CoreId c) {
+    bool done = false;
+    l1(c).hlEnd([&] { done = true; });
+    runUntil(done);
+  }
+
+  /// Issue an op that is expected to stall (rejected); returns a completion
+  /// flag the test can poll.
+  std::shared_ptr<bool> asyncLoad(CoreId c, Addr a) {
+    auto done = std::make_shared<bool>(false);
+    l1(c).load(a, [done](std::uint64_t) { *done = true; });
+    return done;
+  }
+  std::shared_ptr<bool> asyncStore(CoreId c, Addr a, std::uint64_t v) {
+    auto done = std::make_shared<bool>(false);
+    l1(c).store(a, v, [done] { *done = true; });
+    return done;
+  }
+
+  void expectCoherent() {
+    drain();  // quiesce in-flight unblocks/writebacks before checking
+    std::vector<const coh::L1Controller*> cl1s;
+    for (auto& l1 : l1s_) cl1s.push_back(l1.get());
+    coh::CoherenceChecker checker(cl1s, &dir_);
+    const auto v = checker.check();
+    EXPECT_TRUE(v.empty()) << v.size() << " violations, first: " << (v.empty() ? "" : v[0]);
+  }
+
+ private:
+  TestSystemOptions opt_;
+  sim::Engine engine_;
+  mem::MainMemory memory_;
+  noc::MeshNetwork net_;
+  coh::DirectoryController dir_;
+  std::vector<std::unique_ptr<coh::L1Controller>> l1s_;
+  std::vector<std::uint64_t> prio_;
+  std::vector<std::vector<AbortCause>> aborts_;
+  std::vector<unsigned> switched_;
+};
+
+/// Recovery-enabled policy shorthand.
+inline core::TmPolicy recoveryPolicy(
+    core::RejectAction action = core::RejectAction::WaitWakeup) {
+  core::TmPolicy p;
+  p.conflict = core::ConflictPolicy::Recovery;
+  p.rejectAction = action;
+  p.priority = core::PriorityKind::InstsBased;
+  return p;
+}
+
+inline core::TmPolicy htmLockPolicy(bool switching = false) {
+  core::TmPolicy p = recoveryPolicy();
+  p.htmLock = true;
+  p.subscribeLock = false;
+  p.switching = switching;
+  return p;
+}
+
+}  // namespace lktm::test

@@ -1,0 +1,178 @@
+// Command-line driver: run any (system x workload x threads x machine)
+// configuration and print the full statistics report. The fastest way to
+// explore the simulator without writing code.
+//
+//   lktm_sim --list
+//   lktm_sim --system LockillerTM --workload vacation+ --threads 8
+//   lktm_sim --system Baseline --workload yada --threads 32 --machine small
+//   lktm_sim --system LockillerTM --workload labyrinth --breakdown --seed 7
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "config/runner.hpp"
+#include "config/systems.hpp"
+#include "stats/report.hpp"
+#include "workloads/micro.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace lktm;
+
+void usage() {
+  std::printf(
+      "usage: lktm_sim [options]\n"
+      "  --list                 list systems, workloads and machines\n"
+      "  --system NAME          Table II system (default LockillerTM)\n"
+      "  --workload NAME        STAMP analog or counter/bank/linkedlist\n"
+      "                         (default vacation+)\n"
+      "  --threads N            1..32 (default 8)\n"
+      "  --machine M            typical | small | large (default typical)\n"
+      "  --seed N               workload generation seed (default 11)\n"
+      "  --breakdown            print the per-category time breakdown\n"
+      "  --switch-on-fault      enable the switch-on-fault extension\n"
+      "  --ideal-net            contention-free network (ablation)\n"
+      "  --no-check             skip coherence checker + invariants\n");
+}
+
+std::unique_ptr<wl::Workload> makeWorkload(const std::string& name,
+                                           std::uint64_t seed) {
+  if (name == "counter") return wl::makeCounter(4, 2, 256, seed);
+  if (name == "bank") return wl::makeBank(64, 480, seed);
+  if (name == "linkedlist") return wl::makeLinkedList(128, 6, 240, seed);
+  return wl::makeStamp(name, seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string system = "LockillerTM";
+  std::string workload = "vacation+";
+  std::string machineName = "typical";
+  unsigned threads = 8;
+  std::uint64_t seed = 11;
+  bool breakdown = false;
+  bool switchOnFault = false;
+  bool idealNet = false;
+  bool check = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--list") {
+      std::printf("systems:\n");
+      for (const auto& s : cfg::evaluatedSystems()) {
+        std::printf("  %-16s %s\n", s.name.c_str(), s.description.c_str());
+      }
+      std::printf("workloads:\n ");
+      for (const auto& w : wl::stampNames()) std::printf(" %s", w.c_str());
+      std::printf(" counter bank linkedlist\nmachines: typical small large\n");
+      return 0;
+    } else if (a == "--system") {
+      system = next();
+    } else if (a == "--workload") {
+      workload = next();
+    } else if (a == "--threads") {
+      threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (a == "--machine") {
+      machineName = next();
+    } else if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--breakdown") {
+      breakdown = true;
+    } else if (a == "--switch-on-fault") {
+      switchOnFault = true;
+    } else if (a == "--ideal-net") {
+      idealNet = true;
+    } else if (a == "--no-check") {
+      check = false;
+    } else {
+      usage();
+      return a == "--help" || a == "-h" ? 0 : 2;
+    }
+  }
+
+  cfg::RunConfig rc;
+  if (machineName == "small") {
+    rc.machine = cfg::MachineParams::smallCache();
+  } else if (machineName == "large") {
+    rc.machine = cfg::MachineParams::largeCache();
+  } else if (machineName == "typical") {
+    rc.machine = cfg::MachineParams::typical();
+  } else {
+    std::fprintf(stderr, "unknown machine '%s'\n", machineName.c_str());
+    return 2;
+  }
+  rc.machine.idealNetwork = idealNet;
+  try {
+    rc.system = cfg::systemByName(system);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s (try --list)\n", e.what());
+    return 2;
+  }
+  rc.system.policy.switchOnFault = switchOnFault;
+  if (threads == 0 || threads > rc.machine.numCores) {
+    std::fprintf(stderr, "threads must be 1..%u\n", rc.machine.numCores);
+    return 2;
+  }
+  rc.threads = threads;
+  rc.runCoherenceChecker = check;
+  rc.verifyWorkload = check;
+
+  cfg::RunResult r;
+  try {
+    r = cfg::runSimulation(rc, [&] { return makeWorkload(workload, seed); });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("%s\n", r.str().c_str());
+  std::printf("machine: %s\n", rc.machine.describe().c_str());
+  stats::Table t({"metric", "value"});
+  t.addRow({"cycles", std::to_string(r.cycles)});
+  t.addRow({"commit rate", stats::Table::pct(r.commitRate())});
+  t.addRow({"htm commits", std::to_string(r.tx.htmCommits)});
+  t.addRow({"lock commits", std::to_string(r.tx.lockCommits)});
+  t.addRow({"stl commits", std::to_string(r.tx.stlCommits)});
+  t.addRow({"aborts", std::to_string(r.tx.aborts)});
+  for (auto cause : {AbortCause::MemConflict, AbortCause::LockConflict,
+                     AbortCause::Mutex, AbortCause::NonTran, AbortCause::Overflow,
+                     AbortCause::Fault, AbortCause::Explicit}) {
+    const auto n = r.tx.abortCount(cause);
+    if (n != 0) t.addRow({std::string("  abort/") + toString(cause), std::to_string(n)});
+  }
+  t.addRow({"rejects sent", std::to_string(r.tx.rejectsSent)});
+  t.addRow({"sig rejects", std::to_string(r.tx.sigRejects)});
+  t.addRow({"switch attempts/grants", std::to_string(r.tx.switchAttempts) + "/" +
+                                          std::to_string(r.tx.switchGrants)});
+  t.addRow({"wakeups", std::to_string(r.tx.wakeupsSent)});
+  t.addRow({"net messages", std::to_string(r.protocol.messages)});
+  t.addRow({"flit-hops", std::to_string(r.protocol.flitHops)});
+  t.addRow({"L1 hit rate",
+            stats::Table::pct(r.protocol.l1Hits + r.protocol.l1Misses
+                                  ? double(r.protocol.l1Hits) /
+                                        (r.protocol.l1Hits + r.protocol.l1Misses)
+                                  : 0.0)});
+  t.addRow({"writebacks", std::to_string(r.protocol.writebacks)});
+  std::printf("%s\n", t.str().c_str());
+
+  if (breakdown) {
+    stats::Table bt({"category", "fraction", ""});
+    for (int c = 0; c < static_cast<int>(TimeCat::kCount); ++c) {
+      const auto cat = static_cast<TimeCat>(c);
+      bt.addRow({toString(cat), stats::Table::pct(r.breakdown.fraction(cat)),
+                 stats::bar(r.breakdown.fraction(cat))});
+    }
+    std::printf("%s\n", bt.str().c_str());
+  }
+  return r.ok() ? 0 : 1;
+}

@@ -5,9 +5,12 @@
 
 #include "coherence/directory.hpp"
 #include "coherence/l1_controller.hpp"
+#include "coherence/messages.hpp"
 #include "mem/cache_array.hpp"
 #include "mem/signature.hpp"
+#include "noc/ideal.hpp"
 #include "noc/mesh.hpp"
+#include "sim/context.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "config/runner.hpp"
@@ -66,8 +69,8 @@ BENCHMARK(BM_BloomSignature)->Arg(1024)->Arg(2048)->Arg(8192);
 
 void BM_MeshTraversal(benchmark::State& state) {
   for (auto _ : state) {
-    sim::Engine e;
-    noc::MeshNetwork net(e, {});
+    sim::SimContext ctx;
+    noc::MeshNetwork net(ctx, {});
     int delivered = 0;
     sim::Rng rng(11);
     for (int i = 0; i < 256; ++i) {
@@ -75,12 +78,89 @@ void BM_MeshTraversal(benchmark::State& state) {
                static_cast<noc::NodeId>(rng.below(64)), noc::kDataFlits,
                [&delivered] { ++delivered; });
     }
-    e.queue().runUntilDrained(1'000'000);
+    ctx.queue().runUntilDrained(1'000'000);
     benchmark::DoNotOptimize(delivered);
   }
   state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_MeshTraversal);
+
+// ---- kernel group: steady-state cost of the pooled event/message hot path.
+// These reuse one SimContext across iterations, which is how the sweep
+// executor runs; after the first iteration warms the pools, the kernel
+// allocates nothing (verified by tests/test_kernel.cpp's pool-reuse test).
+
+void BM_KernelQueueSteadyState(benchmark::State& state) {
+  sim::EventQueue q;
+  int sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < state.range(0); ++i) {
+      q.schedule(static_cast<Cycle>(i % 97), [&sink] { ++sink; });
+    }
+    while (q.runOne()) {
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KernelQueueSteadyState)->Arg(1024)->Arg(16384);
+
+void BM_KernelMeshSteady(benchmark::State& state) {
+  sim::SimContext ctx;
+  noc::MeshNetwork net(ctx, {});
+  sim::Rng rng(11);
+  int delivered = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      net.send(static_cast<noc::NodeId>(rng.below(64)),
+               static_cast<noc::NodeId>(rng.below(64)), noc::kDataFlits,
+               [&delivered] { ++delivered; });
+    }
+    ctx.queue().runUntilDrained(1'000'000'000);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_KernelMeshSteady);
+
+struct NullSink final : coh::MsgSink {
+  std::uint64_t received = 0;
+  void onMessage(const coh::Msg&) override { ++received; }
+};
+
+void BM_KernelPooledMsgPost(benchmark::State& state) {
+  sim::SimContext ctx;
+  noc::IdealNetwork net(ctx, 3);
+  NullSink sink;
+  for (auto _ : state) {
+    for (int i = 0; i < 512; ++i) {
+      coh::Msg m{.type = coh::MsgType::DataE,
+                 .line = static_cast<LineAddr>(i),
+                 .hasData = true};
+      coh::post(ctx, net, 0, 1, sink, std::move(m));
+    }
+    ctx.queue().runUntilDrained(1'000'000'000);
+    benchmark::DoNotOptimize(sink.received);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_KernelPooledMsgPost);
+
+void BM_KernelContextReuse(benchmark::State& state) {
+  const auto sys = cfg::systemByName("LockillerTM");
+  sim::SimContext ctx;
+  for (auto _ : state) {
+    cfg::RunConfig rc;
+    rc.system = sys;
+    rc.threads = 8;
+    rc.runCoherenceChecker = false;
+    const auto r = cfg::runSimulation(
+        rc, [] { return wl::makeCounter(8, 2, 128); }, &ctx);
+    benchmark::DoNotOptimize(r.cycles);
+    if (!r.ok()) state.SkipWithError("simulation failed");
+  }
+}
+BENCHMARK(BM_KernelContextReuse)->Unit(benchmark::kMillisecond);
 
 void BM_FullSimulationCounter(benchmark::State& state) {
   const auto sys = cfg::systemByName(state.range(0) == 0 ? "CGL" : "LockillerTM");

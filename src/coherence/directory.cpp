@@ -8,11 +8,12 @@
 
 namespace lktm::coh {
 
-DirectoryController::DirectoryController(sim::Engine& engine, noc::Network& net,
+DirectoryController::DirectoryController(sim::SimContext& ctx, noc::Network& net,
                                          mem::MainMemory& memory,
                                          ProtocolParams params, unsigned numCores,
                                          core::HtmLockUnitParams sigParams)
-    : engine_(engine),
+    : ctx_(ctx),
+      engine_(ctx.engine()),
       net_(net),
       memory_(memory),
       params_(params),
@@ -33,9 +34,7 @@ void DirectoryController::preloadLlc(LineAddr from, LineAddr to) {
 void DirectoryController::sendToL1(CoreId core, Msg msg) {
   MsgSink* sink = l1s_.at(static_cast<std::size_t>(core));
   assert(sink != nullptr);
-  const unsigned flits = msg.hasData ? noc::kDataFlits : noc::kControlFlits;
-  net_.send(bankNode(msg.line), core, flits,
-            [sink, m = std::move(msg)]() { sink->onMessage(m); });
+  post(ctx_, net_, bankNode(msg.line), core, *sink, std::move(msg));
 }
 
 mem::LineData& DirectoryController::llcFetch(LineAddr line, bool& cold) {

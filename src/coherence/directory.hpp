@@ -27,6 +27,7 @@
 #include "coherence/params.hpp"
 #include "mem/main_memory.hpp"
 #include "noc/network.hpp"
+#include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "stats/counters.hpp"
 
@@ -34,7 +35,7 @@ namespace lktm::coh {
 
 class DirectoryController final : public MsgSink {
  public:
-  DirectoryController(sim::Engine& engine, noc::Network& net,
+  DirectoryController(sim::SimContext& ctx, noc::Network& net,
                       mem::MainMemory& memory, ProtocolParams params,
                       unsigned numCores,
                       core::HtmLockUnitParams sigParams = {});
@@ -85,6 +86,7 @@ class DirectoryController final : public MsgSink {
     bool waitUnblock = false;
   };
 
+  sim::SimContext& ctx_;
   sim::Engine& engine_;
   noc::Network& net_;
   mem::MainMemory& memory_;

@@ -8,10 +8,11 @@
 
 namespace lktm::coh {
 
-L1Controller::L1Controller(sim::Engine& engine, noc::Network& net, CoreId id,
+L1Controller::L1Controller(sim::SimContext& ctx, noc::Network& net, CoreId id,
                            mem::CacheGeometry geometry, ProtocolParams params,
                            core::TmPolicy policy, unsigned numCores)
-    : engine_(engine),
+    : ctx_(ctx),
+      engine_(ctx.engine()),
       net_(net),
       id_(id),
       cache_(geometry),
@@ -25,11 +26,10 @@ L1Controller::L1Controller(sim::Engine& engine, noc::Network& net, CoreId id,
 
 void L1Controller::sendToDir(Msg msg) {
   msg.from = id_;
-  const unsigned flits = msg.hasData ? noc::kDataFlits : noc::kControlFlits;
   const noc::NodeId dst =
       static_cast<noc::NodeId>(numCores_ + static_cast<unsigned>(msg.line % numCores_));
   LKTM_LOG(sim::LogLevel::Trace, engine_.now(), "l1", "c" + std::to_string(id_) + " tx " + msg.str());
-  net_.send(id_, dst, flits, [sink = dir_, m = std::move(msg)]() { sink->onMessage(m); });
+  post(ctx_, net_, id_, dst, *dir_, std::move(msg));
 }
 
 core::ReqSide L1Controller::myReqSide(bool wantsExclusive) const {
@@ -53,20 +53,20 @@ core::LocalSide L1Controller::myLocalSide(LineAddr line) const {
 
 // --------------------------------------------------------------- CPU port
 
-void L1Controller::load(Addr addr, std::function<void(std::uint64_t)> done) {
+void L1Controller::load(Addr addr, DoneValFn done) {
   startOp(CpuOp{.active = true, .kind = OpKind::Load, .addr = addr, .done = std::move(done)});
 }
 
-void L1Controller::store(Addr addr, std::uint64_t value, std::function<void()> done) {
+void L1Controller::store(Addr addr, std::uint64_t value, DoneFn done) {
   startOp(CpuOp{.active = true,
                 .kind = OpKind::Store,
                 .addr = addr,
                 .value = value,
-                .done = [d = std::move(done)](std::uint64_t) { d(); }});
+                .done = [d = std::move(done)](std::uint64_t) mutable { d(); }});
 }
 
 void L1Controller::cas(Addr addr, std::uint64_t expect, std::uint64_t desired,
-                       std::function<void(std::uint64_t)> done) {
+                       DoneValFn done) {
   startOp(CpuOp{.active = true,
                 .kind = OpKind::Cas,
                 .addr = addr,
@@ -246,7 +246,7 @@ void L1Controller::txBegin() {
   triedSwitch_ = false;
 }
 
-void L1Controller::txCommit(std::function<void()> done) {
+void L1Controller::txCommit(DoneFn done) {
   assert(mode_ == TxMode::Htm);
   clearTxBitsAndWake();
   mode_ = TxMode::None;
@@ -304,7 +304,7 @@ void L1Controller::clearTxBitsAndWake() {
   }
 }
 
-void L1Controller::hlBegin(std::function<void()> done) {
+void L1Controller::hlBegin(DoneFn done) {
   assert(mode_ == TxMode::None);
   assert(!hlBeginDone_);
   hlBeginDone_ = std::move(done);
@@ -312,7 +312,7 @@ void L1Controller::hlBegin(std::function<void()> done) {
   sendToDir(std::move(req));
 }
 
-void L1Controller::hlEnd(std::function<void()> done) {
+void L1Controller::hlEnd(DoneFn done) {
   assert(isLockMode(mode_));
   clearTxBitsAndWake();
   ofRd_.clear();
@@ -327,7 +327,7 @@ void L1Controller::sendWakeup(CoreId core, LineAddr line) {
   assert(core != id_);
   MsgSink* peer = peers_.at(static_cast<std::size_t>(core));
   Msg wake{.type = MsgType::Wakeup, .line = line, .from = id_};
-  net_.send(id_, core, noc::kControlFlits, [peer, wake]() { peer->onMessage(wake); });
+  post(ctx_, net_, id_, core, *peer, std::move(wake));
 }
 
 // ------------------------------------------------------------ network port
@@ -457,7 +457,7 @@ void L1Controller::onWakeup(const Msg& msg) {
   }
 }
 
-void L1Controller::trySwitchToLockMode(std::function<void(bool)> done) {
+void L1Controller::trySwitchToLockMode(DoneBoolFn done) {
   if (!policy_.switching || triedSwitch_ || mode_ != TxMode::Htm) {
     done(false);
     return;

@@ -25,13 +25,22 @@
 #include "mem/cache_array.hpp"
 #include "mem/mshr.hpp"
 #include "noc/network.hpp"
+#include "sim/context.hpp"
 #include "sim/engine.hpp"
+#include "sim/small_fn.hpp"
 #include "stats/counters.hpp"
 
 namespace lktm::coh {
 
 class L1Controller final : public MsgSink {
  public:
+  /// CPU-port completion callables. Value completions get a wider inline
+  /// buffer because store() adapts a whole void() action into one, and that
+  /// wrapper must still avoid the heap on the hot path.
+  using DoneFn = sim::Action;
+  using DoneValFn = sim::SmallFn<void(std::uint64_t), 64>;
+  using DoneBoolFn = sim::SmallFn<void(bool)>;
+
   /// Hooks into the owning CPU model.
   struct Callbacks {
     /// Current priority value per the configured PriorityKind.
@@ -42,7 +51,7 @@ class L1Controller final : public MsgSink {
     std::function<void()> onSwitchedToStl = [] {};
   };
 
-  L1Controller(sim::Engine& engine, noc::Network& net, CoreId id,
+  L1Controller(sim::SimContext& ctx, noc::Network& net, CoreId id,
                mem::CacheGeometry geometry, ProtocolParams params,
                core::TmPolicy policy, unsigned numCores);
 
@@ -54,25 +63,25 @@ class L1Controller final : public MsgSink {
   void setLockLine(LineAddr line) { lockLine_ = line; }
 
   // ---- CPU port: one outstanding operation at a time ----
-  void load(Addr addr, std::function<void(std::uint64_t)> done);
-  void store(Addr addr, std::uint64_t value, std::function<void()> done);
+  void load(Addr addr, DoneValFn done);
+  void store(Addr addr, std::uint64_t value, DoneFn done);
   /// Atomic compare-and-swap; completes with the *old* word value.
   void cas(Addr addr, std::uint64_t expect, std::uint64_t desired,
-           std::function<void(std::uint64_t)> done);
+           DoneValFn done);
 
   // ---- HTM port ----
   void txBegin();
-  void txCommit(std::function<void()> done);
+  void txCommit(DoneFn done);
   /// Abort the running HTM transaction (explicit xabort / fault / internal).
   void txAbort(AbortCause cause);
   /// Enter TL mode (caller holds the software fallback lock). Completion
   /// waits for the LLC's HTMLock authorization.
-  void hlBegin(std::function<void()> done);
-  void hlEnd(std::function<void()> done);
+  void hlBegin(DoneFn done);
+  void hlEnd(DoneFn done);
   /// switchingMode entry that is not driven by an overflowing memory request
   /// (e.g. the switch-on-fault extension): apply for STL; `done(granted)`.
   /// On denial the caller decides (typically txAbort(Fault)).
-  void trySwitchToLockMode(std::function<void(bool)> done);
+  void trySwitchToLockMode(DoneBoolFn done);
 
   TxMode mode() const { return mode_; }
   bool busy() const { return op_.active; }
@@ -97,9 +106,10 @@ class L1Controller final : public MsgSink {
     Addr addr = 0;
     std::uint64_t value = 0;   // store value / CAS desired
     std::uint64_t expect = 0;  // CAS expected
-    std::function<void(std::uint64_t)> done;
+    DoneValFn done;
   };
 
+  sim::SimContext& ctx_;
   sim::Engine& engine_;
   noc::Network& net_;
   CoreId id_;
@@ -123,8 +133,8 @@ class L1Controller final : public MsgSink {
   bool triedSwitch_ = false;
   bool switchPending_ = false;            ///< applyingHLA: external reqs blocked
   std::deque<Msg> blockedExternal_;
-  std::function<void()> hlBeginDone_;
-  std::function<void(bool)> switchDone_;  ///< non-overflow switch requests
+  DoneFn hlBeginDone_;
+  DoneBoolFn switchDone_;  ///< non-overflow switch requests
 
   stats::TxCounters txc_;
   stats::ProtocolCounters counters_;

@@ -1,8 +1,20 @@
 #include "coherence/messages.hpp"
 
 #include <sstream>
+#include <utility>
 
 namespace lktm::coh {
+
+void post(sim::SimContext& ctx, noc::Network& net, noc::NodeId src,
+          noc::NodeId dst, MsgSink& sink, Msg&& msg) {
+  const unsigned flits = msg.hasData ? noc::kDataFlits : noc::kControlFlits;
+  sim::Pool<Msg>& pool = ctx.pool<Msg>();
+  Msg* m = pool.acquire(std::move(msg));
+  net.send(src, dst, flits, [s = &sink, m, p = &pool] {
+    s->onMessage(*m);
+    p->recycle(m);
+  });
+}
 
 const char* toString(MsgType t) {
   switch (t) {

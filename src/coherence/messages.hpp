@@ -12,6 +12,8 @@
 
 #include "core/conflict_manager.hpp"
 #include "mem/cache_array.hpp"
+#include "noc/network.hpp"
+#include "sim/context.hpp"
 #include "sim/types.hpp"
 
 namespace lktm::coh {
@@ -80,5 +82,12 @@ class MsgSink {
   virtual ~MsgSink() = default;
   virtual void onMessage(const Msg& msg) = 0;
 };
+
+/// Send `msg` to `sink` across `net` without copying the payload through the
+/// event queue: the Msg moves into the context's message pool and the
+/// in-flight delivery closure captures only {sink, msg*, pool*}, which stays
+/// inside sim::Action's inline buffer. Flit count derives from hasData.
+void post(sim::SimContext& ctx, noc::Network& net, noc::NodeId src,
+          noc::NodeId dst, MsgSink& sink, Msg&& msg);
 
 }  // namespace lktm::coh

@@ -28,25 +28,33 @@ std::string RunResult::str() const {
   return oss.str();
 }
 
-RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkload) {
+RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkload,
+                        sim::SimContext* ctx) {
   RunResult res;
   res.system = cfg.system.name;
   res.machine = cfg.machine.name;
   res.threads = cfg.threads;
 
-  sim::Engine engine(cfg.machine.watchdogWindow);
+  std::unique_ptr<sim::SimContext> localCtx;
+  if (ctx == nullptr) {
+    localCtx = std::make_unique<sim::SimContext>(cfg.machine.watchdogWindow);
+    ctx = localCtx.get();
+  }
+  sim::SimContext& simCtx = *ctx;
+  simCtx.beginRun(cfg.machine.watchdogWindow);
+  sim::Engine& engine = simCtx.engine();
   mem::MainMemory memory;
   std::unique_ptr<noc::Network> netPtr;
   if (cfg.machine.idealNetwork) {
-    netPtr = std::make_unique<noc::IdealNetwork>(engine, cfg.machine.idealNetworkLatency);
+    netPtr = std::make_unique<noc::IdealNetwork>(simCtx, cfg.machine.idealNetworkLatency);
   } else {
-    netPtr = std::make_unique<noc::MeshNetwork>(engine, cfg.machine.mesh);
+    netPtr = std::make_unique<noc::MeshNetwork>(simCtx, cfg.machine.mesh);
   }
   noc::Network& net = *netPtr;
   stats::ProtocolCounters netCounters;
   net.attachCounters(&netCounters);
 
-  coh::DirectoryController dir(engine, net, memory, cfg.machine.protocol,
+  coh::DirectoryController dir(simCtx, net, memory, cfg.machine.protocol,
                                cfg.machine.numCores,
                                core::HtmLockUnitParams{cfg.machine.signatureBits, 4});
 
@@ -66,7 +74,7 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
   l1s.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     l1s.push_back(std::make_unique<coh::L1Controller>(
-        engine, net, static_cast<CoreId>(i), cfg.machine.l1, cfg.machine.protocol,
+        simCtx, net, static_cast<CoreId>(i), cfg.machine.l1, cfg.machine.protocol,
         cfg.system.policy, cfg.machine.numCores));
     l1s.back()->connectDirectory(&dir);
     l1s.back()->setLockLine(lineOf(wl::kFallbackLockAddr));
@@ -76,7 +84,7 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
   for (auto& l1 : l1s) peers.push_back(l1.get());
   for (auto& l1 : l1s) l1->connectPeers(peers);
 
-  cpu::BarrierUnit barrier(engine, n);
+  cpu::BarrierUnit barrier(simCtx, n);
   cpu::CpuParams cpuParams = cfg.machine.cpu;
   cpuParams.priorityKind = cfg.system.policy.priority;
   cpuParams.switchOnFault = cfg.system.policy.switching && cfg.system.policy.switchOnFault;
@@ -85,7 +93,7 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
   cpus.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     cpus.push_back(std::make_unique<cpu::Cpu>(
-        engine, static_cast<CoreId>(i), *l1s[i], barrier,
+        simCtx, static_cast<CoreId>(i), *l1s[i], barrier,
         workload->buildProgram(i, n, runtime), cpuParams));
     engine.addDiagnostic([c = cpus.back().get()] { return c->diagnostic(); });
   }

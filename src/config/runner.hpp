@@ -11,6 +11,7 @@
 
 #include "config/machine.hpp"
 #include "config/systems.hpp"
+#include "sim/context.hpp"
 #include "stats/breakdown.hpp"
 #include "stats/counters.hpp"
 #include "workloads/workload.hpp"
@@ -52,6 +53,11 @@ struct RunConfig {
   bool warmLlc = true;
 };
 
-RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkload);
+/// Run one simulation. When `ctx` is non-null the run executes inside that
+/// context (beginRun() resets its logical state first, pools keep their
+/// memory — the sweep reuse path); when null a fresh context is built on the
+/// stack, which preserves the simple one-shot call shape.
+RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkload,
+                        sim::SimContext* ctx = nullptr);
 
 }  // namespace lktm::cfg

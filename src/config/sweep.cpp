@@ -8,22 +8,26 @@
 namespace lktm::cfg {
 
 std::vector<RunResult> runSweep(std::vector<SweepJob> jobs, unsigned hostThreads) {
+  if (jobs.empty()) return {};
   if (hostThreads == 0) {
     hostThreads = std::max(1u, std::thread::hardware_concurrency());
   }
-  hostThreads = std::min<unsigned>(hostThreads, static_cast<unsigned>(jobs.size()) + 1);
+  hostThreads = std::min<unsigned>(hostThreads, static_cast<unsigned>(jobs.size()));
 
   std::vector<RunResult> results(jobs.size());
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
+    sim::SimContext ctx;  // reused across every job this thread executes
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= jobs.size()) return;
       try {
-        results[i] = jobs[i].run();
+        results[i] = jobs[i].run(ctx);
       } catch (const std::exception& e) {
         RunResult r;
-        r.system = jobs[i].label;
+        r.system = jobs[i].system.empty() ? jobs[i].label : jobs[i].system;
+        r.workload = jobs[i].workload;
+        r.threads = jobs[i].threads;
         r.hang = true;
         r.hangDiagnostic = std::string("exception: ") + e.what();
         results[i] = r;
@@ -47,13 +51,16 @@ std::vector<RunResult> sweepSystems(const MachineParams& machine,
     for (const auto& s : systems) {
       for (unsigned t : threads) {
         jobs.push_back(SweepJob{
-            s.name + "/" + w + "@" + std::to_string(t),
-            [machine, s, w, t] {
+            .label = s.name + "/" + w + "@" + std::to_string(t),
+            .system = s.name,
+            .workload = w,
+            .threads = t,
+            .run = [machine, s, w, t](sim::SimContext& ctx) {
               RunConfig cfg;
               cfg.machine = machine;
               cfg.system = s;
               cfg.threads = t;
-              return runSimulation(cfg, [&w] { return wl::makeStamp(w); });
+              return runSimulation(cfg, [&w] { return wl::makeStamp(w); }, &ctx);
             }});
       }
     }

@@ -1,7 +1,9 @@
 // Parallel sweep executor: figure-reproduction benches run hundreds of
 // independent simulations (workload x system x threads x machine); each
 // simulation is single-threaded and deterministic, so sweeps parallelize
-// perfectly across host cores.
+// perfectly across host cores. Each worker thread owns one SimContext and
+// reuses it for every job it picks up, so a sweep allocates kernel memory
+// (event slabs, message pools) once per host thread, not once per run.
 #pragma once
 
 #include <functional>
@@ -9,17 +11,26 @@
 #include <vector>
 
 #include "config/runner.hpp"
+#include "sim/context.hpp"
 
 namespace lktm::cfg {
 
 struct SweepJob {
   std::string label;
-  std::function<RunResult()> run;
+  /// Identity of the simulated cell. Carried on the job (not just inside the
+  /// result) so a job that dies with an exception still produces a result
+  /// that findResult() can locate by (system, workload, threads).
+  std::string system;
+  std::string workload;
+  unsigned threads = 0;
+  std::function<RunResult(sim::SimContext&)> run;
 };
 
-/// Execute all jobs on `hostThreads` std::threads (0 = hardware concurrency),
-/// preserving job order in the result vector. Exceptions inside a job are
-/// captured as a failed RunResult rather than tearing the sweep down.
+/// Execute all jobs on `hostThreads` std::threads (0 = hardware concurrency,
+/// and never more threads than jobs), preserving job order in the result
+/// vector. Exceptions inside a job are captured as a failed RunResult —
+/// keyed by the job's (system, workload, threads) — rather than tearing the
+/// sweep down.
 std::vector<RunResult> runSweep(std::vector<SweepJob> jobs, unsigned hostThreads = 0);
 
 /// Convenience: build the jobs for a cross product and run them.

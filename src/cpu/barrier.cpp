@@ -5,7 +5,7 @@
 
 namespace lktm::cpu {
 
-void BarrierUnit::arrive(CoreId id, std::function<void()> resume) {
+void BarrierUnit::arrive(CoreId id, sim::Action resume) {
   (void)id;
   waiters_.push_back(std::move(resume));
   if (waiters_.size() < participants_) return;

@@ -2,9 +2,9 @@
 // runs use barrier-synchronized phases; each thread is pinned to one core).
 #pragma once
 
-#include <functional>
 #include <vector>
 
+#include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "sim/types.hpp"
 
@@ -12,11 +12,11 @@ namespace lktm::cpu {
 
 class BarrierUnit {
  public:
-  BarrierUnit(sim::Engine& engine, unsigned participants)
-      : engine_(engine), participants_(participants) {}
+  BarrierUnit(sim::SimContext& ctx, unsigned participants)
+      : engine_(ctx.engine()), participants_(participants) {}
 
   /// Core `id` reached the barrier; `resume` fires when everyone has.
-  void arrive(CoreId id, std::function<void()> resume);
+  void arrive(CoreId id, sim::Action resume);
 
   unsigned waiting() const { return static_cast<unsigned>(waiters_.size()); }
   std::uint64_t episodes() const { return episodes_; }
@@ -24,7 +24,7 @@ class BarrierUnit {
  private:
   sim::Engine& engine_;
   unsigned participants_;
-  std::vector<std::function<void()>> waiters_;
+  std::vector<sim::Action> waiters_;
   std::uint64_t episodes_ = 0;
 };
 

@@ -6,9 +6,9 @@
 
 namespace lktm::cpu {
 
-Cpu::Cpu(sim::Engine& engine, CoreId id, coh::L1Controller& l1, BarrierUnit& barrier,
+Cpu::Cpu(sim::SimContext& ctx, CoreId id, coh::L1Controller& l1, BarrierUnit& barrier,
          Program program, CpuParams params, std::function<void()> onHalt)
-    : engine_(engine),
+    : engine_(ctx.engine()),
       id_(id),
       l1_(l1),
       barrier_(barrier),

@@ -27,7 +27,7 @@ struct CpuParams {
 
 class Cpu {
  public:
-  Cpu(sim::Engine& engine, CoreId id, coh::L1Controller& l1, BarrierUnit& barrier,
+  Cpu(sim::SimContext& ctx, CoreId id, coh::L1Controller& l1, BarrierUnit& barrier,
       Program program, CpuParams params, std::function<void()> onHalt = [] {});
 
   /// Schedule the first instruction.

@@ -5,7 +5,7 @@
 namespace lktm::noc {
 
 void IdealNetwork::send(NodeId src, NodeId dst, unsigned flits,
-                        sim::EventQueue::Action onArrive) {
+                        sim::Action onArrive) {
   count(flits, 1);
   Cycle arrive = engine_.now() + latency_ + flits - 1;
   Cycle& last = lastArrival_[{src, dst}];

@@ -11,14 +11,14 @@ namespace lktm::noc {
 
 class IdealNetwork final : public Network {
  public:
-  IdealNetwork(sim::Engine& engine, Cycle latency = 3)
-      : engine_(engine), latency_(latency) {}
+  IdealNetwork(sim::SimContext& ctx, Cycle latency = 3)
+      : engine_(ctx.engine()), latency_(latency) {}
 
   /// Contention-free, but still FIFO per (src, dst) pair: the coherence
   /// protocol relies on point-to-point ordering (e.g. a PutM must not be
   /// overtaken by a later GetS for the same line).
   void send(NodeId src, NodeId dst, unsigned flits,
-            sim::EventQueue::Action onArrive) override;
+            sim::Action onArrive) override;
 
  private:
   sim::Engine& engine_;

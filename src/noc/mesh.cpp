@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <cstdlib>
-#include <memory>
 #include <utility>
 
 namespace lktm::noc {
@@ -11,8 +10,11 @@ namespace {
 enum Dir : unsigned { E = 0, W = 1, N = 2, S = 3 };
 }
 
-MeshNetwork::MeshNetwork(sim::Engine& engine, MeshParams params)
-    : engine_(engine), params_(params), linkFree_(numTiles()) {}
+MeshNetwork::MeshNetwork(sim::SimContext& ctx, MeshParams params)
+    : engine_(ctx.engine()),
+      pool_(ctx.pool<MeshPacket>()),
+      params_(params),
+      linkFree_(numTiles()) {}
 
 unsigned MeshNetwork::hops(NodeId src, NodeId dst) const {
   const Pos a = posOf(tileOf(src));
@@ -22,7 +24,7 @@ unsigned MeshNetwork::hops(NodeId src, NodeId dst) const {
 }
 
 void MeshNetwork::send(NodeId src, NodeId dst, unsigned flits,
-                       sim::EventQueue::Action onArrive) {
+                       sim::Action onArrive) {
   const unsigned srcTile = tileOf(src);
   const unsigned dstTile = tileOf(dst);
   count(flits, hops(src, dst) + 1);
@@ -32,41 +34,44 @@ void MeshNetwork::send(NodeId src, NodeId dst, unsigned flits,
     return;
   }
   // Injection takes one router traversal; then hop along the X-Y path.
-  engine_.schedule(params_.routerLatency,
-                   [this, srcTile, dstTile, flits, fn = std::move(onArrive)]() mutable {
-                     hop(srcTile, dstTile, flits, 0, std::move(fn));
-                   });
+  MeshPacket* p = pool_.acquire();
+  p->tile = srcTile;
+  p->dstTile = dstTile;
+  p->flits = flits;
+  p->hopCount = 0;
+  p->onArrive = std::move(onArrive);
+  engine_.schedule(params_.routerLatency, [this, p] { step(p); });
 }
 
-void MeshNetwork::hop(unsigned tile, unsigned dstTile, unsigned flits,
-                      unsigned hopCount, sim::EventQueue::Action onArrive) {
-  assert(hopCount < params_.cols + params_.rows && "routing loop");
-  if (tile == dstTile) {
-    onArrive();
+void MeshNetwork::step(MeshPacket* p) {
+  assert(p->hopCount < params_.cols + params_.rows && "routing loop");
+  if (p->tile == p->dstTile) {
+    sim::Action fn = std::move(p->onArrive);
+    pool_.recycle(p);
+    fn();
     return;
   }
-  const Pos here = posOf(tile);
-  const Pos dst = posOf(dstTile);
+  const Pos here = posOf(p->tile);
+  const Pos dst = posOf(p->dstTile);
   unsigned dir;
   unsigned next;
   if (here.x != dst.x) {  // X first
     dir = here.x < dst.x ? E : W;
-    next = dir == E ? tile + 1 : tile - 1;
+    next = dir == E ? p->tile + 1 : p->tile - 1;
   } else {
     dir = here.y < dst.y ? S : N;
-    next = dir == S ? tile + params_.cols : tile - params_.cols;
+    next = dir == S ? p->tile + params_.cols : p->tile - params_.cols;
   }
   // Store-and-forward: the message leaves when the link is free, occupies it
   // for `flits` cycles, and is fully received linkLatency + flits - 1 later.
   const Cycle now = engine_.now();
-  Cycle& nextFree = linkFree_[tile][dir];
+  Cycle& nextFree = linkFree_[p->tile][dir];
   const Cycle depart = std::max(now, nextFree);
-  nextFree = depart + flits;
-  const Cycle arrive = depart + params_.linkLatency + flits - 1 + params_.routerLatency;
-  engine_.queue().scheduleAt(
-      arrive, [this, next, dstTile, flits, hopCount, fn = std::move(onArrive)]() mutable {
-        hop(next, dstTile, flits, hopCount + 1, std::move(fn));
-      });
+  nextFree = depart + p->flits;
+  const Cycle arrive = depart + params_.linkLatency + p->flits - 1 + params_.routerLatency;
+  p->tile = next;
+  ++p->hopCount;
+  engine_.queue().scheduleAt(arrive, [this, p] { step(p); });
 }
 
 }  // namespace lktm::noc

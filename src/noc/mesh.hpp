@@ -1,6 +1,10 @@
 // 2-D mesh with dimension-ordered (X-Y) routing and store-and-forward link
 // occupancy tracking. Matches Table I: 4x8 mesh, 1-cycle links, 1 flit/cycle
 // bandwidth, 16-byte flits.
+//
+// Each in-flight message is one pooled MeshPacket that carries the delivery
+// action once; per-hop events capture only {this, packet}, so routing a
+// message allocates nothing in steady state.
 #pragma once
 
 #include <array>
@@ -17,12 +21,21 @@ struct MeshParams {
   Cycle linkLatency = 1;
 };
 
+/// In-flight message state, recycled through the SimContext packet pool.
+struct MeshPacket {
+  unsigned tile = 0;
+  unsigned dstTile = 0;
+  unsigned flits = 0;
+  unsigned hopCount = 0;
+  sim::Action onArrive;
+};
+
 class MeshNetwork final : public Network {
  public:
-  MeshNetwork(sim::Engine& engine, MeshParams params);
+  MeshNetwork(sim::SimContext& ctx, MeshParams params);
 
   void send(NodeId src, NodeId dst, unsigned flits,
-            sim::EventQueue::Action onArrive) override;
+            sim::Action onArrive) override;
 
   unsigned numTiles() const { return params_.cols * params_.rows; }
 
@@ -34,6 +47,7 @@ class MeshNetwork final : public Network {
 
  private:
   sim::Engine& engine_;
+  sim::Pool<MeshPacket>& pool_;
   MeshParams params_;
   // nextFree cycle per directed link: [tile][direction], 0=E 1=W 2=N 3=S.
   std::vector<std::array<Cycle, 4>> linkFree_;
@@ -45,8 +59,7 @@ class MeshNetwork final : public Network {
     return {tile % params_.cols, tile / params_.cols};
   }
 
-  void hop(unsigned tile, unsigned dstTile, unsigned flits, unsigned hopCount,
-           sim::EventQueue::Action onArrive);
+  void step(MeshPacket* p);
 };
 
 }  // namespace lktm::noc

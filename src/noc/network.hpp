@@ -2,10 +2,14 @@
 // payload-delivery action plus a flit count; the network decides *when* the
 // action runs. Two implementations: a 2-D mesh with X-Y routing (the paper's
 // Table I configuration) and an ideal fixed-latency network for unit tests.
+//
+// The delivery action is a sim::Action (small-buffer callable): senders that
+// carry bulky payloads (coherence Msg with a full cache line) park the
+// payload in a SimContext pool and capture only the pointer, so no payload
+// bytes are copied through the event queue (see coh::post in messages.hpp).
 #pragma once
 
-#include <functional>
-
+#include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "sim/types.hpp"
 #include "stats/counters.hpp"
@@ -23,7 +27,7 @@ class Network {
   /// Deliver `onArrive` after the message's network traversal time.
   /// `flits` models serialization (Table I: 5 flits data, 1 flit control).
   virtual void send(NodeId src, NodeId dst, unsigned flits,
-                    sim::EventQueue::Action onArrive) = 0;
+                    sim::Action onArrive) = 0;
 
   void attachCounters(stats::ProtocolCounters* c) { counters_ = c; }
 

@@ -1,0 +1,32 @@
+#include "sim/context.hpp"
+
+#include <atomic>
+
+namespace lktm::sim {
+
+namespace detail {
+
+std::size_t nextPoolTypeId() {
+  static std::atomic<std::size_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+SimContext::SimContext(Cycle watchdogWindow) : engine_(watchdogWindow) {}
+
+void SimContext::beginRun(Cycle watchdogWindow, std::uint64_t rngSeed) {
+  engine_.reset(watchdogWindow);
+  rng_ = Rng(rngSeed);
+  ++runsStarted_;
+}
+
+std::size_t SimContext::pooledSlabs() const {
+  std::size_t n = 0;
+  for (const auto& p : pools_) {
+    if (p != nullptr) n += p->slabs();
+  }
+  return n;
+}
+
+}  // namespace lktm::sim

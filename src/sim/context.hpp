@@ -1,0 +1,86 @@
+// Per-run simulation context: one object that owns everything a single
+// deterministic simulation needs — the engine (event queue + watchdog), a
+// seeded RNG, and the typed object pools that back the message/packet hot
+// paths. Components take a SimContext& instead of a bare Engine& so a sweep
+// worker can build hundreds of systems against one context: beginRun()
+// resets logical state (clock, seq numbers, diagnostics, RNG stream) while
+// every pool and event-node slab keeps its memory, making steady-state
+// simulation allocation-free. SimContexts share nothing; one per host thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/pool.hpp"
+#include "sim/rng.hpp"
+
+namespace lktm::sim {
+
+namespace detail {
+
+struct PoolHolderBase {
+  virtual ~PoolHolderBase() = default;
+  virtual std::size_t slabs() const = 0;
+};
+
+template <class T>
+struct PoolHolder final : PoolHolderBase {
+  Pool<T> pool;
+  std::size_t slabs() const override { return pool.slabs(); }
+};
+
+std::size_t nextPoolTypeId();
+
+template <class T>
+std::size_t poolTypeId() {
+  static const std::size_t id = nextPoolTypeId();
+  return id;
+}
+
+}  // namespace detail
+
+class SimContext {
+ public:
+  static constexpr std::uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ull;
+
+  explicit SimContext(Cycle watchdogWindow = 4'000'000);
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+  EventQueue& queue() { return engine_.queue(); }
+  Cycle now() const { return engine_.now(); }
+  Rng& rng() { return rng_; }
+
+  /// Prepare for a fresh simulation run: reset the clock, event sequence
+  /// numbers, watchdog state, diagnostics, and RNG stream. Pools and event
+  /// slabs keep their memory so reuse across runs is allocation-free.
+  void beginRun(Cycle watchdogWindow, std::uint64_t rngSeed = kDefaultSeed);
+
+  /// The typed object pool for T, created on first use and owned by the
+  /// context for its lifetime (e.g. pool<coh::Msg>() backs Network deliveries).
+  template <class T>
+  Pool<T>& pool() {
+    const std::size_t id = detail::poolTypeId<T>();
+    if (id >= pools_.size()) pools_.resize(id + 1);
+    if (pools_[id] == nullptr) pools_[id] = std::make_unique<detail::PoolHolder<T>>();
+    return static_cast<detail::PoolHolder<T>*>(pools_[id].get())->pool;
+  }
+
+  /// Total slabs across this context's pools (telemetry for tests/benches).
+  std::size_t pooledSlabs() const;
+
+  std::uint64_t runsStarted() const { return runsStarted_; }
+
+ private:
+  Engine engine_;
+  Rng rng_;
+  std::vector<std::unique_ptr<detail::PoolHolderBase>> pools_;
+  std::uint64_t runsStarted_ = 0;
+};
+
+}  // namespace lktm::sim

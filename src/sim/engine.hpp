@@ -22,6 +22,16 @@ class Engine {
 
   void schedule(Cycle delay, EventQueue::Action fn) { q_.schedule(delay, std::move(fn)); }
 
+  /// Rewind to a pristine pre-run state (clock, watchdog, diagnostics) while
+  /// keeping the event queue's node slabs. Used by SimContext::beginRun so a
+  /// context reused across sweep jobs does not re-allocate kernel memory.
+  void reset(Cycle watchdogWindow) {
+    q_.reset();
+    watchdogWindow_ = watchdogWindow;
+    lastProgress_ = 0;
+    diagnostics_.clear();
+  }
+
   /// Components call this whenever application-visible progress happens
   /// (an instruction retires, a transaction commits, ...).
   void noteProgress() { lastProgress_ = q_.now(); }

@@ -1,28 +1,134 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <string>
 #include <utility>
+
+#include "sim/kernel_stats.hpp"
 
 namespace lktm::sim {
 
-void EventQueue::schedule(Cycle delay, Action fn) {
-  heap_.push(Ev{now_ + delay, seq_++, std::move(fn)});
+EventQueue::EventQueue() : ring_(kHorizon) {}
+
+EventQueue::~EventQueue() = default;
+
+EventQueue::Node* EventQueue::allocNode() {
+  if (free_ == nullptr) {
+    slabs_.emplace_back(new Node[kSlabNodes]);
+    Node* s = slabs_.back().get();
+    for (std::size_t i = kSlabNodes; i > 0; --i) {
+      s[i - 1].next = free_;
+      free_ = &s[i - 1];
+    }
+    kstats::queueSlabs.fetch_add(1, std::memory_order_relaxed);
+  }
+  Node* n = free_;
+  free_ = n->next;
+  n->next = nullptr;
+  return n;
+}
+
+void EventQueue::recycleNode(Node* n) {
+  n->fn = nullptr;  // release captured state eagerly
+  n->next = free_;
+  free_ = n;
 }
 
 void EventQueue::scheduleAt(Cycle when, Action fn) {
-  assert(when >= now_ && "cannot schedule in the past");
-  heap_.push(Ev{when, seq_++, std::move(fn)});
+  if (when < now_) {
+    throw std::logic_error("EventQueue::scheduleAt: cycle " + std::to_string(when) +
+                           " is in the past (now=" + std::to_string(now_) + ")");
+  }
+  insert(when, std::move(fn));
+}
+
+void EventQueue::insert(Cycle when, Action fn) {
+  Node* n = allocNode();
+  n->when = when;
+  n->seq = seq_++;
+  n->fn = std::move(fn);
+  ++size_;
+  if (when - now_ < kHorizon) {
+    appendToRing(n);
+  } else {
+    overflow_.push_back(n);
+    std::push_heap(overflow_.begin(), overflow_.end(), laterInHeap);
+  }
+}
+
+void EventQueue::appendToRing(Node* n) {
+  Bucket& b = ring_[n->when & kMask];
+  if (b.head == nullptr) {
+    b.head = b.tail = n;
+    occ_[(n->when & kMask) / 64] |= 1ull << ((n->when & kMask) % 64);
+  } else {
+    b.tail->next = n;
+    b.tail = n;
+  }
+  ++ringSize_;
+}
+
+void EventQueue::migrateOverflow() {
+  while (!overflow_.empty() && overflow_.front()->when - now_ < kHorizon) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), laterInHeap);
+    Node* n = overflow_.back();
+    overflow_.pop_back();
+    n->next = nullptr;
+    appendToRing(n);
+  }
+}
+
+EventQueue::Node* EventQueue::popEarliestRing() {
+  // All ring events live in [now_, now_ + kHorizon), so scanning the
+  // occupancy bitmap in wrapped index order starting at now_ visits buckets
+  // in cycle order. Each bucket holds exactly one cycle's events, FIFO.
+  const std::size_t start = now_ & kMask;
+  std::size_t word = start / 64;
+  std::uint64_t bits = occ_[word] & (~0ull << (start % 64));
+  for (std::size_t scanned = 0; scanned <= kOccWords; ++scanned) {
+    if (bits != 0) {
+      const std::size_t idx = word * 64 + static_cast<std::size_t>(__builtin_ctzll(bits));
+      Bucket& b = ring_[idx];
+      Node* n = b.head;
+      b.head = n->next;
+      if (b.head == nullptr) {
+        b.tail = nullptr;
+        occ_[idx / 64] &= ~(1ull << (idx % 64));
+      }
+      --ringSize_;
+      return n;
+    }
+    word = (word + 1) % kOccWords;
+    bits = occ_[word];
+  }
+  return nullptr;
 }
 
 bool EventQueue::runOne() {
-  if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent, so
-  // copy the action (cheap: std::function) and pop.
-  Ev ev = heap_.top();
-  heap_.pop();
-  assert(ev.when >= now_);
-  now_ = ev.when;
-  ev.fn();
+  if (size_ == 0) return false;
+  Node* n;
+  if (ringSize_ > 0) {
+    n = popEarliestRing();
+    assert(n != nullptr && "occupancy bitmap out of sync");
+  } else {
+    // Jump across the empty window to the earliest far-future event.
+    std::pop_heap(overflow_.begin(), overflow_.end(), laterInHeap);
+    n = overflow_.back();
+    overflow_.pop_back();
+    n->next = nullptr;
+  }
+  assert(n->when >= now_);
+  now_ = n->when;
+  // Pull newly-in-horizon events into the ring *before* running the action,
+  // so same-cycle ring appends from the action keep their seq order behind
+  // any older overflow events for the same bucket.
+  migrateOverflow();
+  --size_;
+  ++executed_;
+  Action fn = std::move(n->fn);
+  recycleNode(n);
+  fn();
   return true;
 }
 
@@ -34,6 +140,24 @@ void EventQueue::runUntilDrained(Cycle maxCycles) {
                            std::to_string(maxCycles) + " cycles");
     }
   }
+}
+
+void EventQueue::reset() {
+  for (Bucket& b : ring_) {
+    while (b.head != nullptr) {
+      Node* n = b.head;
+      b.head = n->next;
+      recycleNode(n);
+    }
+    b.tail = nullptr;
+  }
+  occ_.fill(0);
+  for (Node* n : overflow_) recycleNode(n);
+  overflow_.clear();
+  now_ = 0;
+  seq_ = 0;
+  size_ = 0;
+  ringSize_ = 0;
 }
 
 }  // namespace lktm::sim

@@ -1,12 +1,22 @@
 // Deterministic discrete-event queue: events ordered by (cycle, insertion seq).
+//
+// Implementation: a two-level calendar queue. A near ring of one-cycle
+// buckets covers [now, now + kHorizon); each bucket is an intrusive FIFO of
+// slab-pooled event nodes, so same-cycle events come out in insertion-seq
+// order for free. Events beyond the horizon wait in an overflow min-heap
+// keyed on (cycle, seq) and migrate into the ring as the clock advances.
+// The total order is bit-identical to the classic binary-heap implementation
+// (see tests/test_kernel.cpp's replay regression), but schedule/runOne are
+// O(1) amortized and allocation-free once the node slabs have warmed up.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/types.hpp"
 
 namespace lktm::sim {
@@ -20,18 +30,29 @@ class SimulationHang : public std::runtime_error {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = sim::Action;
+
+  /// Cycles covered by the near ring; longer delays go to the overflow heap.
+  /// 4096 covers every protocol latency (memory = 100 cycles) with headroom
+  /// for Compute/DelayReg bursts; only extreme backoffs overflow.
+  static constexpr std::size_t kHorizon = 4096;
+
+  EventQueue();
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedule `fn` to run `delay` cycles from now. delay==0 runs later in the
   /// current cycle (after currently pending same-cycle events).
-  void schedule(Cycle delay, Action fn);
+  void schedule(Cycle delay, Action fn) { insert(now_ + delay, std::move(fn)); }
 
-  /// Schedule at an absolute cycle (must be >= now()).
+  /// Schedule at an absolute cycle. Throws std::logic_error when `when` is in
+  /// the past — a protocol component computed a stale timestamp.
   void scheduleAt(Cycle when, Action fn);
 
   Cycle now() const { return now_; }
-  bool empty() const { return heap_.empty(); }
-  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t pending() const { return size_; }
 
   /// Run the next event; returns false if the queue is empty.
   bool runOne();
@@ -40,21 +61,54 @@ class EventQueue {
   /// Throws SimulationHang if the budget is exceeded.
   void runUntilDrained(Cycle maxCycles);
 
+  /// Drop all pending events and rewind the clock and sequence counter to
+  /// zero. Node slabs are retained, so a reused queue does not re-allocate.
+  void reset();
+
+  /// Events executed since construction (not reset by reset()).
+  std::uint64_t executed() const { return executed_; }
+  /// Node slabs allocated since construction (telemetry).
+  std::size_t slabsAllocated() const { return slabs_.size(); }
+
  private:
-  struct Ev {
-    Cycle when;
-    std::uint64_t seq;
+  struct Node {
+    Cycle when = 0;
+    std::uint64_t seq = 0;
+    Node* next = nullptr;
     Action fn;
   };
-  struct Later {
-    bool operator()(const Ev& a, const Ev& b) const {
-      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
-    }
+  struct Bucket {
+    Node* head = nullptr;
+    Node* tail = nullptr;
   };
 
-  std::priority_queue<Ev, std::vector<Ev>, Later> heap_;
+  static constexpr std::size_t kMask = kHorizon - 1;
+  static constexpr std::size_t kOccWords = kHorizon / 64;
+  static constexpr std::size_t kSlabNodes = 256;
+  static_assert((kHorizon & kMask) == 0, "horizon must be a power of two");
+
+  std::vector<Bucket> ring_;
+  std::array<std::uint64_t, kOccWords> occ_{};
+  std::vector<Node*> overflow_;  ///< min-heap on (when, seq)
+  Node* free_ = nullptr;
+  std::vector<std::unique_ptr<Node[]>> slabs_;
+
   Cycle now_ = 0;
   std::uint64_t seq_ = 0;
+  std::size_t size_ = 0;
+  std::size_t ringSize_ = 0;
+  std::uint64_t executed_ = 0;
+
+  static bool laterInHeap(const Node* a, const Node* b) {
+    return a->when != b->when ? a->when > b->when : a->seq > b->seq;
+  }
+
+  Node* allocNode();
+  void recycleNode(Node* n);
+  void insert(Cycle when, Action fn);
+  void appendToRing(Node* n);
+  void migrateOverflow();
+  Node* popEarliestRing();
 };
 
 }  // namespace lktm::sim

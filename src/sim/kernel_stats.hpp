@@ -1,0 +1,35 @@
+// Kernel allocation telemetry: cheap global counters that let tests assert
+// the steady-state invariant "no event/message allocations after warm-up"
+// and let benchmarks report pool growth. Counters are monotonically
+// increasing and relaxed-atomic so parallel sweep workers can share them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lktm::sim::kstats {
+
+/// Callables too large for SmallFn's inline buffer (heap fallback taken).
+inline std::atomic<std::uint64_t> heapCallables{0};
+
+/// Slabs allocated by sim::Pool instances (message/packet pools).
+inline std::atomic<std::uint64_t> poolSlabs{0};
+
+/// Event-node slabs allocated by EventQueue instances.
+inline std::atomic<std::uint64_t> queueSlabs{0};
+
+struct Snapshot {
+  std::uint64_t heapCallables = 0;
+  std::uint64_t poolSlabs = 0;
+  std::uint64_t queueSlabs = 0;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+inline Snapshot snapshot() {
+  return Snapshot{heapCallables.load(std::memory_order_relaxed),
+                  poolSlabs.load(std::memory_order_relaxed),
+                  queueSlabs.load(std::memory_order_relaxed)};
+}
+
+}  // namespace lktm::sim::kstats

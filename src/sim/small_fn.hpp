@@ -1,0 +1,142 @@
+// Small-buffer-optimized move-only callable for the event hot path.
+//
+// Every event and every coherence-message delivery used to be a
+// std::function whose captures routinely exceeded libstdc++'s 16-byte SBO
+// and heap-allocated per event. SmallFn gives the kernel a callable with a
+// 48-byte inline buffer sized so that every steady-state closure in the
+// simulator (pooled-message delivery, mesh packet steps, CPU continuations)
+// stays inline. Oversized callables still work via a heap fallback, but the
+// fallback is counted in kstats::heapCallables so the pool-reuse regression
+// test can prove the hot path never takes it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/kernel_stats.hpp"
+
+namespace lktm::sim {
+
+inline constexpr std::size_t kSmallFnInlineBytes = 48;
+
+template <class Sig, std::size_t Inline = kSmallFnInlineBytes>
+class SmallFn;
+
+template <class R, class... Args, std::size_t Inline>
+class SmallFn<R(Args...), Inline> {
+ public:
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(o.buf_, buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(o.buf_, buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn& operator=(F&& f) {
+    reset();
+    construct(std::forward<F>(f));
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  friend bool operator==(const SmallFn& f, std::nullptr_t) noexcept { return f.ops_ == nullptr; }
+  friend bool operator!=(const SmallFn& f, std::nullptr_t) noexcept { return f.ops_ != nullptr; }
+
+  R operator()(Args... args) { return ops_->invoke(buf_, std::forward<Args>(args)...); }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* from, void* to) noexcept;  // move-construct + destroy source
+    void (*destroy)(void*) noexcept;
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[Inline];
+  const Ops* ops_ = nullptr;
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  template <class F>
+  void construct(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Inline && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      static constexpr Ops ops{
+          [](void* b, Args&&... a) -> R {
+            return (*std::launder(reinterpret_cast<Fn*>(b)))(std::forward<Args>(a)...);
+          },
+          [](void* from, void* to) noexcept {
+            Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+            ::new (to) Fn(std::move(*src));
+            src->~Fn();
+          },
+          [](void* b) noexcept { std::launder(reinterpret_cast<Fn*>(b))->~Fn(); },
+      };
+      ops_ = &ops;
+    } else {
+      kstats::heapCallables.fetch_add(1, std::memory_order_relaxed);
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      static constexpr Ops ops{
+          [](void* b, Args&&... a) -> R {
+            return (**std::launder(reinterpret_cast<Fn**>(b)))(std::forward<Args>(a)...);
+          },
+          [](void* from, void* to) noexcept {
+            ::new (to) Fn*(*std::launder(reinterpret_cast<Fn**>(from)));
+          },
+          [](void* b) noexcept { delete *std::launder(reinterpret_cast<Fn**>(b)); },
+      };
+      ops_ = &ops;
+    }
+  }
+};
+
+/// The kernel's event payload: what EventQueue stores and Network delivers.
+using Action = SmallFn<void()>;
+
+}  // namespace lktm::sim

@@ -20,7 +20,7 @@ class CpuHarness {
           return opt;
         }()),
         sys_(opt_),
-        barrier_(sys_.engine(), cores),
+        barrier_(sys_.ctx(), cores),
         cpuParams_(cpuParams) {}
 
   void setProgram(CoreId c, cpu::Program p) {
@@ -28,7 +28,7 @@ class CpuHarness {
       cpus_.push_back(nullptr);
     }
     cpus_[static_cast<std::size_t>(c)] = std::make_unique<cpu::Cpu>(
-        sys_.engine(), c, sys_.l1(c), barrier_, std::move(p), cpuParams_);
+        sys_.ctx(), c, sys_.l1(c), barrier_, std::move(p), cpuParams_);
   }
 
   /// Run to completion; EXPECTs all CPUs halted.

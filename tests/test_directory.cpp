@@ -31,14 +31,15 @@ struct FakeL1 final : coh::MsgSink {
 };
 
 struct DirHarness {
-  sim::Engine engine;
+  sim::SimContext ctx;
+  sim::Engine& engine = ctx.engine();
   mem::MainMemory memory;
-  noc::IdealNetwork net{engine, 1};
+  noc::IdealNetwork net{ctx, 1};
   coh::ProtocolParams params{};
   coh::DirectoryController dir;
   std::array<FakeL1, 4> l1s;
 
-  DirHarness() : dir(engine, net, memory, coh::ProtocolParams{}, 32) {
+  DirHarness() : dir(ctx, net, memory, coh::ProtocolParams{}, 32) {
     for (CoreId c = 0; c < 4; ++c) dir.connectL1(c, &l1s[static_cast<std::size_t>(c)]);
   }
 

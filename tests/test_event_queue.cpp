@@ -63,6 +63,77 @@ TEST(EventQueue, ScheduleAtAbsolute) {
   EXPECT_EQ(at, 42u);
 }
 
+TEST(EventQueue, ScheduleAtPastThrowsWithBothCycles) {
+  EventQueue q;
+  q.schedule(100, [] {});
+  while (q.runOne()) {
+  }
+  ASSERT_EQ(q.now(), 100u);
+  try {
+    q.scheduleAt(40, [] {});
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    // The diagnostic must name both the stale target cycle and the current
+    // cycle so the offending component is identifiable from the message.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("40"), std::string::npos) << what;
+    EXPECT_NE(what.find("100"), std::string::npos) << what;
+  }
+}
+
+TEST(EventQueue, ScheduleAtNowIsAllowed) {
+  EventQueue q;
+  q.schedule(7, [] {});
+  q.runOne();
+  bool ran = false;
+  q.scheduleAt(7, [&] { ran = true; });
+  q.runOne();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), 7u);
+}
+
+TEST(EventQueue, BeyondHorizonDelaysStillOrdered) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(EventQueue::kHorizon * 3, [&] { order.push_back(3); });
+  q.schedule(5, [&] { order.push_back(1); });
+  q.schedule(EventQueue::kHorizon + 10, [&] { order.push_back(2); });
+  while (q.runOne()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), EventQueue::kHorizon * 3);
+}
+
+TEST(EventQueue, OverflowMigrationKeepsSameCycleFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  const Cycle target = EventQueue::kHorizon + 50;
+  // Scheduled while `target` is beyond the horizon: goes to the overflow heap.
+  q.scheduleAt(target, [&] { order.push_back(1); });
+  // An intermediate event brings `target` inside the horizon, then appends a
+  // same-cycle event directly to the ring. Seq order must still win.
+  q.schedule(100, [&, target] {
+    q.scheduleAt(target, [&] { order.push_back(2); });
+  });
+  while (q.runOne()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, ResetKeepsSlabsDropsEvents) {
+  EventQueue q;
+  for (int i = 0; i < 1000; ++i) q.schedule(static_cast<Cycle>(i), [] {});
+  const std::size_t slabs = q.slabsAllocated();
+  EXPECT_GT(slabs, 0u);
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0u);
+  for (int i = 0; i < 1000; ++i) q.schedule(static_cast<Cycle>(i), [] {});
+  EXPECT_EQ(q.slabsAllocated(), slabs);  // reuse, no new slabs
+  while (q.runOne()) {
+  }
+}
+
 TEST(EventQueue, RunUntilDrainedThrowsOnBudget) {
   EventQueue q;
   // Self-perpetuating event chain: must hit the budget.

@@ -111,12 +111,16 @@ TEST(Integration, ThreadScalingKeepsTotalWork) {
 TEST(Integration, SweepRunnerPreservesOrderAndLabels) {
   std::vector<SweepJob> jobs;
   for (unsigned t : {2u, 4u}) {
-    jobs.push_back({"job" + std::to_string(t), [t] {
+    jobs.push_back({.label = "job" + std::to_string(t),
+                    .system = "Baseline",
+                    .workload = "counter",
+                    .threads = t,
+                    .run = [t](sim::SimContext& ctx) {
                       RunConfig rc;
                       rc.system = systemByName("Baseline");
                       rc.threads = t;
                       return runSimulation(
-                          rc, [] { return wl::makeCounter(4, 2, 64); });
+                          rc, [] { return wl::makeCounter(4, 2, 64); }, &ctx);
                     }});
   }
   const auto results = runSweep(std::move(jobs), 2);
@@ -129,11 +133,28 @@ TEST(Integration, SweepRunnerPreservesOrderAndLabels) {
 
 TEST(Integration, SweepCapturesExceptionsAsFailures) {
   std::vector<SweepJob> jobs;
-  jobs.push_back({"boom", []() -> RunResult { throw std::runtime_error("boom"); }});
+  jobs.push_back({.label = "boom",
+                  .system = "SysX",
+                  .workload = "wlY",
+                  .threads = 4,
+                  .run = [](sim::SimContext&) -> RunResult {
+                    throw std::runtime_error("boom");
+                  }});
   const auto results = runSweep(std::move(jobs), 1);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_FALSE(results[0].ok());
   EXPECT_NE(results[0].hangDiagnostic.find("boom"), std::string::npos);
+  // The failed cell is still locatable by its sweep coordinates (the old
+  // exception path dropped workload/threads, so findResult could never see
+  // failed jobs).
+  const RunResult* r = findResult(results, "SysX", "wlY", 4);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->hang);
+}
+
+TEST(Integration, SweepHandlesEmptyJobList) {
+  const auto results = runSweep({}, 4);
+  EXPECT_TRUE(results.empty());
 }
 
 TEST(Integration, FindResultLocatesCells) {

@@ -4,13 +4,15 @@
 
 #include "noc/ideal.hpp"
 #include "noc/mesh.hpp"
+#include "sim/context.hpp"
 
 namespace lktm::noc {
 namespace {
 
 TEST(Mesh, HopCountsManhattan) {
-  sim::Engine e;
-  MeshNetwork net(e, {});
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
+  MeshNetwork net(sc, {});
   // 4x8 mesh: tile = col + row*8.
   EXPECT_EQ(net.hops(0, 0), 0u);
   EXPECT_EQ(net.hops(0, 7), 7u);   // across the top row
@@ -20,8 +22,9 @@ TEST(Mesh, HopCountsManhattan) {
 }
 
 TEST(Mesh, LocalDeliveryIsOneRouterHop) {
-  sim::Engine e;
-  MeshNetwork net(e, {});
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
+  MeshNetwork net(sc, {});
   Cycle at = 0;
   net.send(3, 3 + 32, kControlFlits, [&] { at = e.now(); });
   e.queue().runUntilDrained(1000);
@@ -29,9 +32,10 @@ TEST(Mesh, LocalDeliveryIsOneRouterHop) {
 }
 
 TEST(Mesh, ControlLatencyMatchesPath) {
-  sim::Engine e;
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
   MeshParams p;
-  MeshNetwork net(e, p);
+  MeshNetwork net(sc, p);
   // src 0 -> dst 2: 2 hops. Injection router (1) then per hop:
   // link 1 + flits-1 (0) + router 1 = 2. Total = 1 + 2*2 = 5.
   Cycle at = 0;
@@ -41,21 +45,24 @@ TEST(Mesh, ControlLatencyMatchesPath) {
 }
 
 TEST(Mesh, DataMessagesSerializeFlits) {
-  sim::Engine e;
-  MeshNetwork net(e, {});
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
+  MeshNetwork net(sc, {});
   Cycle ctrl = 0, data = 0;
   net.send(0, 1, kControlFlits, [&] { ctrl = e.now(); });
   e.queue().runUntilDrained(1000);
-  sim::Engine e2;
-  MeshNetwork net2(e2, {});
+  sim::SimContext sc2;
+  sim::Engine& e2 = sc2.engine();
+  MeshNetwork net2(sc2, {});
   net2.send(0, 1, kDataFlits, [&] { data = e2.now(); });
   e2.queue().runUntilDrained(1000);
   EXPECT_EQ(data, ctrl + kDataFlits - 1);
 }
 
 TEST(Mesh, ContentionDelaysSecondMessage) {
-  sim::Engine e;
-  MeshNetwork net(e, {});
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
+  MeshNetwork net(sc, {});
   std::vector<Cycle> arrivals;
   net.send(0, 1, kDataFlits, [&] { arrivals.push_back(e.now()); });
   net.send(0, 1, kDataFlits, [&] { arrivals.push_back(e.now()); });
@@ -66,8 +73,9 @@ TEST(Mesh, ContentionDelaysSecondMessage) {
 }
 
 TEST(Mesh, FifoPerSourceDestinationPair) {
-  sim::Engine e;
-  MeshNetwork net(e, {});
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
+  MeshNetwork net(sc, {});
   std::vector<int> order;
   // A 5-flit data message followed by a 1-flit control message on the same
   // path must not be overtaken (the protocol relies on this).
@@ -78,8 +86,9 @@ TEST(Mesh, FifoPerSourceDestinationPair) {
 }
 
 TEST(Mesh, DisjointPathsDontInterfere) {
-  sim::Engine e;
-  MeshNetwork net(e, {});
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
+  MeshNetwork net(sc, {});
   Cycle a = 0, b = 0;
   net.send(0, 1, kDataFlits, [&] { a = e.now(); });
   net.send(8, 9, kDataFlits, [&] { b = e.now(); });
@@ -88,8 +97,9 @@ TEST(Mesh, DisjointPathsDontInterfere) {
 }
 
 TEST(Mesh, CountsFlitHops) {
-  sim::Engine e;
-  MeshNetwork net(e, {});
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
+  MeshNetwork net(sc, {});
   stats::ProtocolCounters c;
   net.attachCounters(&c);
   net.send(0, 2, kDataFlits, [] {});
@@ -100,8 +110,9 @@ TEST(Mesh, CountsFlitHops) {
 }
 
 TEST(Ideal, FixedLatency) {
-  sim::Engine e;
-  IdealNetwork net(e, 3);
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
+  IdealNetwork net(sc, 3);
   Cycle at = 0;
   net.send(0, 31, kControlFlits, [&] { at = e.now(); });
   e.queue().runUntilDrained(100);
@@ -109,8 +120,9 @@ TEST(Ideal, FixedLatency) {
 }
 
 TEST(Ideal, DataPaysSerialization) {
-  sim::Engine e;
-  IdealNetwork net(e, 3);
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
+  IdealNetwork net(sc, 3);
   Cycle at = 0;
   net.send(0, 31, kDataFlits, [&] { at = e.now(); });
   e.queue().runUntilDrained(100);
@@ -119,8 +131,9 @@ TEST(Ideal, DataPaysSerialization) {
 
 
 TEST(Ideal, FifoPerPairEvenWhenFlitsDiffer) {
-  sim::Engine e;
-  IdealNetwork net(e, 3);
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
+  IdealNetwork net(sc, 3);
   std::vector<int> order;
   net.send(0, 9, kDataFlits, [&] { order.push_back(1); });
   net.send(0, 9, kControlFlits, [&] { order.push_back(2); });  // would overtake
@@ -129,8 +142,9 @@ TEST(Ideal, FifoPerPairEvenWhenFlitsDiffer) {
 }
 
 TEST(Ideal, DistinctPairsIndependent) {
-  sim::Engine e;
-  IdealNetwork net(e, 3);
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
+  IdealNetwork net(sc, 3);
   Cycle a = 0, b = 0;
   net.send(0, 9, kDataFlits, [&] { a = e.now(); });
   net.send(1, 9, kControlFlits, [&] { b = e.now(); });
@@ -141,8 +155,9 @@ TEST(Ideal, DistinctPairsIndependent) {
 class MeshAllPairsTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(MeshAllPairsTest, EveryDestinationReachable) {
-  sim::Engine e;
-  MeshNetwork net(e, {});
+  sim::SimContext sc;
+  sim::Engine& e = sc.engine();
+  MeshNetwork net(sc, {});
   const int src = GetParam();
   int delivered = 0;
   for (int dst = 0; dst < 64; ++dst) {

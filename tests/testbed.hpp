@@ -12,6 +12,7 @@
 #include "coherence/directory.hpp"
 #include "coherence/l1_controller.hpp"
 #include "noc/mesh.hpp"
+#include "sim/context.hpp"
 #include "sim/engine.hpp"
 
 namespace lktm::test {
@@ -29,14 +30,14 @@ class TestSystem {
  public:
   explicit TestSystem(TestSystemOptions opt = {})
       : opt_(opt),
-        net_(engine_, noc::MeshParams{}),
-        dir_(engine_, net_, memory_, opt.protocol, opt.tiles, opt.sig) {
+        net_(ctx_, noc::MeshParams{}),
+        dir_(ctx_, net_, memory_, opt.protocol, opt.tiles, opt.sig) {
     prio_.resize(opt.cores, 0);
     aborts_.resize(opt.cores);
     switched_.resize(opt.cores, 0);
     for (unsigned i = 0; i < opt.cores; ++i) {
       l1s_.push_back(std::make_unique<coh::L1Controller>(
-          engine_, net_, static_cast<CoreId>(i), opt.l1, opt.protocol, opt.policy,
+          ctx_, net_, static_cast<CoreId>(i), opt.l1, opt.protocol, opt.policy,
           opt.tiles));
       l1s_.back()->connectDirectory(&dir_);
       dir_.connectL1(static_cast<CoreId>(i), l1s_.back().get());
@@ -53,7 +54,8 @@ class TestSystem {
     for (auto& l1 : l1s_) l1->connectPeers(peers);
   }
 
-  sim::Engine& engine() { return engine_; }
+  sim::SimContext& ctx() { return ctx_; }
+  sim::Engine& engine() { return ctx_.engine(); }
   mem::MainMemory& memory() { return memory_; }
   coh::DirectoryController& dir() { return dir_; }
   coh::L1Controller& l1(CoreId c) { return *l1s_.at(static_cast<std::size_t>(c)); }
@@ -63,22 +65,22 @@ class TestSystem {
 
   /// Run the event queue until `done` becomes true (or fail after budget).
   void runUntil(const bool& done, Cycle budget = 1'000'000) {
-    const Cycle limit = engine_.now() + budget;
+    const Cycle limit = engine().now() + budget;
     while (!done) {
-      ASSERT_TRUE(engine_.queue().runOne()) << "event queue drained before completion";
-      ASSERT_LT(engine_.now(), limit) << "operation did not complete in budget";
+      ASSERT_TRUE(engine().queue().runOne()) << "event queue drained before completion";
+      ASSERT_LT(engine().now(), limit) << "operation did not complete in budget";
     }
   }
 
   /// Drain every outstanding event (protocol quiesces).
-  void drain(Cycle budget = 1'000'000) { engine_.queue().runUntilDrained(budget); }
+  void drain(Cycle budget = 1'000'000) { engine().queue().runUntilDrained(budget); }
 
   /// Advance simulated time by up to `n` cycles (for scenarios with polling
   /// retries that never let the queue drain).
   void runFor(Cycle n) {
-    const Cycle limit = engine_.now() + n;
-    while (!engine_.queue().empty() && engine_.now() < limit) {
-      engine_.queue().runOne();
+    const Cycle limit = engine().now() + n;
+    while (!engine().queue().empty() && engine().now() < limit) {
+      engine().queue().runOne();
     }
   }
 
@@ -153,7 +155,7 @@ class TestSystem {
 
  private:
   TestSystemOptions opt_;
-  sim::Engine engine_;
+  sim::SimContext ctx_;
   mem::MainMemory memory_;
   noc::MeshNetwork net_;
   coh::DirectoryController dir_;

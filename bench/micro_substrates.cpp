@@ -3,10 +3,14 @@
 // simulations), so substrate regressions show up here first.
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "coherence/directory.hpp"
 #include "coherence/l1_controller.hpp"
 #include "coherence/messages.hpp"
+#include "core/wakeup_table.hpp"
 #include "mem/cache_array.hpp"
+#include "mem/mshr.hpp"
 #include "mem/signature.hpp"
 #include "noc/ideal.hpp"
 #include "noc/mesh.hpp"
@@ -161,6 +165,144 @@ void BM_KernelContextReuse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KernelContextReuse)->Unit(benchmark::kMillisecond);
+
+// ---- coherence datapath group: per-message cost of the directory line
+// tables, MSHR lifecycle, wakeup bookkeeping, and overflow signatures. These
+// are the structures every L1 request walks, so they gate the protocol-side
+// wall-clock the same way the kernel group gates the event/message kernel.
+
+/// Scripted L1 endpoint that answers the directory immediately, so the
+/// benchmark measures directory datapath cost rather than L1 logic.
+struct AutoRespondL1 final : coh::MsgSink {
+  coh::DirectoryController* dir = nullptr;
+  CoreId id = 0;
+  std::uint64_t handled = 0;
+
+  void onMessage(const coh::Msg& m) override {
+    ++handled;
+    coh::Msg r;
+    r.line = m.line;
+    r.from = id;
+    switch (m.type) {
+      case coh::MsgType::DataE:
+      case coh::MsgType::DataS:
+        r.type = coh::MsgType::Unblock;
+        break;
+      case coh::MsgType::Inv:
+        r.type = coh::MsgType::InvAck;
+        break;
+      case coh::MsgType::FwdGetS:
+        r.type = coh::MsgType::FwdAck;
+        r.keptCopy = true;
+        break;
+      case coh::MsgType::FwdGetX:
+        r.type = coh::MsgType::FwdAck;
+        r.keptCopy = false;
+        break;
+      default:
+        return;  // PutAck / RejectResp / Wakeup need no answer
+    }
+    dir->onMessage(r);
+  }
+};
+
+void BM_DirectoryRequestThroughput(benchmark::State& state) {
+  constexpr unsigned kCores = 8;
+  constexpr int kLines = 64;
+  constexpr int kPasses = 8;
+  sim::SimContext ctx;
+  noc::IdealNetwork net(ctx, 1);
+  mem::MainMemory memory;
+  coh::DirectoryController dir(ctx, net, memory, coh::ProtocolParams{}, kCores);
+  std::array<AutoRespondL1, kCores> l1s;
+  for (CoreId c = 0; c < static_cast<CoreId>(kCores); ++c) {
+    auto& l1 = l1s[static_cast<std::size_t>(c)];
+    l1.dir = &dir;
+    l1.id = c;
+    dir.connectL1(c, &l1);
+  }
+  for (auto _ : state) {
+    // Four read passes build sharer lists and forward chains; four exclusive
+    // passes trigger Inv fan-out + ack collection and ownership migration.
+    for (int p = 0; p < kPasses; ++p) {
+      const CoreId c = p % kCores;
+      const bool wantX = p >= kPasses / 2;
+      for (int l = 0; l < kLines; ++l) {
+        coh::Msg m;
+        m.type = wantX ? coh::MsgType::GetX : coh::MsgType::GetS;
+        m.line = static_cast<LineAddr>(l);
+        m.from = c;
+        m.req.core = c;
+        m.req.wantsExclusive = wantX;
+        dir.onMessage(m);
+      }
+    }
+    ctx.queue().runUntilDrained(1'000'000'000);
+    benchmark::DoNotOptimize(l1s[0].handled);
+  }
+  state.SetItemsProcessed(state.iterations() * kPasses * kLines);
+}
+BENCHMARK(BM_DirectoryRequestThroughput);
+
+void BM_MshrAllocRetire(benchmark::State& state) {
+  mem::MshrFile mshr(8);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (LineAddr l = 0; l < 8; ++l) {
+      auto& e = mshr.allocate(l * 977 + 13);
+      e.isWrite = (l & 1) != 0;
+    }
+    mshr.forEach([&](mem::MshrEntry& e) { sink += e.line; });
+    for (LineAddr l = 0; l < 8; ++l) {
+      sink += mshr.find(l * 977 + 13) != nullptr;
+    }
+    for (LineAddr l = 0; l < 8; ++l) mshr.release(l * 977 + 13);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_MshrAllocRetire);
+
+void BM_WakeupDrain(benchmark::State& state) {
+  core::WakeupTable table;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      table.record(static_cast<LineAddr>(i & 15) * 31, i % 7);
+    }
+    for (const auto& e : table.drainAll()) {
+      sink += e.line + static_cast<std::uint64_t>(e.core);
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_WakeupDrain);
+
+void BM_SignatureInsertQuery(benchmark::State& state) {
+  mem::BloomSignature sig(2048, 4);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    sig.clear();
+    std::uint64_t x = 0x2545F4914F6CDD1Dull;
+    for (int i = 0; i < 64; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      sig.insert(x >> 16);
+    }
+    std::uint64_t y = 0x2545F4914F6CDD1Dull;
+    for (int i = 0; i < 64; ++i) {  // guaranteed hits
+      y = y * 6364136223846793005ull + 1442695040888963407ull;
+      hits += sig.mayContain(y >> 16);
+    }
+    for (int i = 0; i < 192; ++i) {  // mostly misses
+      y = y * 6364136223846793005ull + 1442695040888963407ull;
+      hits += sig.mayContain(y >> 16);
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * 320);
+}
+BENCHMARK(BM_SignatureInsertQuery);
 
 void BM_FullSimulationCounter(benchmark::State& state) {
   const auto sys = cfg::systemByName(state.range(0) == 0 ? "CGL" : "LockillerTM");

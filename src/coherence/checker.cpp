@@ -1,7 +1,6 @@
 #include "coherence/checker.hpp"
 
 #include <map>
-#include <set>
 #include <sstream>
 #include <stdexcept>
 

@@ -26,8 +26,10 @@ void DirectoryController::connectL1(CoreId core, MsgSink* sink) {
 }
 
 void DirectoryController::preloadLlc(LineAddr from, LineAddr to) {
+  if (to > from) llc_.reserve(llc_.size() + (to - from));
   for (LineAddr l = from; l < to; ++l) {
-    llc_.emplace(l, memory_.readLine(l));
+    auto [data, inserted] = llc_.tryEmplace(l);
+    if (inserted) *data = memory_.readLine(l);
   }
 }
 
@@ -38,42 +40,41 @@ void DirectoryController::sendToL1(CoreId core, Msg msg) {
 }
 
 mem::LineData& DirectoryController::llcFetch(LineAddr line, bool& cold) {
-  auto it = llc_.find(line);
-  if (it != llc_.end()) {
+  if (mem::LineData* data = llc_.find(line)) {
     cold = false;
     ++counters_.llcHits;
-    return it->second;
+    return *data;
   }
   cold = true;
   ++counters_.llcMisses;
-  return llc_.emplace(line, memory_.readLine(line)).first->second;
+  mem::LineData* data = llc_.tryEmplace(line).first;
+  *data = memory_.readLine(line);
+  return *data;
 }
 
 DirectoryController::DirSnapshot DirectoryController::snapshot(LineAddr line) const {
   DirSnapshot s;
-  auto it = dir_.find(line);
-  if (it != dir_.end()) {
-    s.owner = it->second.owner;
-    s.sharers = it->second.sharers;
+  if (const DirInfo* d = dir_.find(line)) {
+    s.owner = d->owner;
+    s.sharers = d->sharers;
   }
-  s.busy = pending_.count(line) != 0;
+  s.busy = pending_.contains(line);
   return s;
 }
 
 mem::LineData DirectoryController::llcData(LineAddr line) const {
-  auto it = llc_.find(line);
-  if (it != llc_.end()) return it->second;
+  if (const mem::LineData* data = llc_.find(line)) return *data;
   return memory_.readLine(line);
 }
 
 std::string DirectoryController::diagnostic() const {
   std::ostringstream oss;
   oss << "directory: " << pending_.size() << " busy lines";
-  for (const auto& [line, p] : pending_) {
+  pending_.forEachOrdered([&](LineAddr line, const Pending& p) {
     oss << " [0x" << std::hex << line << std::dec << " " << toString(p.req.type)
         << " from c" << p.req.from << " acksLeft=" << p.acksLeft
         << (p.waitUnblock ? " waitUnblock" : "") << "]";
-  }
+  });
   if (arbiter_.active()) {
     oss << " HTMLock holder=c" << arbiter_.holder() << " (" << toString(arbiter_.holderMode())
         << ", " << arbiter_.queued() << " TL queued)";
@@ -86,7 +87,7 @@ void DirectoryController::onMessage(const Msg& msg) {
   switch (msg.type) {
     case MsgType::GetS:
     case MsgType::GetX: {
-      if (pending_.count(msg.line) != 0) {
+      if (pending_.contains(msg.line)) {
         waitq_[msg.line].push_back(msg);
         return;
       }
@@ -94,9 +95,9 @@ void DirectoryController::onMessage(const Msg& msg) {
       return;
     }
     case MsgType::Unblock: {
-      auto it = pending_.find(msg.line);
+      const Pending* p = pending_.find(msg.line);
       // Unblock must match an in-flight transaction.
-      if (it == pending_.end() || !it->second.waitUnblock) {
+      if (p == nullptr || !p->waitUnblock) {
         throw std::logic_error("stray Unblock at directory");
       }
       finishPending(msg.line);
@@ -113,14 +114,13 @@ void DirectoryController::onMessage(const Msg& msg) {
       return;
     }
     case MsgType::TxAbortInv: {
-      if (pending_.count(msg.line) != 0) {
+      if (pending_.contains(msg.line)) {
         // A forward for this line is in flight to the aborting owner; its
         // response (FwdAckTxInv) will carry the state fix. Drop.
         return;
       }
-      auto it = dir_.find(msg.line);
-      if (it != dir_.end() && it->second.owner == msg.from) {
-        it->second.owner = kNoCore;
+      if (DirInfo* d = dir_.find(msg.line); d != nullptr && d->owner == msg.from) {
+        d->owner = kNoCore;
       }
       return;
     }
@@ -133,17 +133,22 @@ void DirectoryController::onMessage(const Msg& msg) {
 }
 
 void DirectoryController::startRequest(const Msg& msg) {
-  pending_.emplace(msg.line, Pending{msg, 0, false, AbortCause::MemConflict, false});
+  Pending& p = *pending_.tryEmplace(msg.line).first;
+  p.req = PendingReq{msg.type, msg.line, msg.from, msg.req};
+  p.acksLeft = 0;
+  p.anyReject = false;
+  p.rejectHint = AbortCause::MemConflict;
+  p.waitUnblock = false;
   // LLC/tag access latency; cold lines additionally pay the memory latency.
-  const bool cold = llc_.count(msg.line) == 0;
+  const bool cold = !llc_.contains(msg.line);
   const Cycle lat = params_.llcLatency + (cold ? params_.memLatency : 0);
   engine_.schedule(lat, [this, line = msg.line]() { handleRequest(line); });
 }
 
 void DirectoryController::handleRequest(LineAddr line) {
-  auto pit = pending_.find(line);
-  assert(pit != pending_.end());
-  Pending& p = pit->second;
+  Pending* pp = pending_.find(line);
+  assert(pp != nullptr);
+  Pending& p = *pp;
   DirInfo& d = dir_[line];
   bool cold = false;
   llcFetch(line, cold);  // materialize data
@@ -230,15 +235,15 @@ void DirectoryController::handleGetX(Pending& p, DirInfo& d) {
   }
 }
 
-void DirectoryController::sendReject(const Msg& req, AbortCause hint) {
+void DirectoryController::sendReject(const PendingReq& req, AbortCause hint) {
   Msg resp{.type = MsgType::RejectResp, .line = req.line, .rejectHint = hint};
   sendToL1(req.from, std::move(resp));
 }
 
 void DirectoryController::onInvResponse(const Msg& msg, bool rejected) {
-  auto pit = pending_.find(msg.line);
-  assert(pit != pending_.end() && pit->second.acksLeft > 0);
-  Pending& p = pit->second;
+  Pending* pp = pending_.find(msg.line);
+  assert(pp != nullptr && pp->acksLeft > 0);
+  Pending& p = *pp;
   DirInfo& d = dir_[msg.line];
   if (rejected) {
     p.anyReject = true;
@@ -264,9 +269,9 @@ void DirectoryController::onInvResponse(const Msg& msg, bool rejected) {
 }
 
 void DirectoryController::onFwdResponse(const Msg& msg) {
-  auto pit = pending_.find(msg.line);
-  assert(pit != pending_.end() && pit->second.acksLeft == 1);
-  Pending& p = pit->second;
+  Pending* pp = pending_.find(msg.line);
+  assert(pp != nullptr && pp->acksLeft == 1);
+  Pending& p = *pp;
   DirInfo& d = dir_[msg.line];
   const CoreId r = p.req.from;
   const bool isGetX = p.req.type == MsgType::GetX;
@@ -316,10 +321,9 @@ void DirectoryController::onFwdResponse(const Msg& msg) {
 }
 
 void DirectoryController::onPutM(const Msg& msg) {
-  auto it = dir_.find(msg.line);
-  if (it != dir_.end() && it->second.owner == msg.from) {
+  if (DirInfo* d = dir_.find(msg.line); d != nullptr && d->owner == msg.from) {
     llc_[msg.line] = msg.data;
-    it->second.owner = kNoCore;
+    d->owner = kNoCore;
     ++counters_.writebacks;
   }
   // Stale PutM (ownership already moved via a forward served from the
@@ -330,10 +334,9 @@ void DirectoryController::onPutM(const Msg& msg) {
 
 void DirectoryController::onSigAdd(const Msg& msg) {
   hlUnit_.noteOverflow(msg.line, msg.sigIsWrite);
-  auto it = dir_.find(msg.line);
-  if (it != dir_.end()) {
-    if (it->second.owner == msg.from) it->second.owner = kNoCore;
-    it->second.sharers.erase(msg.from);
+  if (DirInfo* d = dir_.find(msg.line)) {
+    if (d->owner == msg.from) d->owner = kNoCore;
+    d->sharers.erase(msg.from);
   }
   if (msg.hasData) {
     llc_[msg.line] = msg.data;
@@ -373,14 +376,15 @@ void DirectoryController::onHlaReq(const Msg& msg) {
 
 void DirectoryController::finishPending(LineAddr line) {
   pending_.erase(line);
-  auto qit = waitq_.find(line);
-  if (qit == waitq_.end() || qit->second.empty()) {
+  std::deque<Msg>* q = waitq_.find(line);
+  if (q == nullptr) return;  // common case: nobody queued behind this line
+  if (q->empty()) {
     waitq_.erase(line);
     return;
   }
-  Msg next = qit->second.front();
-  qit->second.pop_front();
-  if (qit->second.empty()) waitq_.erase(qit);
+  Msg next = q->front();
+  q->pop_front();
+  if (q->empty()) waitq_.erase(line);
   startRequest(next);
 }
 

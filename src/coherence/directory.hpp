@@ -15,10 +15,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/htmlock_unit.hpp"
@@ -28,7 +24,9 @@
 #include "mem/main_memory.hpp"
 #include "noc/network.hpp"
 #include "sim/context.hpp"
+#include "sim/core_mask.hpp"
 #include "sim/engine.hpp"
+#include "sim/flat_table.hpp"
 #include "stats/counters.hpp"
 
 namespace lktm::coh {
@@ -52,12 +50,12 @@ class DirectoryController final : public MsgSink {
   // --- introspection (tests, checker, harness) ---
   struct DirSnapshot {
     CoreId owner = kNoCore;
-    std::set<CoreId> sharers;
+    sim::CoreMask sharers;  ///< set-compatible: count()/size()/iteration
     bool busy = false;
   };
   DirSnapshot snapshot(LineAddr line) const;
 
-  bool llcHas(LineAddr line) const { return llc_.count(line) != 0; }
+  bool llcHas(LineAddr line) const { return llc_.contains(line); }
   mem::LineData llcData(LineAddr line) const;
 
   const core::SwitchArbiter& arbiter() const { return arbiter_; }
@@ -73,13 +71,24 @@ class DirectoryController final : public MsgSink {
  private:
   struct DirInfo {
     CoreId owner = kNoCore;
-    std::set<CoreId> sharers;
+    sim::CoreMask sharers;
 
     bool hasCopies() const { return owner != kNoCore || !sharers.empty(); }
   };
 
+  /// The slice of a GetS/GetX message the directory needs while the line is
+  /// busy. Requests carry no data payload, so storing the full Msg (with its
+  /// inline LineData) would only fatten the pending_ slots the open-addressed
+  /// erase has to shift around.
+  struct PendingReq {
+    MsgType type{};
+    LineAddr line = 0;
+    CoreId from = kNoCore;
+    core::ReqSide req{};
+  };
+
   struct Pending {
-    Msg req;
+    PendingReq req;
     unsigned acksLeft = 0;
     bool anyReject = false;
     AbortCause rejectHint = AbortCause::MemConflict;
@@ -94,10 +103,10 @@ class DirectoryController final : public MsgSink {
   unsigned numCores_;
 
   std::vector<MsgSink*> l1s_;
-  std::unordered_map<LineAddr, mem::LineData> llc_;
-  std::unordered_map<LineAddr, DirInfo> dir_;
-  std::map<LineAddr, Pending> pending_;           // busy lines
-  std::map<LineAddr, std::deque<Msg>> waitq_;     // queued requests per line
+  sim::FlatLineTable<mem::LineData> llc_;
+  sim::FlatLineTable<DirInfo> dir_;
+  sim::FlatLineTable<Pending> pending_;          // busy lines
+  sim::FlatLineTable<std::deque<Msg>> waitq_;    // queued requests per line
 
   core::SwitchArbiter arbiter_;
   core::HtmLockUnit hlUnit_;
@@ -117,7 +126,7 @@ class DirectoryController final : public MsgSink {
 
   void handleGetS(Pending& p, DirInfo& d);
   void handleGetX(Pending& p, DirInfo& d);
-  void sendReject(const Msg& req, AbortCause hint);
+  void sendReject(const PendingReq& req, AbortCause hint);
 
   void onInvResponse(const Msg& msg, bool rejected);
   void onFwdResponse(const Msg& msg);

@@ -98,7 +98,7 @@ void L1Controller::lookupAndHandle() {
   // for this line — or for another line of the same set, whose fill will
   // consume the one reserved way. Wait for it to drain before re-requesting.
   bool setBusy = mshr_.full();
-  mshr_.forEach([&](const mem::MshrEntry& m) {
+  mshr_.forEachUnordered([&](const mem::MshrEntry& m) {
     if (m.line == line || cache_.setOf(m.line) == cache_.setOf(line)) setBusy = true;
   });
   if (setBusy) {
@@ -262,7 +262,7 @@ void L1Controller::txAbortInternal(AbortCause cause, const LineAddr* exceptLine)
   // Squash transactional MSHRs: in-flight ones complete silently; held ones
   // (rejected / waiting for wakeup) have nothing in flight and are dropped.
   std::vector<LineAddr> toRelease;
-  mshr_.forEach([&](mem::MshrEntry& m) {
+  mshr_.forEachUnordered([&](mem::MshrEntry& m) {
     if (!m.fromTx) return;
     if (m.state == mem::MshrState::Issued) {
       m.squashed = true;
@@ -578,10 +578,10 @@ void L1Controller::handleFwd(const Msg& msg, bool isGetX) {
       sendToDir(std::move(rej));
       return;
     }
-    auto wbIt = wb_.find(line);
-    if (wbIt != wb_.end()) {
+    const mem::LineData* wbData = wb_.find(line);
+    if (wbData != nullptr) {
       // Eviction raced the forward: serve from the writeback buffer.
-      Msg ack{.type = MsgType::FwdAck, .line = line, .data = wbIt->second,
+      Msg ack{.type = MsgType::FwdAck, .line = line, .data = *wbData,
               .hasData = true, .keptCopy = false};
       sendToDir(std::move(ack));
       return;

@@ -15,8 +15,6 @@
 
 #include <deque>
 #include <functional>
-#include <map>
-#include <set>
 
 #include "core/conflict_manager.hpp"
 #include "core/wakeup_table.hpp"
@@ -27,6 +25,7 @@
 #include "noc/network.hpp"
 #include "sim/context.hpp"
 #include "sim/engine.hpp"
+#include "sim/flat_table.hpp"
 #include "sim/small_fn.hpp"
 #include "stats/counters.hpp"
 
@@ -125,9 +124,9 @@ class L1Controller final : public MsgSink {
 
   CpuOp op_;
   mem::MshrFile mshr_;
-  std::map<LineAddr, mem::LineData> wb_;  ///< dirty evictions awaiting PutAck
+  sim::FlatLineTable<mem::LineData> wb_;  ///< dirty evictions awaiting PutAck
   core::WakeupTable wakeups_;
-  std::set<LineAddr> ofRd_, ofWr_;  ///< exact local view of the LLC signatures
+  sim::FlatLineSet ofRd_, ofWr_;  ///< exact local view of the LLC signatures
 
   TxMode mode_ = TxMode::None;
   bool triedSwitch_ = false;

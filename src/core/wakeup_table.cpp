@@ -4,27 +4,26 @@ namespace lktm::core {
 
 std::size_t WakeupTable::size() const {
   std::size_t n = 0;
-  for (const auto& [line, cores] : table_) n += cores.size();
+  table_.forEachOrdered([&](LineAddr, const sim::CoreMask& cores) { n += cores.size(); });
   return n;
 }
 
 std::vector<WakeupTable::Entry> WakeupTable::drainAll() {
   std::vector<Entry> out;
-  out.reserve(size());
-  for (const auto& [line, cores] : table_) {
-    for (CoreId c : cores) out.push_back({line, c});
-  }
+  table_.forEachOrdered([&](LineAddr line, const sim::CoreMask& cores) {
+    cores.forEach([&](CoreId c) { out.push_back({line, c}); });
+  });
   table_.clear();
   return out;
 }
 
 std::vector<WakeupTable::Entry> WakeupTable::drain(LineAddr line) {
   std::vector<Entry> out;
-  auto it = table_.find(line);
-  if (it == table_.end()) return out;
-  out.reserve(it->second.size());
-  for (CoreId c : it->second) out.push_back({line, c});
-  table_.erase(it);
+  const sim::CoreMask* cores = table_.find(line);
+  if (cores == nullptr) return out;
+  out.reserve(cores->size());
+  cores->forEach([&](CoreId c) { out.push_back({line, c}); });
+  table_.erase(line);
   return out;
 }
 

@@ -2,13 +2,17 @@
 // shaded table in the paper's Fig 2): every time a request is rejected under
 // the WaitWakeup policy, the rejecting side records which core to wake; the
 // table is drained when the local transaction commits or aborts.
+//
+// Storage is a flat open-addressed table of per-line CoreMask bitsets; drains
+// walk lines in ascending order and cores in ascending id order, which is
+// exactly the old std::map<LineAddr, std::set<CoreId>> order.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <vector>
 
+#include "sim/core_mask.hpp"
+#include "sim/flat_table.hpp"
 #include "sim/types.hpp"
 
 namespace lktm::core {
@@ -35,7 +39,7 @@ class WakeupTable {
   std::vector<Entry> drain(LineAddr line);
 
  private:
-  std::map<LineAddr, std::set<CoreId>> table_;
+  sim::FlatLineTable<sim::CoreMask> table_;
 };
 
 }  // namespace lktm::core

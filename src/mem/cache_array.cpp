@@ -42,12 +42,8 @@ const CacheEntry* CacheArray::find(LineAddr line) const {
   return nullptr;
 }
 
-std::vector<CacheEntry*> CacheArray::ways(LineAddr line) {
-  std::vector<CacheEntry*> out;
-  out.reserve(geo_.assoc);
-  CacheEntry* b = base(setOf(line));
-  for (unsigned w = 0; w < geo_.assoc; ++w) out.push_back(&b[w]);
-  return out;
+CacheArray::WaySpan CacheArray::ways(LineAddr line) {
+  return WaySpan{base(setOf(line)), geo_.assoc};
 }
 
 CacheEntry* CacheArray::invalidWay(LineAddr line) {

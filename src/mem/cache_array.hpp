@@ -59,8 +59,20 @@ class CacheArray {
   CacheEntry* find(LineAddr line);
   const CacheEntry* find(LineAddr line) const;
 
-  /// All ways of the set `line` maps to (valid or not).
-  std::vector<CacheEntry*> ways(LineAddr line);
+  /// Contiguous view of one set's ways (entries_ is row-major per set).
+  struct WaySpan {
+    CacheEntry* first = nullptr;
+    unsigned count = 0;
+
+    CacheEntry* begin() const { return first; }
+    CacheEntry* end() const { return first + count; }
+    unsigned size() const { return count; }
+    CacheEntry& operator[](unsigned i) { return first[i]; }
+  };
+
+  /// All ways of the set `line` maps to (valid or not). No allocation: the
+  /// span aliases the backing array and stays valid for the array's lifetime.
+  WaySpan ways(LineAddr line);
 
   /// First invalid way of the set, or nullptr if the set is full.
   CacheEntry* invalidWay(LineAddr line);

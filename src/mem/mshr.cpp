@@ -13,16 +13,13 @@ const char* toString(MshrState s) {
 
 MshrEntry& MshrFile::allocate(LineAddr line) {
   if (full()) throw std::runtime_error("MSHR file full");
-  auto [it, inserted] = entries_.try_emplace(line);
+  auto [entry, inserted] = entries_.tryEmplace(line);
   if (!inserted) throw std::runtime_error("MSHR already allocated for line");
-  it->second.line = line;
-  return it->second;
+  entry->line = line;
+  return *entry;
 }
 
-MshrEntry* MshrFile::find(LineAddr line) {
-  auto it = entries_.find(line);
-  return it == entries_.end() ? nullptr : &it->second;
-}
+MshrEntry* MshrFile::find(LineAddr line) { return entries_.find(line); }
 
 void MshrFile::release(LineAddr line) { entries_.erase(line); }
 

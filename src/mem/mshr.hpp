@@ -6,11 +6,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <optional>
 #include <stdexcept>
 
+#include "sim/flat_table.hpp"
 #include "sim/types.hpp"
 
 namespace lktm::mem {
@@ -47,14 +45,23 @@ class MshrFile {
   MshrEntry* find(LineAddr line);
   void release(LineAddr line);
 
+  /// Visits entries in ascending line order (the old std::map order), for
+  /// walks whose effects depend on visit order.
   template <typename Fn>
   void forEach(Fn&& fn) {
-    for (auto& [line, e] : entries_) fn(e);
+    entries_.forEachOrdered([&](LineAddr, MshrEntry& e) { fn(e); });
+  }
+
+  /// Hash-order visit for order-independent walks (set-busy scans, squash
+  /// flag sweeps) — skips the ordered walk's sort on the miss hot path.
+  template <typename Fn>
+  void forEachUnordered(Fn&& fn) {
+    entries_.forEachUnordered([&](LineAddr, MshrEntry& e) { fn(e); });
   }
 
  private:
   unsigned capacity_;
-  std::map<LineAddr, MshrEntry> entries_;  // ordered => deterministic iteration
+  sim::FlatLineTable<MshrEntry> entries_;
 };
 
 }  // namespace lktm::mem

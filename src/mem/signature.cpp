@@ -7,49 +7,22 @@ namespace lktm::mem {
 
 namespace {
 bool isPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
-
-std::uint64_t mix(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
 }  // namespace
 
 BloomSignature::BloomSignature(unsigned bits, unsigned hashes)
-    : filter_(bits, false), hashes_(hashes) {
+    : words_(bits / 64 + (bits < 64 ? 1 : 0), 0), bits_(bits), hashes_(hashes) {
   if (!isPow2(bits)) throw std::invalid_argument("signature bits must be a power of two");
   if (hashes == 0) throw std::invalid_argument("signature needs at least one hash");
 }
 
-std::uint64_t BloomSignature::hash(LineAddr line, unsigned i) const {
-  // Seed each hash with a distinct odd constant; mix for avalanche.
-  return mix(line * 0x9e3779b97f4a7c15ull + (2ull * i + 1) * 0xda942042e4dd58b5ull) &
-         (filter_.size() - 1);
-}
-
-void BloomSignature::insert(LineAddr line) {
-  for (unsigned i = 0; i < hashes_; ++i) filter_[hash(line, i)] = true;
-  ++population_;
-}
-
-bool BloomSignature::mayContain(LineAddr line) const {
-  if (population_ == 0) return false;
-  for (unsigned i = 0; i < hashes_; ++i) {
-    if (!filter_[hash(line, i)]) return false;
-  }
-  return true;
-}
-
 void BloomSignature::clear() {
-  filter_.assign(filter_.size(), false);
+  if (population_ != 0) words_.assign(words_.size(), 0);
   population_ = 0;
 }
 
 double BloomSignature::falsePositiveRate() const {
-  const double k = hashes_;
-  const double m = static_cast<double>(filter_.size());
-  const double n = static_cast<double>(population_);
-  return std::pow(1.0 - std::exp(-k * n / m), k);
+  const double density = static_cast<double>(population_) / static_cast<double>(bits_);
+  return std::pow(density, static_cast<double>(hashes_));
 }
 
 }  // namespace lktm::mem

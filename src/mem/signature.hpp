@@ -1,6 +1,12 @@
 // LogTM-SE style address signatures: fixed-size Bloom filters over line
 // addresses. Used by the HTMLock mechanism's LLC overflow signatures
 // (OfRdSig / OfWrSig): conservative membership, never false negatives.
+//
+// The filter is a flat array of 64-bit words. All k probe indices derive
+// from ONE mix of the line address (batched H3: split the mixed word into
+// two halves and stride, the classic double-hashing construction), so an
+// insert or a probe costs a single multiply-mix instead of k of them, and
+// bit tests are word loads instead of std::vector<bool> bit gymnastics.
 #pragma once
 
 #include <cstdint>
@@ -12,30 +18,89 @@ namespace lktm::mem {
 
 class BloomSignature {
  public:
-  /// `bits` must be a power of two; `hashes` independent H3-style hashes.
+  /// `bits` must be a power of two; `hashes` independent H3-style probes.
   explicit BloomSignature(unsigned bits = 2048, unsigned hashes = 4);
 
-  void insert(LineAddr line);
+  void insert(LineAddr line) {
+    const auto [h1, h2] = probeSeed(line);
+    const std::uint64_t mask = bits_ - 1;
+    switch (hashes_) {
+      case 2: return insertK<2>(h1, h2, mask);
+      case 4: return insertK<4>(h1, h2, mask);
+      default: return insertK<0>(h1, h2, mask);
+    }
+  }
 
   /// True if `line` *may* have been inserted (false positives possible,
   /// false negatives impossible).
-  bool mayContain(LineAddr line) const;
+  bool mayContain(LineAddr line) const {
+    if (population_ == 0) return false;
+    const auto [h1, h2] = probeSeed(line);
+    const std::uint64_t mask = bits_ - 1;
+    switch (hashes_) {
+      case 2: return containsK<2>(h1, h2, mask);
+      case 4: return containsK<4>(h1, h2, mask);
+      default: return containsK<0>(h1, h2, mask);
+    }
+  }
 
   void clear();
   bool empty() const { return population_ == 0; }
 
-  unsigned bits() const { return static_cast<unsigned>(filter_.size()); }
+  unsigned bits() const { return bits_; }
+
+  /// Number of DISTINCT bits currently set in the filter. (Pre-PR-2 this
+  /// counted raw insert() calls, so duplicate inserts inflated the
+  /// falsePositiveRate() estimate; distinct-bit occupancy is what the false
+  /// positive probability actually depends on.)
   std::uint64_t population() const { return population_; }
 
-  /// Expected false-positive probability at the current population.
+  /// Expected false-positive probability at the current occupancy: a probe
+  /// hits k independent bits, each set with probability population/bits.
   double falsePositiveRate() const;
 
  private:
-  std::vector<bool> filter_;
+  std::vector<std::uint64_t> words_;
+  unsigned bits_;
   unsigned hashes_;
-  std::uint64_t population_ = 0;  ///< number of insert() calls since clear()
+  std::uint64_t population_ = 0;  ///< distinct set bits (see population())
 
-  std::uint64_t hash(LineAddr line, unsigned i) const;
+  /// Batched H3: one mix yields the base index and the (odd) stride that
+  /// generate all k probe positions. Line addresses are low-entropy (small,
+  /// sequential), and a single odd-constant multiply smears them across the
+  /// high bits; the fold brings those down into the index range.
+  std::pair<std::uint64_t, std::uint64_t> probeSeed(LineAddr line) const {
+    std::uint64_t h = (line + 0xda942042e4dd58b5ull) * 0x9e3779b97f4a7c15ull;
+    h ^= h >> 32;
+    // Low half seeds the first index, high half (forced odd) is the stride:
+    // index_i = h1 + i*h2 mod bits. An odd stride visits distinct positions
+    // for all i < bits, so the k probes never degenerate onto one bit.
+    return {h, (h >> 32) | 1u};
+  }
+
+  /// Fixed-trip-count probe kernels (K == 0 falls back to the runtime bound)
+  /// so the compiler unrolls the loop for the configured k == 4 shape.
+  template <unsigned K>
+  void insertK(std::uint64_t h1, std::uint64_t h2, std::uint64_t mask) {
+    const unsigned k = K == 0 ? hashes_ : K;
+    for (unsigned i = 0; i < k; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) & mask;
+      std::uint64_t& w = words_[bit >> 6];
+      const std::uint64_t b = std::uint64_t{1} << (bit & 63);
+      population_ += (w & b) == 0;  // count distinct bits only
+      w |= b;
+    }
+  }
+
+  template <unsigned K>
+  bool containsK(std::uint64_t h1, std::uint64_t h2, std::uint64_t mask) const {
+    const unsigned k = K == 0 ? hashes_ : K;
+    for (unsigned i = 0; i < k; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) & mask;
+      if ((words_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) return false;
+    }
+    return true;
+  }
 };
 
 }  // namespace lktm::mem

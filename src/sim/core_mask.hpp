@@ -1,0 +1,73 @@
+// Fixed 64-bit bitmask over core ids, replacing std::set<CoreId> in the
+// directory sharer lists, wakeup tables, and checker. Iteration is ascending
+// via countr_zero, which matches std::set's order exactly, so every drain /
+// fan-out that used to walk a set stays bit-deterministic. The paper's
+// largest configuration is 32 cores; 64 is a hard cap enforced by assert.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace lktm::sim {
+
+class CoreMask {
+ public:
+  static constexpr unsigned kMaxCores = 64;
+
+  constexpr CoreMask() = default;
+
+  void insert(CoreId c) { bits_ |= bitFor(c); }
+  void erase(CoreId c) { bits_ &= ~bitFor(c); }
+  void clear() { bits_ = 0; }
+
+  /// std::set-compatible membership test: 0 or 1.
+  std::size_t count(CoreId c) const { return (bits_ >> checked(c)) & 1u; }
+  bool contains(CoreId c) const { return count(c) != 0; }
+
+  std::size_t size() const { return static_cast<std::size_t>(std::popcount(bits_)); }
+  bool empty() const { return bits_ == 0; }
+
+  std::uint64_t raw() const { return bits_; }
+
+  /// Visit members in ascending core order (== std::set<CoreId> order).
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::uint64_t rest = bits_; rest != 0; rest &= rest - 1) {
+      fn(static_cast<CoreId>(std::countr_zero(rest)));
+    }
+  }
+
+  /// Minimal forward iterator so range-for and set-style loops keep working.
+  class iterator {
+   public:
+    explicit iterator(std::uint64_t rest) : rest_(rest) {}
+    CoreId operator*() const { return static_cast<CoreId>(std::countr_zero(rest_)); }
+    iterator& operator++() {
+      rest_ &= rest_ - 1;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return rest_ == o.rest_; }
+    bool operator!=(const iterator& o) const { return rest_ != o.rest_; }
+
+   private:
+    std::uint64_t rest_;
+  };
+  iterator begin() const { return iterator(bits_); }
+  iterator end() const { return iterator(0); }
+
+  bool operator==(const CoreMask& o) const { return bits_ == o.bits_; }
+
+ private:
+  static unsigned checked(CoreId c) {
+    assert(c >= 0 && static_cast<unsigned>(c) < kMaxCores);
+    return static_cast<unsigned>(c);
+  }
+  static std::uint64_t bitFor(CoreId c) { return std::uint64_t{1} << checked(c); }
+
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace lktm::sim

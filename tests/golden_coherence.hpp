@@ -1,0 +1,86 @@
+// Golden replay outputs for tests/test_coherence_determinism.cpp.
+// RECORDED against the PR-1 node-based containers (std::map/std::set/
+// unordered_map) by replaying tests/coherence_replay.hpp scenarios; the
+// flat-container datapath must reproduce them byte-for-byte. Regenerate
+// only when the *protocol* (not the containers) intentionally changes.
+#pragma once
+
+namespace lktm::test {
+
+inline constexpr const char* kGoldenDirectoryTrace = R"GOLD(== phase 1: fills and sharers
+c0 rx DataE line=5 from=-1 d0=1005
+c0 rx FwdGetS line=5 from=-1
+c1 rx DataS line=5 from=-1 d0=1005
+c2 rx DataS line=5 from=-1 d0=1005
+c0 rx DataE line=69 from=-1 d0=1069
+c0 rx FwdGetS line=69 from=-1
+c1 rx DataS line=69 from=-1 d0=1069
+c2 rx DataS line=69 from=-1 d0=1069
+c0 rx DataE line=133 from=-1 d0=1133
+c0 rx FwdGetS line=133 from=-1
+c1 rx DataS line=133 from=-1 d0=1133
+c2 rx DataS line=133 from=-1 d0=1133
+c0 rx DataE line=4101 from=-1 d0=5101
+c0 rx FwdGetS line=4101 from=-1
+c1 rx DataS line=4101 from=-1 d0=5101
+c2 rx DataS line=4101 from=-1 d0=5101
+c0 rx DataE line=1 from=-1 d0=1001
+c0 rx FwdGetS line=1 from=-1
+c1 rx DataS line=1 from=-1 d0=1001
+c2 rx DataS line=1 from=-1 d0=1001
+c0 rx DataE line=2 from=-1 d0=1002
+c0 rx FwdGetS line=2 from=-1
+c1 rx DataS line=2 from=-1 d0=1002
+c2 rx DataS line=2 from=-1 d0=1002
+== phase 2: invalidation fan-out
+c0 rx Inv line=5 from=-1
+c1 rx Inv line=5 from=-1
+c2 rx Inv line=5 from=-1
+c3 rx DataE line=5 from=-1 d0=1005
+c0 rx Inv line=4101 from=-1
+c1 rx Inv line=4101 from=-1
+c2 rx Inv line=4101 from=-1
+c3 rx DataE line=4101 from=-1 d0=5101
+== phase 3: busy-line diagnostic
+directory: 3 busy lines [0x5 GetS from c0 acksLeft=0] [0x85 GetS from c0 acksLeft=0] [0x1005 GetS from c0 acksLeft=0]
+c3 rx FwdGetS line=4101 from=-1
+c3 rx FwdGetS line=5 from=-1
+c0 rx DataS line=133 from=-1 d0=1133
+c0 rx DataS line=4101 from=-1 d0=5101
+c0 rx DataS line=5 from=-1 d0=1005
+== phase 4: writebacks and aborts
+c0 rx Inv line=2 from=-1
+c2 rx Inv line=2 from=-1
+c1 rx DataE line=2 from=-1 d0=1002
+c1 rx PutAck line=2 from=-1
+c1 rx Inv line=1 from=-1
+c2 rx Inv line=1 from=-1
+c0 rx DataE line=1 from=-1 d0=1001
+== phase 5: HTMLock signatures
+c0 rx HlaGrant line=0 from=-1
+c0 rx PutAck line=5 from=-1
+c1 rx RejectResp line=5 from=-1 hint=lock
+c2 rx RejectResp line=5 from=-1 hint=lock
+c3 rx RejectResp line=69 from=-1 hint=lock
+c1 rx DataS line=69 from=-1 d0=1069
+c2 rx HlaDeny line=0 from=-1
+c1 rx Wakeup line=5 from=-1
+c2 rx Wakeup line=5 from=-1
+c3 rx Wakeup line=69 from=-1
+c1 rx HlaGrant line=0 from=-1
+== final state
+line 5 owner=-1 sharers=[3] busy=0
+line 69 owner=-1 sharers=[1,2] busy=0
+line 133 owner=-1 sharers=[0,1,2] busy=0
+line 4101 owner=-1 sharers=[3] busy=0
+line 1 owner=-1 sharers=[] busy=0
+line 2 owner=-1 sharers=[] busy=0
+llcHits=23 llcMisses=6 writebacks=2 sigRejects=3 busyLines=0
+)GOLD";
+
+inline constexpr const char* kGoldenFullSimFingerprint = R"GOLD(LockillerTM/counter/t4 cycles=12470 commits=128/0/0 aborts=39 rejects=67 wakeups=60 sig=0 llc=430/0 wb=162 msgs=2305 ok=1
+Baseline/counter/t4 cycles=22474 commits=116/12/0 aborts=214 rejects=0 wakeups=0 sig=0 llc=961/0 wb=183 msgs=4557 ok=1
+LockillerTM/vacation+/t8 cycles=62574 commits=384/0/0 aborts=44 rejects=50 wakeups=50 sig=0 llc=5806/0 wb=941 msgs=25288 ok=1
+)GOLD";
+
+}  // namespace lktm::test

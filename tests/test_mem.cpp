@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "mem/cache_array.hpp"
@@ -116,6 +117,21 @@ TEST(CacheArray, ForEachValidAndCountIf) {
 
 // ------------------------------------------------------------------ MSHR
 
+TEST(CacheArray, WaysSpansOneSetWithoutAllocation) {
+  CacheArray c({.sizeBytes = 4 * 1024, .assoc = 4});
+  auto span = c.ways(3);
+  EXPECT_EQ(span.size(), 4u);
+  for (CacheEntry& e : span) EXPECT_FALSE(e.valid());
+  // The span aliases the backing array: an install is visible through it.
+  LineData d{};
+  d[0] = 77;
+  c.install(span[1], 3, MesiState::E, d);
+  EXPECT_EQ(c.find(3), &span[1]);
+  // Same set, same storage; different set, different storage.
+  EXPECT_EQ(c.ways(3 + 16 * c.numSets()).begin(), span.begin());
+  EXPECT_NE(c.ways(4).begin(), span.begin());
+}
+
 TEST(Mshr, AllocateFindRelease) {
   MshrFile m(2);
   auto& e = m.allocate(5);
@@ -180,6 +196,25 @@ TEST(Signature, ClearResets) {
   EXPECT_TRUE(sig.empty());
   EXPECT_FALSE(sig.mayContain(9));
   EXPECT_EQ(sig.population(), 0u);
+}
+
+TEST(Signature, PopulationCountsDistinctBits) {
+  BloomSignature sig(512, 4);
+  sig.insert(42);
+  const std::size_t once = sig.population();
+  EXPECT_GT(once, 0u);
+  EXPECT_LE(once, 4u);  // k hashes can set at most k bits
+  // Re-inserting the same line sets no new bits.
+  sig.insert(42);
+  EXPECT_EQ(sig.population(), once);
+  EXPECT_FALSE(sig.empty());
+  // A second line adds at most k more distinct bits.
+  sig.insert(43);
+  EXPECT_LE(sig.population(), once + 4u);
+  EXPECT_GE(sig.population(), once);
+  // Density (and hence the FP estimate) tracks distinct bits, not inserts.
+  EXPECT_DOUBLE_EQ(sig.falsePositiveRate(),
+                   std::pow(static_cast<double>(sig.population()) / 512.0, 4.0));
 }
 
 class SignatureFpTest

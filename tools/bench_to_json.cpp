@@ -294,7 +294,9 @@ std::string jsonNumber(double v) {
 
 /// Benchmarks whose speedup vs the seed baseline gates this PR.
 constexpr const char* kGatedPrefixes[] = {"BM_EventQueueScheduleRun",
-                                          "BM_MeshTraversal"};
+                                          "BM_MeshTraversal",
+                                          "BM_DirectoryRequestThroughput",
+                                          "BM_SignatureInsertQuery"};
 constexpr double kRequiredSpeedup = 1.5;
 
 bool isGated(const std::string& name) {

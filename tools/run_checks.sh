@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# One-command pre-merge check: build the default and sanitize presets, run the
+# full test suite under both (tier-1 plus the fuzz and coherence-replay
+# determinism tests under ASan+UBSan), then build the release tree and run the
+# gated kernel microbenchmarks (writes BENCH_kernel.json; fails if any gated
+# benchmark regresses below the required speedup against the recorded
+# baseline).
+#
+# Usage: tools/run_checks.sh [--no-bench]
+#   --no-bench   skip the release build + benchmark gate (tests only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_BENCH=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-bench) RUN_BENCH=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure + build: default (RelWithDebInfo, assertions on) =="
+cmake --preset default >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== ctest: default =="
+ctest --preset default
+
+echo "== configure + build: sanitize (ASan + UBSan) =="
+cmake --preset sanitize >/dev/null
+cmake --build build-sanitize -j "$JOBS"
+
+echo "== ctest: sanitize (full suite incl. fuzz + coherence replay) =="
+ctest --preset sanitize
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+  echo "== configure + build: release (benchmarks) =="
+  cmake --preset release >/dev/null
+  cmake --build build-release -j "$JOBS"
+
+  echo "== benchmark gate: bench_kernel (writes BENCH_kernel.json) =="
+  cmake --build build-release --target bench_kernel
+fi
+
+echo "== all checks passed =="

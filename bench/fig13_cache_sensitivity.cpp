@@ -15,7 +15,7 @@ int main() {
   const auto workloads = wl::stampNames();
   const std::vector<std::string> systems{"Baseline", "LosaTM-SAFU", "Lockiller-RWI",
                                          "LockillerTM"};
-  for (const auto machine :
+  for (const auto& machine :
        {cfg::MachineParams::smallCache(), cfg::MachineParams::largeCache()}) {
     const auto results = cfg::sweepSystems(machine, systemsByName(systems),
                                            workloads, paperThreadCounts());

@@ -227,12 +227,70 @@ void DirectoryController::handleGetX(Pending& p, DirInfo& d) {
     sendToL1(r, std::move(resp));
     return;
   }
+  if (bug_ == InjectedBug::SwmrSkipInvalidation) {
+    // Injected defect: grant exclusive data while the sharers keep their
+    // copies and stay listed — the requester and every sharer now hold the
+    // line simultaneously, violating SWMR.
+    Msg resp{.type = MsgType::DataE, .line = line, .data = llc_[line], .hasData = true};
+    d.owner = r;
+    p.waitUnblock = true;
+    sendToL1(r, std::move(resp));
+    return;
+  }
   p.acksLeft = others;
   for (CoreId s : d.sharers) {
     if (s == r) continue;
     Msg inv{.type = MsgType::Inv, .line = line, .req = p.req.req};
     sendToL1(s, std::move(inv));
   }
+}
+
+void DirectoryController::hashState(sim::StateHasher& h) const {
+  h.section(0x30);  // LLC data
+  llc_.forEachOrdered([&](LineAddr line, const mem::LineData& data) {
+    h.put(line);
+    for (std::uint64_t word : data) h.put(word);
+  });
+
+  h.section(0x31);  // directory entries
+  dir_.forEachOrdered([&](LineAddr line, const DirInfo& d) {
+    h.put(line);
+    h.put(static_cast<std::uint64_t>(d.owner));
+    h.put(d.sharers.raw());
+  });
+
+  h.section(0x32);  // pending per-line transactions
+  pending_.forEachOrdered([&](LineAddr line, const Pending& p) {
+    h.put(line);
+    h.put(static_cast<std::uint64_t>(p.req.type));
+    h.put(static_cast<std::uint64_t>(p.req.from));
+    h.put(static_cast<std::uint64_t>(p.req.req.core));
+    h.put((p.req.req.isTx ? 1u : 0u) | (p.req.req.lockMode ? 2u : 0u) |
+          (p.req.req.wantsExclusive ? 4u : 0u));
+    h.put(p.req.req.priority);
+    h.put(p.acksLeft);
+    h.put((p.anyReject ? 1u : 0u) | (p.waitUnblock ? 2u : 0u));
+    h.put(static_cast<std::uint64_t>(p.rejectHint));
+  });
+
+  h.section(0x33);  // queued requests, FIFO order per line
+  waitq_.forEachOrdered([&](LineAddr line, const std::deque<Msg>& q) {
+    h.put(line);
+    for (const Msg& m : q) h.put(msgFingerprint(m));
+  });
+
+  h.section(0x34);  // HTMLock arbiter
+  h.put(static_cast<std::uint64_t>(arbiter_.holder()));
+  h.put(static_cast<std::uint64_t>(arbiter_.holderMode()));
+  for (CoreId c : arbiter_.tlQueue()) h.put(static_cast<std::uint64_t>(c));
+
+  h.section(0x35);  // LLC overflow signatures + their waiters
+  for (std::uint64_t w : hlUnit_.readSig().rawWords()) h.put(w);
+  for (std::uint64_t w : hlUnit_.writeSig().rawWords()) h.put(w);
+  hlUnit_.waiters().forEach([&](LineAddr line, CoreId core) {
+    h.put(line);
+    h.put(static_cast<std::uint64_t>(core));
+  });
 }
 
 void DirectoryController::sendReject(const PendingReq& req, AbortCause hint) {

@@ -66,7 +66,33 @@ class DirectoryController final : public MsgSink {
   /// Pending per-line transactions (0 when the protocol is quiescent).
   std::size_t busyLines() const { return pending_.size(); }
 
+  /// Requester descriptor of the in-flight transaction on `line`, or nullptr
+  /// when the line is not busy. The model checker's reject-priority invariant
+  /// reads the requester's carried priority snapshot from here at the moment
+  /// a responder sends a reject.
+  const core::ReqSide* pendingReq(LineAddr line) const {
+    const Pending* p = pending_.find(line);
+    return p == nullptr ? nullptr : &p->req.req;
+  }
+
   std::string diagnostic() const;
+
+  // --- model-checker exports ---
+  /// Deliberate protocol defects, reachable only through lktm_check
+  /// --inject-bug: they validate that the checker actually detects
+  /// violations and can reproduce them from a dumped counterexample.
+  enum class InjectedBug : std::uint8_t {
+    None,
+    /// handleGetX grants exclusive data without invalidating the remaining
+    /// sharers — a textbook SWMR violation.
+    SwmrSkipInvalidation,
+  };
+  void injectBug(InjectedBug bug) { bug_ = bug; }
+
+  /// Fold the directory's behaviour-relevant state — LLC lines, dir entries,
+  /// pending transactions, wait queues, HTMLock arbiter + signatures, LLC
+  /// waiter table — into a model-checker fingerprint. Stats are excluded.
+  void hashState(sim::StateHasher& h) const;
 
  private:
   struct DirInfo {
@@ -112,6 +138,7 @@ class DirectoryController final : public MsgSink {
   core::HtmLockUnit hlUnit_;
   stats::ProtocolCounters counters_;
   std::uint64_t sigRejects_ = 0;
+  InjectedBug bug_ = InjectedBug::None;
 
   // --- helpers ---
   unsigned bankOf(LineAddr line) const { return static_cast<unsigned>(line % numCores_); }

@@ -665,4 +665,51 @@ std::string L1Controller::diagnostic() const {
   return oss.str();
 }
 
+void L1Controller::hashState(sim::StateHasher& h) const {
+  h.section(0x20);
+  h.put(static_cast<std::uint64_t>(id_));
+  cache_.hashState(h);
+
+  h.section(0x21);  // CPU op latch
+  h.putBool(op_.active);
+  if (op_.active) {
+    h.put(static_cast<std::uint64_t>(op_.kind));
+    h.put(op_.addr);
+    h.put(op_.value);
+    h.put(op_.expect);
+  }
+
+  h.section(0x22);  // MSHR (retries excluded: they only pace, never branch)
+  mshr_.forEach([&](const mem::MshrEntry& m) {
+    h.put(m.line);
+    h.put(static_cast<std::uint64_t>(m.state) | (m.isWrite ? 8u : 0u) |
+          (m.fromTx ? 16u : 0u) | (m.squashed ? 32u : 0u) |
+          (m.earlyWakeup ? 64u : 0u));
+    h.put(m.priority);
+  });
+
+  h.section(0x23);  // writeback buffer
+  wb_.forEachOrdered([&](LineAddr line, const mem::LineData& data) {
+    h.put(line);
+    for (std::uint64_t word : data) h.put(word);
+  });
+
+  h.section(0x24);  // wakeup waiters recorded at this responder
+  wakeups_.forEach([&](LineAddr line, CoreId core) {
+    h.put(line);
+    h.put(static_cast<std::uint64_t>(core));
+  });
+
+  h.section(0x25);  // local view of the LLC overflow signatures
+  ofRd_.forEachOrdered([&](LineAddr line) { h.put(line); });
+  h.section(0x26);
+  ofWr_.forEachOrdered([&](LineAddr line) { h.put(line); });
+
+  h.section(0x27);  // mode + switch machinery
+  h.put(static_cast<std::uint64_t>(mode_) | (triedSwitch_ ? 8u : 0u) |
+        (switchPending_ ? 16u : 0u) | (hlBeginDone_ != nullptr ? 32u : 0u) |
+        (switchDone_ != nullptr ? 64u : 0u));
+  for (const Msg& m : blockedExternal_) h.put(msgFingerprint(m));
+}
+
 }  // namespace lktm::coh

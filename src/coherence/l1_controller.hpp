@@ -96,6 +96,20 @@ class L1Controller final : public MsgSink {
   std::size_t writebackBufferSize() const { return wb_.size(); }
   std::string diagnostic() const;
 
+  // ---- model-checker exports ----
+  const mem::MshrFile& mshrFile() const { return mshr_; }
+  mem::MshrFile& mshrFileMut() { return mshr_; }
+  core::WakeupTable& wakeupTableMut() { return wakeups_; }
+  const core::WakeupTable& wakeupTable() const { return wakeups_; }
+  /// applyingHLA (Fig 6): external requests are parked while the STL switch
+  /// is pending at the LLC.
+  bool applyingHla() const { return switchPending_; }
+  /// Fold every behaviour-relevant field of this controller — cache array,
+  /// CPU op latch, MSHR entries (minus retry counters), writeback buffer,
+  /// wakeup table, overflow shadow sets, mode/switch flags, and the parked
+  /// external requests — into a model-checker fingerprint.
+  void hashState(sim::StateHasher& h) const;
+
  private:
   enum class OpKind : std::uint8_t { Load, Store, Cas };
 

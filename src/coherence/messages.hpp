@@ -83,6 +83,23 @@ class MsgSink {
   virtual void onMessage(const Msg& msg) = 0;
 };
 
+/// Verification tap: installed on the SimContext (setVerifyTap) by the model
+/// checker, it observes every post()ed message at send time and again just
+/// before delivery, giving the verifier an exact registry of in-flight
+/// messages without the protocol components knowing they are being watched.
+class MsgTap {
+ public:
+  virtual ~MsgTap() = default;
+  virtual void onSend(const Msg& msg, noc::NodeId src, noc::NodeId dst) = 0;
+  virtual void onDeliver(const Msg& msg, noc::NodeId src, noc::NodeId dst) = 0;
+};
+
+/// Canonical 64-bit fingerprint of a message's behaviour-relevant content
+/// (type, line, sender, requester descriptor, payload, flags). Used by the
+/// model checker to fold queued and in-flight messages into state
+/// fingerprints; intentionally excludes anything tied to absolute time.
+std::uint64_t msgFingerprint(const Msg& msg);
+
 /// Send `msg` to `sink` across `net` without copying the payload through the
 /// event queue: the Msg moves into the context's message pool and the
 /// in-flight delivery closure captures only {sink, msg*, pool*}, which stays

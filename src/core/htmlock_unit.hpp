@@ -42,6 +42,7 @@ class HtmLockUnit {
   bool anyOverflow() const { return !rd_.empty() || !wr_.empty(); }
   const mem::BloomSignature& readSig() const { return rd_; }
   const mem::BloomSignature& writeSig() const { return wr_; }
+  const WakeupTable& waiters() const { return waiters_; }
 
  private:
   const SwitchArbiter& arbiter_;

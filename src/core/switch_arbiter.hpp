@@ -37,6 +37,10 @@ class SwitchArbiter {
 
   std::size_t queued() const { return tlQueue_.size(); }
 
+  /// Grant-order view of the queued TL requesters (model-checker state
+  /// fingerprints; the queue order decides who is granted next).
+  const std::deque<CoreId>& tlQueue() const { return tlQueue_; }
+
  private:
   CoreId holder_ = kNoCore;
   TxMode holderMode_ = TxMode::None;

@@ -38,6 +38,15 @@ class WakeupTable {
   /// a specific address is released).
   std::vector<Entry> drain(LineAddr line);
 
+  /// Non-draining walk in (ascending line, ascending core) order, for the
+  /// model checker's state fingerprints and no-lost-wakeup invariant.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    table_.forEachOrdered([&](LineAddr line, const sim::CoreMask& m) {
+      m.forEach([&](CoreId c) { fn(line, c); });
+    });
+  }
+
  private:
   sim::FlatLineTable<sim::CoreMask> table_;
 };

@@ -88,6 +88,31 @@ void CacheArray::forEachValid(const std::function<void(const CacheEntry&)>& fn) 
   }
 }
 
+void CacheArray::hashState(sim::StateHasher& h) const {
+  h.section(0x11);
+  for (unsigned set = 0; set < sets_; ++set) {
+    const CacheEntry* b = base(set);
+    for (unsigned w = 0; w < geo_.assoc; ++w) {
+      const CacheEntry& e = b[w];
+      if (!e.valid()) {
+        h.put(0);
+        continue;
+      }
+      // LRU rank: how many valid ways of this set were touched before e.
+      unsigned rank = 0;
+      for (unsigned o = 0; o < geo_.assoc; ++o) {
+        if (o != w && b[o].valid() && b[o].lru < e.lru) ++rank;
+      }
+      h.put(1);
+      h.put(e.line);
+      h.put(static_cast<std::uint64_t>(e.state) | (e.dirty ? 8u : 0u) |
+            (e.txRead ? 16u : 0u) | (e.txWrite ? 32u : 0u));
+      h.put(rank);
+      for (std::uint64_t word : e.data) h.put(word);
+    }
+  }
+}
+
 std::uint64_t CacheArray::countIf(const std::function<bool(const CacheEntry&)>& pred) const {
   std::uint64_t n = 0;
   for (const auto& e : entries_) {

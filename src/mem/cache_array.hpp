@@ -8,6 +8,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/state_hash.hpp"
 #include "sim/types.hpp"
 
 namespace lktm::mem {
@@ -89,6 +90,13 @@ class CacheArray {
   /// Iterate over every valid entry (used for commit/abort walks & checkers).
   void forEachValid(const std::function<void(CacheEntry&)>& fn);
   void forEachValid(const std::function<void(const CacheEntry&)>& fn) const;
+
+  /// Fold the array's behaviour-relevant state into a model-checker
+  /// fingerprint: per (set, way) the tag/state/dirty/tx bits and data, plus
+  /// the way's LRU *rank* within its set. Raw LRU stamps grow monotonically
+  /// and would make every state unique; only their relative order steers
+  /// victim selection, so only the rank is hashed.
+  void hashState(sim::StateHasher& h) const;
 
   std::uint64_t countIf(const std::function<bool(const CacheEntry&)>& pred) const;
 

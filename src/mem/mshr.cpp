@@ -21,6 +21,8 @@ MshrEntry& MshrFile::allocate(LineAddr line) {
 
 MshrEntry* MshrFile::find(LineAddr line) { return entries_.find(line); }
 
+const MshrEntry* MshrFile::find(LineAddr line) const { return entries_.find(line); }
+
 void MshrFile::release(LineAddr line) { entries_.erase(line); }
 
 }  // namespace lktm::mem

@@ -43,6 +43,7 @@ class MshrFile {
 
   MshrEntry& allocate(LineAddr line);
   MshrEntry* find(LineAddr line);
+  const MshrEntry* find(LineAddr line) const;
   void release(LineAddr line);
 
   /// Visits entries in ascending line order (the old std::map order), for
@@ -50,6 +51,10 @@ class MshrFile {
   template <typename Fn>
   void forEach(Fn&& fn) {
     entries_.forEachOrdered([&](LineAddr, MshrEntry& e) { fn(e); });
+  }
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    entries_.forEachOrdered([&](LineAddr, const MshrEntry& e) { fn(e); });
   }
 
   /// Hash-order visit for order-independent walks (set-busy scans, squash

@@ -59,6 +59,11 @@ class BloomSignature {
   /// hits k independent bits, each set with probability population/bits.
   double falsePositiveRate() const;
 
+  /// The raw filter words, for state fingerprints (the bit pattern IS the
+  /// behaviour-relevant state; two filters with equal words reject the same
+  /// addresses).
+  const std::vector<std::uint64_t>& rawWords() const { return words_; }
+
  private:
   std::vector<std::uint64_t> words_;
   unsigned bits_;

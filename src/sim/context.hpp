@@ -76,11 +76,19 @@ class SimContext {
 
   std::uint64_t runsStarted() const { return runsStarted_; }
 
+  /// Opaque verification tap slot. The coherence layer stores a coh::MsgTap*
+  /// here (see coh::post) so the model checker can observe every message send
+  /// and delivery; sim stays ignorant of the concrete type. Not owned, null
+  /// in normal runs, and the hot path pays one pointer test when unset.
+  void setVerifyTap(void* tap) { verifyTap_ = tap; }
+  void* verifyTap() const { return verifyTap_; }
+
  private:
   Engine engine_;
   Rng rng_;
   std::vector<std::unique_ptr<detail::PoolHolderBase>> pools_;
   std::uint64_t runsStarted_ = 0;
+  void* verifyTap_ = nullptr;
 };
 
 }  // namespace lktm::sim

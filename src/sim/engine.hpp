@@ -18,7 +18,13 @@ class Engine {
       : watchdogWindow_(watchdogWindow) {}
 
   EventQueue& queue() { return q_; }
+  const EventQueue& queue() const { return q_; }
   Cycle now() const { return q_.now(); }
+
+  /// Install the model checker's same-cycle choice oracle (nullptr restores
+  /// the default bit-exact (cycle, seq) order). Not owned; the oracle must
+  /// outlive every run it steers.
+  void setScheduleOracle(ScheduleOracle* oracle) { q_.setOracle(oracle); }
 
   void schedule(Cycle delay, EventQueue::Action fn) { q_.schedule(delay, std::move(fn)); }
 

@@ -44,6 +44,13 @@ void EventQueue::scheduleAt(Cycle when, Action fn) {
 }
 
 void EventQueue::insert(Cycle when, Action fn) {
+  // Guards the `when - now_` horizon test below against u64 wrap: a delay
+  // large enough to overflow `now_ + delay` would otherwise alias into a ring
+  // bucket of an earlier "day" and run kHorizon cycles early.
+  if (when < now_) {
+    throw std::logic_error("EventQueue::insert: cycle " + std::to_string(when) +
+                           " wrapped past now=" + std::to_string(now_));
+  }
   Node* n = allocNode();
   n->when = when;
   n->seq = seq_++;
@@ -58,6 +65,11 @@ void EventQueue::insert(Cycle when, Action fn) {
 }
 
 void EventQueue::appendToRing(Node* n) {
+  // Day-rollover bounds check: the ring covers exactly [now_, now_+kHorizon),
+  // so an event outside that window would collide with a bucket belonging to
+  // a different cycle (same index mod kHorizon) and fire at the wrong time.
+  assert(n->when >= now_ && n->when - now_ < kHorizon &&
+         "calendar ring day rollover: event outside the horizon window");
   Bucket& b = ring_[n->when & kMask];
   if (b.head == nullptr) {
     b.head = b.tail = n;
@@ -79,7 +91,7 @@ void EventQueue::migrateOverflow() {
   }
 }
 
-EventQueue::Node* EventQueue::popEarliestRing() {
+std::size_t EventQueue::earliestRingIndex() const {
   // All ring events live in [now_, now_ + kHorizon), so scanning the
   // occupancy bitmap in wrapped index order starting at now_ visits buckets
   // in cycle order. Each bucket holds exactly one cycle's events, FIFO.
@@ -88,25 +100,40 @@ EventQueue::Node* EventQueue::popEarliestRing() {
   std::uint64_t bits = occ_[word] & (~0ull << (start % 64));
   for (std::size_t scanned = 0; scanned <= kOccWords; ++scanned) {
     if (bits != 0) {
-      const std::size_t idx = word * 64 + static_cast<std::size_t>(__builtin_ctzll(bits));
-      Bucket& b = ring_[idx];
-      Node* n = b.head;
-      b.head = n->next;
-      if (b.head == nullptr) {
-        b.tail = nullptr;
-        occ_[idx / 64] &= ~(1ull << (idx % 64));
-      }
-      --ringSize_;
-      return n;
+      return word * 64 + static_cast<std::size_t>(__builtin_ctzll(bits));
     }
     word = (word + 1) % kOccWords;
     bits = occ_[word];
   }
-  return nullptr;
+  return static_cast<std::size_t>(-1);
+}
+
+EventQueue::Node* EventQueue::popEarliestRing() {
+  const std::size_t idx = earliestRingIndex();
+  if (idx == static_cast<std::size_t>(-1)) return nullptr;
+  Bucket& b = ring_[idx];
+  Node* n = b.head;
+  b.head = n->next;
+  if (b.head == nullptr) {
+    b.tail = nullptr;
+    occ_[idx / 64] &= ~(1ull << (idx % 64));
+  }
+  --ringSize_;
+  return n;
 }
 
 bool EventQueue::runOne() {
   if (size_ == 0) return false;
+  Node* n = oracle_ != nullptr ? popWithOracle() : popDefault();
+  --size_;
+  ++executed_;
+  Action fn = std::move(n->fn);
+  recycleNode(n);
+  fn();
+  return true;
+}
+
+EventQueue::Node* EventQueue::popDefault() {
   Node* n;
   if (ringSize_ > 0) {
     n = popEarliestRing();
@@ -124,12 +151,62 @@ bool EventQueue::runOne() {
   // so same-cycle ring appends from the action keep their seq order behind
   // any older overflow events for the same bucket.
   migrateOverflow();
-  --size_;
-  ++executed_;
-  Action fn = std::move(n->fn);
-  recycleNode(n);
-  fn();
-  return true;
+  return n;
+}
+
+EventQueue::Node* EventQueue::popWithOracle() {
+  // Advance the clock to the earliest pending cycle and migrate overflow
+  // *before* choosing, so the entire same-cycle event set sits in one ring
+  // bucket in insertion-seq order. Index 0 is then exactly the node the
+  // default path would pop, which is what keeps a pick-0 oracle bit-exact.
+  Cycle when;
+  if (ringSize_ > 0) {
+    Bucket& b = ring_[earliestRingIndex()];
+    when = b.head->when;
+  } else {
+    when = overflow_.front()->when;
+  }
+  assert(when >= now_);
+  now_ = when;
+  migrateOverflow();
+
+  Bucket& b = ring_[when & kMask];
+  std::size_t nReady = 0;
+  for (const Node* p = b.head; p != nullptr; p = p->next) {
+    assert(p->when == when && "ring bucket mixes cycles");
+    ++nReady;
+  }
+  assert(nReady > 0 && "earliest bucket empty after migration");
+  std::size_t idx = 0;
+  if (nReady > 1) {
+    idx = oracle_->pick(now_, nReady);
+    if (idx >= nReady) {
+      throw std::logic_error("ScheduleOracle::pick returned " + std::to_string(idx) +
+                             " with only " + std::to_string(nReady) + " ready events");
+    }
+  }
+  Node* prev = nullptr;
+  Node* n = b.head;
+  for (std::size_t i = 0; i < idx; ++i) {
+    prev = n;
+    n = n->next;
+  }
+  if (prev == nullptr) {
+    b.head = n->next;
+  } else {
+    prev->next = n->next;
+  }
+  if (b.tail == n) b.tail = prev;
+  if (b.head == nullptr) {
+    const std::size_t bi = when & kMask;
+    occ_[bi / 64] &= ~(1ull << (bi % 64));
+  }
+  n->next = nullptr;
+  --ringSize_;
+  // Oracle permutations are same-cycle only; a cross-cycle reorder would
+  // break the (cycle, *) total order every component relies on.
+  assert(n->when == now_ && "oracle reordered across cycles");
+  return n;
 }
 
 void EventQueue::runUntilDrained(Cycle maxCycles) {

@@ -28,6 +28,23 @@ class SimulationHang : public std::runtime_error {
   explicit SimulationHang(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Nondeterminism seam for the protocol model checker (src/verify): when an
+/// oracle is installed, every cycle whose bucket holds more than one ready
+/// event becomes an explicit choice point — the oracle picks which same-cycle
+/// event runs next instead of the fixed insertion-seq order. Picking index 0
+/// at every choice point reproduces the default (cycle, seq) order bit-exactly
+/// (see EventQueue.OracleIndexZeroMatchesDefaultOrder). Oracles can only
+/// permute events *within* one cycle; the queue asserts that a chosen event's
+/// timestamp equals the current cycle, so no oracle can reorder across cycles.
+class ScheduleOracle {
+ public:
+  virtual ~ScheduleOracle() = default;
+
+  /// Pick one of the `nReady` (>= 2) events runnable at cycle `now`, indexed
+  /// in insertion-seq order. Out-of-range picks throw std::logic_error.
+  virtual std::size_t pick(Cycle now, std::size_t nReady) = 0;
+};
+
 class EventQueue {
  public:
   using Action = sim::Action;
@@ -70,6 +87,21 @@ class EventQueue {
   /// Node slabs allocated since construction (telemetry).
   std::size_t slabsAllocated() const { return slabs_.size(); }
 
+  /// Install (or remove, with nullptr) the same-cycle choice oracle. Not
+  /// owned. With no oracle the queue runs the classic (cycle, seq) order.
+  void setOracle(ScheduleOracle* oracle) { oracle_ = oracle; }
+  ScheduleOracle* oracle() const { return oracle_; }
+
+  /// Visit every pending event's (cycle, insertion seq), in no particular
+  /// order. The verifier folds the relative delays into its state fingerprint.
+  template <typename Fn>
+  void forEachPending(Fn&& fn) const {
+    for (const Bucket& b : ring_) {
+      for (const Node* n = b.head; n != nullptr; n = n->next) fn(n->when, n->seq);
+    }
+    for (const Node* n : overflow_) fn(n->when, n->seq);
+  }
+
  private:
   struct Node {
     Cycle when = 0;
@@ -90,6 +122,7 @@ class EventQueue {
   std::vector<Bucket> ring_;
   std::array<std::uint64_t, kOccWords> occ_{};
   std::vector<Node*> overflow_;  ///< min-heap on (when, seq)
+  ScheduleOracle* oracle_ = nullptr;
   Node* free_ = nullptr;
   std::vector<std::unique_ptr<Node[]>> slabs_;
 
@@ -108,7 +141,10 @@ class EventQueue {
   void insert(Cycle when, Action fn);
   void appendToRing(Node* n);
   void migrateOverflow();
+  std::size_t earliestRingIndex() const;
   Node* popEarliestRing();
+  Node* popDefault();
+  Node* popWithOracle();
 };
 
 }  // namespace lktm::sim

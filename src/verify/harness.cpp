@@ -1,0 +1,284 @@
+#include "verify/harness.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lktm::verify {
+
+const char* toString(OpKind k) {
+  switch (k) {
+    case OpKind::TxBegin: return "TxBegin";
+    case OpKind::Load: return "Load";
+    case OpKind::Store: return "Store";
+    case OpKind::Commit: return "Commit";
+    case OpKind::HlBegin: return "HlBegin";
+    case OpKind::HlEnd: return "HlEnd";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shrunk latencies: every cycle of separation multiplies the interleaving
+/// tree, so the model configs compress all fixed delays to 1-3 cycles. The
+/// protocol logic is latency-independent; only the state-space size changes.
+coh::ProtocolParams modelProtocolParams() {
+  coh::ProtocolParams p;
+  p.l1HitLatency = 1;
+  p.llcLatency = 1;
+  p.memLatency = 2;
+  p.commitLatency = 1;
+  p.hlLatency = 1;
+  p.retryDelay = 3;
+  p.nonTxRetryDelay = 3;
+  p.mshrCapacity = 4;
+  return p;
+}
+
+core::TmPolicy recoveryWaitWakeup() {
+  core::TmPolicy p;
+  p.conflict = core::ConflictPolicy::Recovery;
+  p.rejectAction = core::RejectAction::WaitWakeup;
+  p.priority = core::PriorityKind::InstsBased;
+  return p;
+}
+
+std::vector<ProgOp> incrementTxn(LineAddr line, std::uint64_t value) {
+  return {{OpKind::TxBegin}, {OpKind::Load, line}, {OpKind::Store, line, value},
+          {OpKind::Commit}};
+}
+
+}  // namespace
+
+std::optional<ModelConfig> namedConfig(const std::string& name) {
+  ModelConfig cfg;
+  cfg.name = name;
+  cfg.protocol = modelProtocolParams();
+  cfg.policy = recoveryWaitWakeup();
+  if (name == "2c1l") {
+    // Two cores increment the same line: the canonical conflict kernel.
+    cfg.cores = 2;
+    cfg.lines = {1};
+    cfg.programs = {incrementTxn(1, 10), incrementTxn(1, 20)};
+    return cfg;
+  }
+  if (name == "2c2l-cycle") {
+    // Opposite-order writes over two lines under WaitWakeup: the schedule
+    // shape that would deadlock if rejects could form a cycle. The priority
+    // total order (III-A) must break it on every interleaving.
+    cfg.cores = 2;
+    cfg.lines = {1, 2};
+    cfg.programs = {
+        {{OpKind::TxBegin}, {OpKind::Store, 1, 11}, {OpKind::Store, 2, 12},
+         {OpKind::Commit}},
+        {{OpKind::TxBegin}, {OpKind::Store, 2, 21}, {OpKind::Store, 1, 22},
+         {OpKind::Commit}},
+    };
+    return cfg;
+  }
+  if (name == "3c1l") {
+    // Three cores on one line: wakeups race responder aborts and commits.
+    cfg.cores = 3;
+    cfg.lines = {1};
+    cfg.programs = {incrementTxn(1, 10), incrementTxn(1, 20), incrementTxn(1, 30)};
+    return cfg;
+  }
+  if (name == "3c2l") {
+    // Mixed readers and writers over two lines (the CI soak config).
+    cfg.cores = 3;
+    cfg.lines = {1, 2};
+    cfg.programs = {
+        {{OpKind::TxBegin}, {OpKind::Store, 1, 11}, {OpKind::Store, 2, 12},
+         {OpKind::Commit}},
+        {{OpKind::TxBegin}, {OpKind::Store, 2, 21}, {OpKind::Store, 1, 22},
+         {OpKind::Commit}},
+        {{OpKind::TxBegin}, {OpKind::Load, 1}, {OpKind::Commit}},
+    };
+    return cfg;
+  }
+  if (name == "tl-overflow") {
+    // A TL lock transaction overflows a 2-line direct-mapped L1 (lines 1 and
+    // 3 collide) while a peer HTM transaction keeps poking the spilled line:
+    // exercises SigAdd spills, LLC signature rejects, and the wakeup drain at
+    // hlEnd — including "overflow while a reject is pending".
+    cfg.cores = 2;
+    cfg.l1 = mem::CacheGeometry{2 * kLineBytes, 1};
+    cfg.policy.htmLock = true;
+    cfg.policy.subscribeLock = false;
+    cfg.lines = {1, 2, 3};
+    cfg.programs = {
+        {{OpKind::HlBegin}, {OpKind::Store, 1, 11}, {OpKind::Store, 2, 12},
+         {OpKind::Store, 3, 13}, {OpKind::HlEnd}},
+        {{OpKind::TxBegin}, {OpKind::Store, 1, 21}, {OpKind::Commit}},
+    };
+    return cfg;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> configNames() {
+  return {"2c1l", "2c2l-cycle", "3c1l", "3c2l", "tl-overflow"};
+}
+
+ModelHarness::ModelHarness(const ModelConfig& cfg)
+    : cfg_(cfg),
+      net_(ctx_, /*latency=*/1),
+      dir_(ctx_, net_, memory_, cfg.protocol, cfg.cores),
+      drivers_(cfg.cores) {
+  if (cfg_.programs.size() != cfg_.cores) {
+    throw std::invalid_argument("ModelConfig: one program per core required");
+  }
+  ctx_.setVerifyTap(&registry_);
+  dir_.injectBug(cfg_.bug);
+  for (unsigned i = 0; i < cfg_.cores; ++i) {
+    l1s_.push_back(std::make_unique<coh::L1Controller>(
+        ctx_, net_, static_cast<CoreId>(i), cfg_.l1, cfg_.protocol, cfg_.policy,
+        cfg_.cores));
+    l1s_.back()->connectDirectory(&dir_);
+    dir_.connectL1(static_cast<CoreId>(i), l1s_.back().get());
+    const CoreId id = static_cast<CoreId>(i);
+    l1s_.back()->setCallbacks(coh::L1Controller::Callbacks{
+        .priorityValue = [this, id] { return drivers_[static_cast<std::size_t>(id)].insts; },
+        .onAbort = [this, id](AbortCause) { onAbort(id); },
+        .onSwitchedToStl = [] {},
+    });
+  }
+  std::vector<coh::MsgSink*> peers;
+  for (auto& l1 : l1s_) peers.push_back(l1.get());
+  for (auto& l1 : l1s_) l1->connectPeers(peers);
+}
+
+ModelHarness::~ModelHarness() { ctx_.setVerifyTap(nullptr); }
+
+void ModelHarness::start() {
+  for (unsigned c = 0; c < cfg_.cores; ++c) {
+    // Seed each program through an event so step 0 competes with everything
+    // else at cycle 1 under the oracle instead of running pre-simulation.
+    const CoreId id = static_cast<CoreId>(c);
+    const std::uint64_t gen = drivers_[c].gen;
+    engine().schedule(1, [this, id, gen] {
+      if (drivers_[static_cast<std::size_t>(id)].gen == gen) step(id);
+    });
+  }
+}
+
+void ModelHarness::step(CoreId c) {
+  Driver& d = drivers_[static_cast<std::size_t>(c)];
+  const auto& prog = cfg_.programs[static_cast<std::size_t>(c)];
+  coh::L1Controller& l1c = *l1s_[static_cast<std::size_t>(c)];
+  while (true) {
+    if (d.pc >= prog.size()) {
+      d.done = true;
+      return;
+    }
+    const ProgOp& op = prog[d.pc];
+    const std::uint64_t gen = d.gen;
+    switch (op.kind) {
+      case OpKind::TxBegin:
+        d.attemptStart = d.pc;
+        l1c.txBegin();
+        ++d.pc;
+        continue;  // synchronous; fall through to the next op
+      case OpKind::Load:
+        l1c.load(byteOf(op.line), [this, c, gen](std::uint64_t) { opDone(c, gen); });
+        return;
+      case OpKind::Store:
+        l1c.store(byteOf(op.line), op.value, [this, c, gen] { opDone(c, gen); });
+        return;
+      case OpKind::Commit:
+        l1c.txCommit([this, c, gen] { opDone(c, gen); });
+        return;
+      case OpKind::HlBegin:
+        d.attemptStart = d.pc;
+        l1c.hlBegin([this, c, gen] { opDone(c, gen); });
+        return;
+      case OpKind::HlEnd:
+        l1c.hlEnd([this, c, gen] { opDone(c, gen); });
+        return;
+    }
+  }
+}
+
+void ModelHarness::opDone(CoreId c, std::uint64_t gen) {
+  Driver& d = drivers_[static_cast<std::size_t>(c)];
+  if (d.gen != gen) return;  // completion from a squashed attempt
+  ++d.insts;
+  ++d.pc;
+  step(c);
+}
+
+void ModelHarness::onAbort(CoreId c) {
+  Driver& d = drivers_[static_cast<std::size_t>(c)];
+  ++d.gen;
+  ++d.aborts;
+  d.insts = 0;
+  d.pc = d.attemptStart;
+  const std::uint64_t gen = d.gen;
+  engine().schedule(1, [this, c, gen] {
+    if (drivers_[static_cast<std::size_t>(c)].gen == gen) step(c);
+  });
+}
+
+SystemView ModelHarness::view() const {
+  SystemView v;
+  v.dir = &dir_;
+  for (const auto& l1 : l1s_) v.l1s.push_back(l1.get());
+  v.msgs = &registry_;
+  v.lines = cfg_.lines;
+  v.priorityOf = [this](CoreId c) { return drivers_[static_cast<std::size_t>(c)].insts; };
+  return v;
+}
+
+SystemRefs ModelHarness::refs() const {
+  SystemRefs r;
+  r.engine = &ctx_.engine();
+  r.dir = &dir_;
+  for (const auto& l1 : l1s_) r.l1s.push_back(l1.get());
+  r.msgs = &registry_;
+  return r;
+}
+
+std::uint64_t ModelHarness::fingerprint() const {
+  sim::StateHasher h;
+  hashSystem(h, refs());
+  h.section(0x50);
+  for (const Driver& d : drivers_) {
+    h.put(d.pc);
+    h.put(d.attemptStart);
+    h.put(d.insts);
+    h.putBool(d.done);
+    // gen and aborts are monotonic attempt counters: excluded, or no two
+    // paths with different abort histories could ever converge.
+  }
+  return h.digest();
+}
+
+bool ModelHarness::allDone() const {
+  for (const Driver& d : drivers_) {
+    if (!d.done) return false;
+  }
+  return true;
+}
+
+unsigned ModelHarness::totalAborts() const {
+  unsigned n = 0;
+  for (const Driver& d : drivers_) n += d.aborts;
+  return n;
+}
+
+std::string ModelHarness::programStatus() const {
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < drivers_.size(); ++c) {
+    const Driver& d = drivers_[c];
+    if (d.done) continue;
+    const auto& prog = cfg_.programs[c];
+    oss << "c" << c << " stuck at op " << d.pc << "/" << prog.size();
+    if (d.pc < prog.size()) {
+      oss << " (" << toString(prog[d.pc].kind) << " line=" << prog[d.pc].line << ")";
+    }
+    oss << " after " << d.aborts << " abort(s); " << l1s_[c]->diagnostic() << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace lktm::verify

@@ -1,0 +1,114 @@
+// Self-contained small-configuration system for the protocol model checker:
+// 2-4 cores, an ideal 1-cycle network, a handful of cache lines, and a
+// scripted transactional program per core driven directly at the L1 CPU port
+// (the tests/testbed.hpp pattern, minus GTest). Each DFS path builds a fresh
+// harness, replays a schedule prefix through the ScheduleOracle, and reads
+// canonical fingerprints + invariant views off it.
+//
+// Abort/restart: when a core's transaction aborts, the driver rewinds its
+// program counter to the enclosing TxBegin and re-runs the attempt one cycle
+// later. Completions are generation-guarded so an event from a squashed
+// attempt can never advance the restarted program.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coherence/directory.hpp"
+#include "coherence/l1_controller.hpp"
+#include "mem/main_memory.hpp"
+#include "noc/ideal.hpp"
+#include "sim/context.hpp"
+#include "verify/invariants.hpp"
+#include "verify/msg_registry.hpp"
+#include "verify/state_canon.hpp"
+
+namespace lktm::verify {
+
+enum class OpKind : std::uint8_t { TxBegin, Load, Store, Commit, HlBegin, HlEnd };
+
+const char* toString(OpKind k);
+
+struct ProgOp {
+  OpKind kind{};
+  LineAddr line = 0;
+  std::uint64_t value = 0;
+};
+
+struct ModelConfig {
+  std::string name;
+  unsigned cores = 2;
+  mem::CacheGeometry l1{4 * kLineBytes, 2};
+  coh::ProtocolParams protocol;
+  core::TmPolicy policy;
+  std::vector<std::vector<ProgOp>> programs;  ///< one script per core
+  std::vector<LineAddr> lines;                ///< the config's line universe
+  coh::DirectoryController::InjectedBug bug =
+      coh::DirectoryController::InjectedBug::None;
+};
+
+/// The built-in small configurations lktm_check exposes (2c1l, 2c2l-cycle,
+/// 3c1l, 3c2l, tl-overflow). Returns nullopt for unknown names.
+std::optional<ModelConfig> namedConfig(const std::string& name);
+std::vector<std::string> configNames();
+
+class ModelHarness {
+ public:
+  explicit ModelHarness(const ModelConfig& cfg);
+  ~ModelHarness();
+
+  ModelHarness(const ModelHarness&) = delete;
+  ModelHarness& operator=(const ModelHarness&) = delete;
+
+  /// Kick off every core's program (schedules the first steps; nothing runs
+  /// until the caller drives the event queue).
+  void start();
+
+  sim::SimContext& ctx() { return ctx_; }
+  sim::Engine& engine() { return ctx_.engine(); }
+  MsgRegistry& registry() { return registry_; }
+  coh::DirectoryController& dir() { return dir_; }
+  coh::L1Controller& l1(CoreId c) { return *l1s_.at(static_cast<std::size_t>(c)); }
+  const ModelConfig& config() const { return cfg_; }
+
+  SystemView view() const;
+  SystemRefs refs() const;
+
+  /// Canonical fingerprint of system + driver state (program counters and
+  /// per-attempt progress; generation counters and abort totals are excluded
+  /// as monotonic).
+  std::uint64_t fingerprint() const;
+
+  bool allDone() const;
+  unsigned totalAborts() const;
+  /// One line per unfinished program, for deadlock diagnostics.
+  std::string programStatus() const;
+
+ private:
+  struct Driver {
+    std::size_t pc = 0;
+    std::size_t attemptStart = 0;  ///< rewind target on abort
+    std::uint64_t gen = 0;         ///< attempt generation (staleness guard)
+    std::uint64_t insts = 0;       ///< ops completed this attempt (= priority)
+    bool done = false;
+    unsigned aborts = 0;
+  };
+
+  void step(CoreId c);
+  void opDone(CoreId c, std::uint64_t gen);
+  void onAbort(CoreId c);
+
+  ModelConfig cfg_;
+  sim::SimContext ctx_;
+  mem::MainMemory memory_;
+  noc::IdealNetwork net_;
+  coh::DirectoryController dir_;
+  std::vector<std::unique_ptr<coh::L1Controller>> l1s_;
+  MsgRegistry registry_;
+  std::vector<Driver> drivers_;
+};
+
+}  // namespace lktm::verify

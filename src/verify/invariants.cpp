@@ -1,0 +1,182 @@
+#include "verify/invariants.hpp"
+
+#include <sstream>
+
+#include "core/priority.hpp"
+
+namespace lktm::verify {
+
+namespace {
+
+std::string describeLine(LineAddr line) {
+  std::ostringstream oss;
+  oss << "line " << line;
+  return oss.str();
+}
+
+void checkSwmr(const SystemView& v, std::vector<Violation>& out) {
+  for (LineAddr line : v.lines) {
+    unsigned validCopies = 0;
+    unsigned exclusiveCopies = 0;
+    std::ostringstream holders;
+    for (std::size_t c = 0; c < v.l1s.size(); ++c) {
+      const mem::CacheEntry* e = v.l1s[c]->cache().find(line);
+      if (e == nullptr) continue;
+      ++validCopies;
+      const bool excl = e->state == mem::MesiState::E || e->state == mem::MesiState::M;
+      if (excl) ++exclusiveCopies;
+      holders << " c" << c << "=" << mem::toString(e->state);
+    }
+    if (exclusiveCopies > 1 || (exclusiveCopies == 1 && validCopies > 1)) {
+      out.push_back(Violation{
+          "swmr", describeLine(line) + " has an exclusive copy coexisting with " +
+                      std::to_string(validCopies - 1) + " other(s):" + holders.str()});
+    }
+  }
+}
+
+void checkLockHighest(const SystemView& v, std::vector<Violation>& out) {
+  CoreId locker = kNoCore;
+  for (std::size_t c = 0; c < v.l1s.size(); ++c) {
+    if (!isLockMode(v.l1s[c]->mode())) continue;
+    if (locker != kNoCore) {
+      out.push_back(Violation{"lock-highest",
+                              "cores c" + std::to_string(locker) + " and c" +
+                                  std::to_string(c) + " are both in lock mode"});
+    }
+    locker = static_cast<CoreId>(c);
+  }
+  const core::SwitchArbiter& arb = v.dir->arbiter();
+  if (arb.active() && locker != kNoCore && locker != arb.holder()) {
+    out.push_back(Violation{"lock-highest",
+                            "c" + std::to_string(locker) + " is in lock mode but the LLC "
+                                "arbiter granted c" + std::to_string(arb.holder())});
+  }
+  if (locker != kNoCore) {
+    // The lock transaction outranks everything, so its requests are never
+    // held: every MSHR entry it owns must still be in Issued state.
+    v.l1s[static_cast<std::size_t>(locker)]->mshrFile().forEach(
+        [&](const mem::MshrEntry& m) {
+          if (m.state != mem::MshrState::Issued && !m.squashed) {
+            out.push_back(Violation{
+                "lock-highest", "lock transaction on c" + std::to_string(locker) +
+                                    " has a held request (" + mem::toString(m.state) +
+                                    ") for " + describeLine(m.line)});
+          }
+        });
+  }
+}
+
+void checkNoLostWakeup(const SystemView& v, std::vector<Violation>& out) {
+  for (std::size_t c = 0; c < v.l1s.size(); ++c) {
+    const CoreId core = static_cast<CoreId>(c);
+    v.l1s[c]->mshrFile().forEach([&](const mem::MshrEntry& m) {
+      if (m.state != mem::MshrState::WaitingWakeup || m.squashed || m.earlyWakeup) return;
+      bool covered = false;
+      for (const coh::L1Controller* peer : v.l1s) {
+        peer->wakeupTable().forEach([&](LineAddr line, CoreId waiter) {
+          if (line == m.line && waiter == core) covered = true;
+        });
+      }
+      v.dir->htmlockUnit().waiters().forEach([&](LineAddr line, CoreId waiter) {
+        if (line == m.line && waiter == core) covered = true;
+      });
+      if (!covered && v.msgs != nullptr) {
+        // L1 node ids equal core ids.
+        covered = v.msgs->anyInFlightTo(core, coh::MsgType::Wakeup, m.line);
+      }
+      if (!covered) {
+        out.push_back(Violation{
+            "no-lost-wakeup", "c" + std::to_string(core) + " waits for a wakeup on " +
+                                  describeLine(m.line) +
+                                  " but no responder has it recorded and none is in flight"});
+      }
+    });
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> InvariantPack::checkState(const SystemView& v) {
+  std::vector<Violation> out;
+  checkSwmr(v, out);
+  checkLockHighest(v, out);
+  checkNoLostWakeup(v, out);
+  return out;
+}
+
+std::optional<Violation> InvariantPack::checkReject(const SystemView& v,
+                                                    const coh::Msg& msg,
+                                                    CoreId responder) {
+  if (msg.type == coh::MsgType::InvReject || msg.type == coh::MsgType::FwdReject) {
+    const core::ReqSide* req = v.dir->pendingReq(msg.line);
+    if (req == nullptr) {
+      return Violation{"reject-priority",
+                       "c" + std::to_string(responder) + " rejected on " +
+                           describeLine(msg.line) + " with no transaction pending there"};
+    }
+    const coh::L1Controller* l1 = v.l1s.at(static_cast<std::size_t>(responder));
+    const core::PrioKey local{isLockMode(l1->mode()), v.priorityOf(responder), responder};
+    const core::PrioKey remote{req->lockMode, req->priority, req->core};
+    if (!local.beats(remote)) {
+      return Violation{"reject-priority",
+                       "c" + std::to_string(responder) + " (key " + local.str() +
+                           ") rejected c" + std::to_string(req->core) + " (key " +
+                           remote.str() + ") on " + describeLine(msg.line) +
+                           " without outranking it"};
+    }
+    return std::nullopt;
+  }
+  if (msg.type == coh::MsgType::RejectResp &&
+      msg.rejectHint == AbortCause::LockConflict) {
+    // A lock-attributed reject from the directory needs lock evidence: an
+    // active arbiter slot, overflow signatures, or a core in lock mode.
+    bool lockerExists = v.dir->arbiter().active() || v.dir->htmlockUnit().anyOverflow();
+    for (const coh::L1Controller* l1 : v.l1s) lockerExists |= isLockMode(l1->mode());
+    if (!lockerExists) {
+      return Violation{"reject-priority",
+                       "directory sent a LockConflict reject on " + describeLine(msg.line) +
+                           " with no lock transaction anywhere"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Violation> InvariantPack::checkQuiescent(const SystemView& v) {
+  std::vector<Violation> out;
+  if (v.dir->busyLines() != 0) {
+    out.push_back(Violation{"quiescence", std::to_string(v.dir->busyLines()) +
+                                              " directory line(s) still busy at drain"});
+  }
+  for (std::size_t c = 0; c < v.l1s.size(); ++c) {
+    const coh::L1Controller* l1 = v.l1s[c];
+    const std::string who = "c" + std::to_string(c);
+    if (!l1->mshrFile().empty()) {
+      std::ostringstream oss;
+      oss << who << " has " << l1->mshrFile().size() << " MSHR entr(ies) at drain:";
+      l1->mshrFile().forEach([&](const mem::MshrEntry& m) {
+        oss << " [" << describeLine(m.line) << " " << mem::toString(m.state) << "]";
+      });
+      out.push_back(Violation{"quiescence", oss.str()});
+    }
+    if (l1->writebackBufferSize() != 0) {
+      out.push_back(Violation{"quiescence", who + " has writebacks awaiting PutAck at drain"});
+    }
+    if (l1->busy()) {
+      out.push_back(Violation{"quiescence", who + " has an incomplete CPU op at drain"});
+    }
+    if (l1->applyingHla()) {
+      out.push_back(Violation{"quiescence", who + " is stuck applyingHLA at drain"});
+    }
+    if (l1->mode() != TxMode::None) {
+      out.push_back(Violation{"quiescence", who + " still has an open transaction at drain"});
+    }
+  }
+  if (v.msgs != nullptr && !v.msgs->empty()) {
+    out.push_back(Violation{"quiescence", std::to_string(v.msgs->size()) +
+                                              " message(s) in flight with a drained queue"});
+  }
+  return out;
+}
+
+}  // namespace lktm::verify

@@ -1,0 +1,53 @@
+#include "verify/msg_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lktm::verify {
+
+void MsgRegistry::onSend(const coh::Msg& msg, noc::NodeId src, noc::NodeId dst) {
+  inFlight_.push_back(InFlight{
+      .type = msg.type,
+      .line = msg.line,
+      .src = src,
+      .dst = dst,
+      .fingerprint = coh::msgFingerprint(msg),
+  });
+  if (sendHook_) sendHook_(msg, src, dst);
+}
+
+void MsgRegistry::onDeliver(const coh::Msg& msg, noc::NodeId src, noc::NodeId dst) {
+  const std::uint64_t fp = coh::msgFingerprint(msg);
+  auto it = std::find_if(inFlight_.begin(), inFlight_.end(), [&](const InFlight& m) {
+    return m.fingerprint == fp && m.src == src && m.dst == dst;
+  });
+  if (it == inFlight_.end()) {
+    throw std::logic_error("MsgRegistry: delivery of a message never seen at send");
+  }
+  inFlight_.erase(it);
+  if (deliverHook_) deliverHook_(msg, src, dst);
+}
+
+bool MsgRegistry::anyInFlightTo(noc::NodeId dst, coh::MsgType type, LineAddr line) const {
+  for (const InFlight& m : inFlight_) {
+    if (m.dst == dst && m.type == type && m.line == line) return true;
+  }
+  return false;
+}
+
+void MsgRegistry::hashState(sim::StateHasher& h) const {
+  std::vector<std::uint64_t> words;
+  words.reserve(inFlight_.size());
+  for (const InFlight& m : inFlight_) {
+    sim::StateHasher one;
+    one.put(m.fingerprint);
+    one.put(static_cast<std::uint64_t>(m.src));
+    one.put(static_cast<std::uint64_t>(m.dst));
+    words.push_back(one.digest());
+  }
+  std::sort(words.begin(), words.end());
+  h.section(0x40);
+  for (std::uint64_t w : words) h.put(w);
+}
+
+}  // namespace lktm::verify

@@ -1,0 +1,32 @@
+#include "verify/state_canon.hpp"
+
+#include <algorithm>
+
+namespace lktm::verify {
+
+void hashSystem(sim::StateHasher& h, const SystemRefs& s) {
+  h.section(0x01);
+  for (const coh::L1Controller* l1 : s.l1s) l1->hashState(h);
+  s.dir->hashState(h);
+
+  // Pending events as a sorted multiset of (when - now) deltas. The delta
+  // multiset (not absolute cycles) is what decides relative firing order.
+  h.section(0x02);
+  std::vector<Cycle> deltas;
+  const Cycle now = s.engine->now();
+  s.engine->queue().forEachPending([&](Cycle when, std::uint64_t /*seq*/) {
+    deltas.push_back(when - now);
+  });
+  std::sort(deltas.begin(), deltas.end());
+  for (Cycle d : deltas) h.put(d);
+
+  if (s.msgs != nullptr) s.msgs->hashState(h);
+}
+
+std::uint64_t canonicalFingerprint(const SystemRefs& s) {
+  sim::StateHasher h;
+  hashSystem(h, s);
+  return h.digest();
+}
+
+}  // namespace lktm::verify

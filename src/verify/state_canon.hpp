@@ -1,0 +1,52 @@
+// Canonical protocol-state fingerprints for visited-state pruning.
+//
+// The model checker re-explores from the initial state along forced schedule
+// prefixes (stateless search), so "have I seen this state before" is answered
+// by hashing the full protocol state into one 64-bit fingerprint:
+//
+//  * every component's behaviour-relevant fields via its hashState() hook
+//    (L1 cache arrays, MSHRs, writeback buffers, wakeup tables, overflow
+//    sets, directory entries, pending transactions, wait queues, HTMLock
+//    arbiter and signatures);
+//  * the pending event multiset as (when - now) deltas, never absolute
+//    cycles, so the same protocol situation reached at different times
+//    canonicalizes identically;
+//  * the exact in-flight message set from the MsgRegistry.
+//
+// Deliberately excluded: absolute cycles, event sequence numbers, MSHR retry
+// counters, LRU stamps (ranked instead) and statistics — all grow
+// monotonically and would make every state unique.
+//
+// Approximation note (see DESIGN.md §10): event closures themselves are not
+// hashable, so two states whose pending events carry the same delays but
+// different continuations could collide if the component state and in-flight
+// messages also matched. A collision prunes a reachable state (missed
+// coverage); it can never fabricate a violation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coherence/directory.hpp"
+#include "coherence/l1_controller.hpp"
+#include "sim/engine.hpp"
+#include "sim/state_hash.hpp"
+#include "verify/msg_registry.hpp"
+
+namespace lktm::verify {
+
+struct SystemRefs {
+  const sim::Engine* engine = nullptr;
+  const coh::DirectoryController* dir = nullptr;
+  std::vector<const coh::L1Controller*> l1s;
+  const MsgRegistry* msgs = nullptr;  ///< optional
+};
+
+/// Fold the whole system into `h` (callers may append extra words — e.g. the
+/// driving program's own state — before taking the digest).
+void hashSystem(sim::StateHasher& h, const SystemRefs& s);
+
+/// Convenience: hashSystem + digest.
+std::uint64_t canonicalFingerprint(const SystemRefs& s);
+
+}  // namespace lktm::verify

@@ -63,7 +63,9 @@ TEST(FlatLineTable, MatchesMapReferenceUnderChurn) {
         const int* v = t.find(key);
         auto rit = ref.find(key);
         ASSERT_EQ(v != nullptr, rit != ref.end());
-        if (v != nullptr) ASSERT_EQ(*v, rit->second);
+        if (v != nullptr) {
+          ASSERT_EQ(*v, rit->second);
+        }
         break;
       }
     }

@@ -152,6 +152,115 @@ TEST(EventQueue, PendingCount) {
   EXPECT_EQ(q.pending(), 1u);
 }
 
+namespace {
+
+/// Always picks the same index (clamped to the ready count).
+class FixedOracle final : public ScheduleOracle {
+ public:
+  explicit FixedOracle(std::size_t idx, bool fromEnd = false)
+      : idx_(idx), fromEnd_(fromEnd) {}
+  std::size_t pick(Cycle, std::size_t nReady) override {
+    ++picks;
+    if (fromEnd_) return nReady - 1 - (idx_ < nReady ? idx_ : nReady - 1);
+    return idx_ < nReady ? idx_ : nReady - 1;
+  }
+  unsigned picks = 0;
+
+ private:
+  std::size_t idx_;
+  bool fromEnd_;
+};
+
+}  // namespace
+
+TEST(EventQueue, OracleIndexZeroMatchesDefaultOrder) {
+  // Same schedule twice: default order vs a pick-0 oracle. The model
+  // checker's soundness rests on choice 0 being bit-exact with the classic
+  // (cycle, seq) order, so any divergence here is a real bug.
+  auto build = [](EventQueue& q, std::vector<int>& order) {
+    for (int i = 0; i < 4; ++i) {
+      q.schedule(5, [&order, i] { order.push_back(100 + i); });
+      q.schedule(9, [&order, i] { order.push_back(200 + i); });
+    }
+    q.schedule(7, [&order, &q] {
+      order.push_back(300);
+      q.schedule(0, [&order] { order.push_back(301); });
+      q.schedule(2, [&order] { order.push_back(302); });
+    });
+  };
+  std::vector<int> defaultOrder;
+  {
+    EventQueue q;
+    build(q, defaultOrder);
+    while (q.runOne()) {
+    }
+  }
+  std::vector<int> oracleOrder;
+  {
+    EventQueue q;
+    FixedOracle pickZero(0);
+    q.setOracle(&pickZero);
+    build(q, oracleOrder);
+    while (q.runOne()) {
+    }
+    EXPECT_GT(pickZero.picks, 0u);
+  }
+  EXPECT_EQ(oracleOrder, defaultOrder);
+}
+
+TEST(EventQueue, OraclePermutesWithinCycleOnly) {
+  // A pick-last oracle reverses each same-cycle group but can never move an
+  // event across cycle boundaries.
+  EventQueue q;
+  FixedOracle pickLast(0, /*fromEnd=*/true);
+  q.setOracle(&pickLast);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) q.schedule(5, [&order, i] { order.push_back(i); });
+  for (int i = 0; i < 2; ++i) q.schedule(8, [&order, i] { order.push_back(10 + i); });
+  while (q.runOne()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0, 11, 10}));
+}
+
+TEST(EventQueue, OracleConsultedOnlyAtRealChoicePoints) {
+  // Singleton buckets are not branches: the oracle must not be consulted
+  // when only one event is ready, or the DFS trail would fill with
+  // arity-1 entries.
+  EventQueue q;
+  FixedOracle pickZero(0);
+  q.setOracle(&pickZero);
+  q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  q.schedule(2, [] {});
+  while (q.runOne()) {
+  }
+  EXPECT_EQ(pickZero.picks, 1u);
+}
+
+TEST(EventQueue, OracleOutOfRangePickThrows) {
+  class BadOracle final : public ScheduleOracle {
+   public:
+    std::size_t pick(Cycle, std::size_t nReady) override { return nReady; }
+  };
+  EventQueue q;
+  BadOracle bad;
+  q.setOracle(&bad);
+  q.schedule(3, [] {});
+  q.schedule(3, [] {});
+  EXPECT_THROW(q.runOne(), std::logic_error);
+}
+
+TEST(EventQueue, DelayWrappingPastNowThrows) {
+  // A u64-wrapping delay would otherwise alias into the ring's horizon
+  // window and fire in the past.
+  EventQueue q;
+  q.schedule(5, [] {});
+  while (q.runOne()) {
+  }
+  ASSERT_EQ(q.now(), 5u);
+  EXPECT_THROW(q.schedule(UINT64_MAX, [] {}), std::logic_error);
+}
+
 TEST(Engine, WatchdogFiresWithoutProgress) {
   Engine e(/*watchdogWindow=*/100);
   std::function<void()> tick = [&] { e.schedule(10, tick); };

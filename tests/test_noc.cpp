@@ -11,7 +11,6 @@ namespace {
 
 TEST(Mesh, HopCountsManhattan) {
   sim::SimContext sc;
-  sim::Engine& e = sc.engine();
   MeshNetwork net(sc, {});
   // 4x8 mesh: tile = col + row*8.
   EXPECT_EQ(net.hops(0, 0), 0u);

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # One-command pre-merge check: build the default and sanitize presets, run the
 # full test suite under both (tier-1 plus the fuzz and coherence-replay
-# determinism tests under ASan+UBSan), then build the release tree and run the
-# gated kernel microbenchmarks (writes BENCH_kernel.json; fails if any gated
-# benchmark regresses below the required speedup against the recorded
-# baseline).
+# determinism tests under ASan+UBSan), run the model-checker suite (ctest -L
+# verify: exhaustive lktm_check sweeps + test_verify) under both presets, run
+# clang-tidy over src/ when the tool is installed, then build the release tree
+# and run the gated kernel microbenchmarks (writes BENCH_kernel.json; fails if
+# any gated benchmark regresses below the required speedup against the
+# recorded baseline).
 #
 # Usage: tools/run_checks.sh [--no-bench]
 #   --no-bench   skip the release build + benchmark gate (tests only)
@@ -29,12 +31,28 @@ cmake --build build -j "$JOBS"
 echo "== ctest: default =="
 ctest --preset default
 
+echo "== ctest: model checker (default) =="
+ctest --preset verify
+
+echo "== clang-tidy: src/ =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The default preset exports build/compile_commands.json; any warning fails
+  # (WarningsAsErrors: '*' in .clang-tidy).
+  find src -name '*.cpp' -print0 \
+    | xargs -0 -P "$JOBS" -n 8 clang-tidy -p build --quiet
+else
+  echo "clang-tidy not installed; skipping static-analysis stage"
+fi
+
 echo "== configure + build: sanitize (ASan + UBSan) =="
 cmake --preset sanitize >/dev/null
 cmake --build build-sanitize -j "$JOBS"
 
 echo "== ctest: sanitize (full suite incl. fuzz + coherence replay) =="
 ctest --preset sanitize
+
+echo "== ctest: model checker (sanitize) =="
+ctest --preset verify-sanitize
 
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "== configure + build: release (benchmarks) =="

@@ -38,7 +38,7 @@ void retryPolicyAblation() {
       const auto r = runOne(sys, "vacation+", 16);
       t.addRow({std::to_string(retries), skip ? "yes" : "no",
                 std::to_string(r.cycles), stats::Table::pct(r.commitRate()),
-                std::to_string(r.tx.lockCommits)});
+                std::to_string(r.lockCommits())});
     }
   }
   std::printf("%s\n", t.str().c_str());
@@ -60,7 +60,7 @@ void signatureAblation() {
     machine.signatureBits = bits;
     const auto r = runOne(cfg::systemByName("LockillerTM"), "yada", 8, machine);
     t.addRow({std::to_string(bits), std::to_string(r.cycles),
-              std::to_string(r.tx.sigRejects), stats::Table::pct(r.commitRate())});
+              std::to_string(r.sigRejects()), stats::Table::pct(r.commitRate())});
   }
   std::printf("%s\n", t.str().c_str());
 }
@@ -112,8 +112,8 @@ void switchOnFaultAblation() {
     sys.policy.switchOnFault = true;
     const auto xf = runOne(sys, "yada", th);
     t.addRow({std::to_string(th), std::to_string(base.cycles),
-              std::to_string(xf.cycles), std::to_string(xf.tx.stlCommits),
-              std::to_string(xf.tx.abortCount(AbortCause::Fault))});
+              std::to_string(xf.cycles), std::to_string(xf.stlCommits()),
+              std::to_string(xf.abortCount(AbortCause::Fault))});
   }
   std::printf("%s\n", t.str().c_str());
 }

@@ -98,7 +98,7 @@ inline void printBreakdown(const std::vector<cfg::RunResult>& results,
       if (r == nullptr) continue;
       std::vector<std::string> row{w, s};
       auto pct = [&](TimeCat c) {
-        return stats::Table::pct(r->breakdown.fraction(c), 1);
+        return stats::Table::pct(r->breakdown().fraction(c), 1);
       };
       row.push_back(pct(TimeCat::Htm));
       row.push_back(pct(TimeCat::Aborted));

@@ -25,12 +25,12 @@ int main() {
     for (const auto& s : systems) {
       const auto* r = cfg::findResult(results, s, w, 2);
       if (r == nullptr) continue;
-      const double total = static_cast<double>(r->tx.aborts);
+      const double total = static_cast<double>(r->aborts());
       auto pct = [&](AbortCause c) {
         if (total == 0) return std::string("-");
-        return stats::Table::pct(static_cast<double>(r->tx.abortCount(c)) / total, 1);
+        return stats::Table::pct(static_cast<double>(r->abortCount(c)) / total, 1);
       };
-      t.addRow({w, s, std::to_string(r->tx.aborts), pct(AbortCause::MemConflict),
+      t.addRow({w, s, std::to_string(r->aborts()), pct(AbortCause::MemConflict),
                 pct(AbortCause::LockConflict), pct(AbortCause::Mutex),
                 pct(AbortCause::NonTran), pct(AbortCause::Overflow),
                 pct(AbortCause::Fault), stats::Table::pct(r->commitRate(), 1)});

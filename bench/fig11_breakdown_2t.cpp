@@ -27,8 +27,8 @@ int main() {
   for (const auto& w : workloads) {
     const auto* r = cfg::findResult(results, "LockillerTM", w, 2);
     if (r == nullptr) continue;
-    t.addRow({w, std::to_string(r->tx.switchAttempts),
-              std::to_string(r->tx.switchGrants), std::to_string(r->tx.stlCommits)});
+    t.addRow({w, std::to_string(r->switchAttempts()),
+              std::to_string(r->switchGrants()), std::to_string(r->stlCommits())});
   }
   std::printf("LockillerTM switchingMode activity @2t\n%s\n", t.str().c_str());
   return 0;

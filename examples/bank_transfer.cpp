@@ -24,7 +24,7 @@ int main() {
     const auto r = cfg::runSimulation(
         rc, [] { return wl::makeBank(/*accounts=*/64, /*totalTxs=*/480); });
     t.addRow({r.system, std::to_string(r.cycles), stats::Table::pct(r.commitRate()),
-              std::to_string(r.tx.rejectsReceived),
+              std::to_string(r.rejectsReceived()),
               r.ok() ? "conserved" : "VIOLATED"});
     if (!r.ok()) std::printf("%s\n", r.str().c_str());
   }

@@ -114,7 +114,7 @@ int main() {
     const auto r =
         cfg::runSimulation(rc, [] { return std::make_unique<WorkQueueWorkload>(24); });
     t.addRow({r.system, std::to_string(r.cycles), stats::Table::pct(r.commitRate()),
-              std::to_string(r.tx.stlCommits), r.ok() ? "yes" : "NO"});
+              std::to_string(r.stlCommits()), r.ok() ? "yes" : "NO"});
     if (!r.ok()) std::printf("%s\n", r.str().c_str());
   }
   std::printf("%s\n", t.str().c_str());

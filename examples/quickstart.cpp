@@ -24,9 +24,9 @@ int main() {
         rc, [] { return wl::makeCounter(/*numCells=*/4, /*cellsPerTx=*/2,
                                         /*totalTxs=*/256); });
     table.addRow({r.system, std::to_string(r.cycles),
-                  stats::Table::pct(r.commitRate()), std::to_string(r.tx.htmCommits),
-                  std::to_string(r.tx.lockCommits), std::to_string(r.tx.stlCommits),
-                  std::to_string(r.tx.aborts), std::to_string(r.tx.rejectsReceived),
+                  stats::Table::pct(r.commitRate()), std::to_string(r.htmCommits()),
+                  std::to_string(r.lockCommits()), std::to_string(r.stlCommits()),
+                  std::to_string(r.aborts()), std::to_string(r.rejectsReceived()),
                   r.ok() ? "yes" : "NO"});
     if (!r.ok()) {
       std::printf("%s\n", r.str().c_str());

@@ -5,8 +5,12 @@
 #include <stdexcept>
 
 #include "sim/log.hpp"
+#include "sim/trace.hpp"
 
 namespace lktm::coh {
+
+using sim::TraceCat;
+using sim::kDirectoryLane;
 
 DirectoryController::DirectoryController(sim::SimContext& ctx, noc::Network& net,
                                          mem::MainMemory& memory,
@@ -19,7 +23,15 @@ DirectoryController::DirectoryController(sim::SimContext& ctx, noc::Network& net
       params_(params),
       numCores_(numCores),
       l1s_(numCores, nullptr),
-      hlUnit_(arbiter_, sigParams) {}
+      hlUnit_(arbiter_, sigParams),
+      llcHits_(ctx.stats().counter("dir.llc.hits")),
+      llcMisses_(ctx.stats().counter("dir.llc.misses")),
+      writebacks_(ctx.stats().counter("dir.writebacks",
+                                      "dirty lines written back into the LLC")),
+      sigRejects_(ctx.stats().counter("dir.sig_rejects",
+                                      "LLC signature-induced rejections")),
+      waitqDepth_(ctx.stats().distribution(
+          "dir.waitq.depth", "requests queued behind a busy line at enqueue")) {}
 
 void DirectoryController::connectL1(CoreId core, MsgSink* sink) {
   l1s_.at(static_cast<std::size_t>(core)) = sink;
@@ -42,11 +54,11 @@ void DirectoryController::sendToL1(CoreId core, Msg msg) {
 mem::LineData& DirectoryController::llcFetch(LineAddr line, bool& cold) {
   if (mem::LineData* data = llc_.find(line)) {
     cold = false;
-    ++counters_.llcHits;
+    ++llcHits_;
     return *data;
   }
   cold = true;
-  ++counters_.llcMisses;
+  ++llcMisses_;
   mem::LineData* data = llc_.tryEmplace(line).first;
   *data = memory_.readLine(line);
   return *data;
@@ -88,7 +100,9 @@ void DirectoryController::onMessage(const Msg& msg) {
     case MsgType::GetS:
     case MsgType::GetX: {
       if (pending_.contains(msg.line)) {
-        waitq_[msg.line].push_back(msg);
+        std::deque<Msg>& q = waitq_[msg.line];
+        q.push_back(msg);
+        waitqDepth_.record(q.size());
         return;
       }
       startRequest(msg);
@@ -133,6 +147,9 @@ void DirectoryController::onMessage(const Msg& msg) {
 }
 
 void DirectoryController::startRequest(const Msg& msg) {
+  sim::traceInstant(ctx_, TraceCat::Directory, "dir_busy", kDirectoryLane,
+                    {"line", msg.line},
+                    {"from", static_cast<std::uint64_t>(msg.from)});
   Pending& p = *pending_.tryEmplace(msg.line).first;
   p.req = PendingReq{msg.type, msg.line, msg.from, msg.req};
   p.acksLeft = 0;
@@ -157,6 +174,9 @@ void DirectoryController::handleRequest(LineAddr line) {
   const bool wantX = p.req.type == MsgType::GetX;
   if (hlUnit_.shouldReject(line, wantX, d.hasCopies(), p.req.from)) {
     ++sigRejects_;
+    sim::traceInstant(ctx_, TraceCat::Directory, "sig_reject", kDirectoryLane,
+                      {"line", line},
+                      {"core", static_cast<std::uint64_t>(p.req.from)});
     hlUnit_.recordWaiter(line, p.req.from);
     sendReject(p.req, AbortCause::LockConflict);
     finishPending(line);
@@ -354,7 +374,7 @@ void DirectoryController::onFwdResponse(const Msg& msg) {
     case MsgType::FwdAck: {
       if (msg.hasData) {
         llc_[msg.line] = msg.data;
-        ++counters_.writebacks;
+        ++writebacks_;
       }
       Msg resp;
       if (isGetX) {
@@ -382,7 +402,7 @@ void DirectoryController::onPutM(const Msg& msg) {
   if (DirInfo* d = dir_.find(msg.line); d != nullptr && d->owner == msg.from) {
     llc_[msg.line] = msg.data;
     d->owner = kNoCore;
-    ++counters_.writebacks;
+    ++writebacks_;
   }
   // Stale PutM (ownership already moved via a forward served from the
   // writeback buffer): the data was already delivered; just ack.
@@ -398,7 +418,7 @@ void DirectoryController::onSigAdd(const Msg& msg) {
   }
   if (msg.hasData) {
     llc_[msg.line] = msg.data;
-    ++counters_.writebacks;
+    ++writebacks_;
     Msg ack{.type = MsgType::PutAck, .line = msg.line};
     sendToL1(msg.from, std::move(ack));
   }
@@ -433,6 +453,8 @@ void DirectoryController::onHlaReq(const Msg& msg) {
 }
 
 void DirectoryController::finishPending(LineAddr line) {
+  sim::traceInstant(ctx_, TraceCat::Directory, "dir_done", kDirectoryLane,
+                    {"line", line});
   pending_.erase(line);
   std::deque<Msg>* q = waitq_.find(line);
   if (q == nullptr) return;  // common case: nobody queued behind this line

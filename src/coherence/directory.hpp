@@ -27,7 +27,7 @@
 #include "sim/core_mask.hpp"
 #include "sim/engine.hpp"
 #include "sim/flat_table.hpp"
-#include "stats/counters.hpp"
+#include "stats/registry.hpp"
 
 namespace lktm::coh {
 
@@ -60,8 +60,10 @@ class DirectoryController final : public MsgSink {
 
   const core::SwitchArbiter& arbiter() const { return arbiter_; }
   const core::HtmLockUnit& htmlockUnit() const { return hlUnit_; }
-  stats::ProtocolCounters& counters() { return counters_; }
-  std::uint64_t sigRejects() const { return sigRejects_; }
+  std::uint64_t llcHits() const { return llcHits_.value(); }
+  std::uint64_t llcMisses() const { return llcMisses_.value(); }
+  std::uint64_t writebacks() const { return writebacks_.value(); }
+  std::uint64_t sigRejects() const { return sigRejects_.value(); }
 
   /// Pending per-line transactions (0 when the protocol is quiescent).
   std::size_t busyLines() const { return pending_.size(); }
@@ -136,8 +138,11 @@ class DirectoryController final : public MsgSink {
 
   core::SwitchArbiter arbiter_;
   core::HtmLockUnit hlUnit_;
-  stats::ProtocolCounters counters_;
-  std::uint64_t sigRejects_ = 0;
+  stats::Counter& llcHits_;
+  stats::Counter& llcMisses_;
+  stats::Counter& writebacks_;
+  stats::Counter& sigRejects_;
+  stats::Distribution& waitqDepth_;
   InjectedBug bug_ = InjectedBug::None;
 
   // --- helpers ---

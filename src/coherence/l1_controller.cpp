@@ -5,8 +5,11 @@
 #include <stdexcept>
 
 #include "sim/log.hpp"
+#include "sim/trace.hpp"
 
 namespace lktm::coh {
+
+using sim::TraceCat;
 
 L1Controller::L1Controller(sim::SimContext& ctx, noc::Network& net, CoreId id,
                            mem::CacheGeometry geometry, ProtocolParams params,
@@ -20,7 +23,10 @@ L1Controller::L1Controller(sim::SimContext& ctx, noc::Network& net, CoreId id,
       policy_(policy),
       cm_(policy.conflict, policy.rejectAction),
       numCores_(numCores),
-      mshr_(params.mshrCapacity) {}
+      mshr_(params.mshrCapacity),
+      txc_(ctx.stats(), "core." + std::to_string(id)),
+      hits_(ctx.stats().counter("core." + std::to_string(id) + ".l1.hits")),
+      misses_(ctx.stats().counter("core." + std::to_string(id) + ".l1.misses")) {}
 
 // ---------------------------------------------------------------- messaging
 
@@ -89,11 +95,11 @@ void L1Controller::lookupAndHandle() {
   const bool needExclusive = op_.kind != OpKind::Load;
   if (e != nullptr &&
       (!needExclusive || e->state == mem::MesiState::E || e->state == mem::MesiState::M)) {
-    ++counters_.l1Hits;
+    ++hits_;
     completeOnLine(*e);
     return;
   }
-  ++counters_.l1Misses;
+  ++misses_;
   // A squashed request (from an aborted transaction) may still be in flight
   // for this line — or for another line of the same set, whose fill will
   // consume the one reserved way. Wait for it to drain before re-requesting.
@@ -244,12 +250,14 @@ void L1Controller::txBegin() {
   assert(mode_ == TxMode::None);
   mode_ = TxMode::Htm;
   triedSwitch_ = false;
+  sim::traceBegin(ctx_, TraceCat::Txn, "txn", id_);
 }
 
 void L1Controller::txCommit(DoneFn done) {
   assert(mode_ == TxMode::Htm);
   clearTxBitsAndWake();
   mode_ = TxMode::None;
+  sim::traceEnd(ctx_, TraceCat::Txn, "txn", id_, {"committed", 1});
   engine_.schedule(params_.commitLatency, std::move(done));
 }
 
@@ -292,6 +300,8 @@ void L1Controller::txAbortInternal(AbortCause cause, const LineAddr* exceptLine)
     ++txc_.wakeupsSent;
   }
   mode_ = TxMode::None;
+  sim::traceEnd(ctx_, TraceCat::Txn, "txn", id_,
+                {"abort_cause", static_cast<std::uint64_t>(cause)});
   if (op_.active) op_ = CpuOp{};  // the CPU rolls back; never complete this op
   cb_.onAbort(cause);
 }
@@ -314,17 +324,24 @@ void L1Controller::hlBegin(DoneFn done) {
 
 void L1Controller::hlEnd(DoneFn done) {
   assert(isLockMode(mode_));
+  const bool wasStl = mode_ == TxMode::STL;
   clearTxBitsAndWake();
   ofRd_.clear();
   ofWr_.clear();
   Msg clr{.type = MsgType::SigClear, .line = 0};
   sendToDir(std::move(clr));
   mode_ = TxMode::None;
+  sim::traceEnd(ctx_, TraceCat::LockMode, "lock_mode", id_);
+  // An STL section is the tail of a speculative transaction: its span closes
+  // here, after the inner lock-mode span (LIFO nesting per lane).
+  if (wasStl) sim::traceEnd(ctx_, TraceCat::Txn, "txn", id_, {"committed", 1});
   engine_.schedule(params_.hlLatency, std::move(done));
 }
 
 void L1Controller::sendWakeup(CoreId core, LineAddr line) {
   assert(core != id_);
+  sim::traceInstant(ctx_, TraceCat::Wakeup, "wakeup_sent", id_, {"line", line},
+                    {"to", static_cast<std::uint64_t>(core)});
   MsgSink* peer = peers_.at(static_cast<std::size_t>(core));
   Msg wake{.type = MsgType::Wakeup, .line = line, .from = id_};
   post(ctx_, net_, id_, core, *peer, std::move(wake));
@@ -408,6 +425,8 @@ void L1Controller::onRejectResp(const Msg& msg) {
   mem::MshrEntry* m = mshr_.find(msg.line);
   if (m == nullptr) return;  // stale (already squashed+released)
   ++txc_.rejectsReceived;
+  sim::traceInstant(ctx_, TraceCat::Reject, "reject_received", id_,
+                    {"line", msg.line});
   if (m->squashed) {
     mshr_.release(msg.line);
     return;
@@ -476,6 +495,8 @@ void L1Controller::onHlaGrant() {
     switchPending_ = false;
     mode_ = TxMode::STL;
     ++txc_.switchGrants;
+    sim::traceBegin(ctx_, TraceCat::LockMode, "lock_mode", id_,
+                    {"mode", static_cast<std::uint64_t>(TxMode::STL)});
     cb_.onSwitchedToStl();
     drainBlockedExternal();
     if (switchDone_) {
@@ -493,6 +514,8 @@ void L1Controller::onHlaGrant() {
   }
   assert(hlBeginDone_);
   mode_ = TxMode::TL;
+  sim::traceBegin(ctx_, TraceCat::LockMode, "lock_mode", id_,
+                  {"mode", static_cast<std::uint64_t>(TxMode::TL)});
   auto done = std::move(hlBeginDone_);
   hlBeginDone_ = nullptr;
   done();
@@ -516,6 +539,8 @@ void L1Controller::onHlaDeny() {
 
 void L1Controller::recordRejectedWaiter(LineAddr line, CoreId requester) {
   ++txc_.rejectsSent;
+  sim::traceInstant(ctx_, TraceCat::Reject, "reject_sent", id_, {"line", line},
+                    {"to", static_cast<std::uint64_t>(requester)});
   if (policy_.rejectAction == core::RejectAction::WaitWakeup || isLockMode(mode_)) {
     wakeups_.record(line, requester);
   }

@@ -27,7 +27,7 @@
 #include "sim/engine.hpp"
 #include "sim/flat_table.hpp"
 #include "sim/small_fn.hpp"
-#include "stats/counters.hpp"
+#include "stats/tx_stats.hpp"
 
 namespace lktm::coh {
 
@@ -91,8 +91,9 @@ class L1Controller final : public MsgSink {
   // ---- introspection ----
   const mem::CacheArray& cache() const { return cache_; }
   mem::CacheArray& cacheMut() { return cache_; }
-  stats::TxCounters& txCounters() { return txc_; }
-  stats::ProtocolCounters& counters() { return counters_; }
+  stats::TxStats& txCounters() { return txc_; }
+  std::uint64_t hits() const { return hits_.value(); }
+  std::uint64_t misses() const { return misses_.value(); }
   std::size_t writebackBufferSize() const { return wb_.size(); }
   std::string diagnostic() const;
 
@@ -149,8 +150,9 @@ class L1Controller final : public MsgSink {
   DoneFn hlBeginDone_;
   DoneBoolFn switchDone_;  ///< non-overflow switch requests
 
-  stats::TxCounters txc_;
-  stats::ProtocolCounters counters_;
+  stats::TxStats txc_;
+  stats::Counter& hits_;
+  stats::Counter& misses_;
 
   bool inAnyTx() const { return mode_ != TxMode::None; }
 

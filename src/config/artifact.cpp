@@ -1,0 +1,110 @@
+#include "config/artifact.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <locale>
+
+#include "stats/tx_stats.hpp"
+
+namespace lktm::cfg {
+
+void writeSnapshotJson(stats::json::Writer& w, const stats::StatSnapshot& snap) {
+  w.beginArray();
+  for (const stats::SnapshotEntry& e : snap.entries()) {
+    w.beginObject();
+    w.field("path", e.path);
+    w.field("kind", stats::toString(e.kind));
+    switch (e.kind) {
+      case stats::StatKind::Counter:
+        w.field("value", e.value);
+        break;
+      case stats::StatKind::Histogram: {
+        w.field("count", e.count);
+        w.field("sum", e.sum);
+        w.key("buckets");
+        w.beginArray();
+        for (const auto& [b, n] : e.buckets) {
+          w.beginArray();
+          w.value(b);
+          w.value(n);
+          w.endArray();
+        }
+        w.endArray();
+        break;
+      }
+      case stats::StatKind::Distribution:
+        w.field("count", e.count);
+        w.field("sum", e.sum);
+        w.field("min", e.min);
+        w.field("max", e.max);
+        break;
+      case stats::StatKind::Formula:
+        w.field("value", e.number);
+        break;
+    }
+    w.endObject();
+  }
+  w.endArray();
+}
+
+namespace {
+
+void writeRun(stats::json::Writer& w, const RunResult& r) {
+  w.beginObject();
+  w.field("system", r.system);
+  w.field("workload", r.workload);
+  w.field("machine", r.machine);
+  w.field("threads", r.threads);
+  w.field("cycles", r.cycles);
+  w.field("ok", r.ok());
+  w.field("hang", r.hang);
+  w.field("wall_seconds", r.wallSeconds);
+  w.key("violations");
+  w.beginArray();
+  for (const std::string& v : r.violations) w.value(v);
+  w.endArray();
+  w.key("derived");
+  w.beginObject();
+  w.field("commit_rate", r.commitRate());
+  w.field("total_commits", r.totalCommits());
+  w.field("htm_commits", r.htmCommits());
+  w.field("lock_commits", r.lockCommits());
+  w.field("stl_commits", r.stlCommits());
+  w.field("aborts", r.aborts());
+  w.endObject();
+  w.key("stats");
+  writeSnapshotJson(w, r.stats);
+  w.endObject();
+}
+
+}  // namespace
+
+void writeStatsJson(std::ostream& os, const std::vector<const RunResult*>& runs) {
+  os.imbue(std::locale::classic());
+  stats::json::Writer w(os, /*pretty=*/true);
+  w.beginObject();
+  w.field("schema", kStatsSchema);
+  w.key("runs");
+  w.beginArray();
+  for (const RunResult* r : runs) {
+    if (r != nullptr) writeRun(w, *r);
+  }
+  w.endArray();
+  w.endObject();
+}
+
+void writeStatsJson(std::ostream& os, const RunResult& run) {
+  writeStatsJson(os, std::vector<const RunResult*>{&run});
+}
+
+bool writeStatsJsonFile(const std::string& path, const RunResult& run) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open " << path << " for writing\n";
+    return false;
+  }
+  writeStatsJson(out, run);
+  return static_cast<bool>(out);
+}
+
+}  // namespace lktm::cfg

@@ -1,0 +1,50 @@
+// Versioned machine-readable run artifacts (`--stats-json`). One schema —
+// "lktm.stats.v1" — shared by lktm_sim, the sweep tools and the
+// validate_stats_json checker:
+//
+//   {
+//     "schema": "lktm.stats.v1",
+//     "runs": [ {
+//       "system": ..., "workload": ..., "machine": ..., "threads": N,
+//       "cycles": N, "ok": bool, "hang": bool, "wall_seconds": f,
+//       "violations": [ ... ],
+//       "derived": { "commit_rate": f, "total_commits": N, ... },
+//       "stats": [ {"path": "core.0.commits.htm", "kind": "counter",
+//                   "value": N},
+//                  {"path": "noc.hops", "kind": "histogram", "count": N,
+//                   "sum": N, "buckets": [[b, n], ...]},
+//                  {"path": "dir.waitq.depth", "kind": "distribution",
+//                   "count": N, "sum": N, "min": N, "max": N},
+//                  {"path": "noc.avg_flit_hops_per_msg", "kind": "formula",
+//                   "value": f} ]
+//     } ]
+//   }
+//
+// Stats are emitted in path-sorted order and all numbers are
+// locale-independent, so the same run always produces byte-identical output.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "config/runner.hpp"
+#include "stats/json.hpp"
+#include "stats/registry.hpp"
+
+namespace lktm::cfg {
+
+inline constexpr const char* kStatsSchema = "lktm.stats.v1";
+
+/// Emit one snapshot as the schema's "stats" array (used by the artifact
+/// writer and by trace/counterexample embeddings).
+void writeSnapshotJson(stats::json::Writer& w, const stats::StatSnapshot& snap);
+
+/// Write the full artifact document for one or more runs.
+void writeStatsJson(std::ostream& os, const std::vector<const RunResult*>& runs);
+void writeStatsJson(std::ostream& os, const RunResult& run);
+
+/// Write the artifact to `path`; returns false (with a message on stderr)
+/// when the file cannot be opened.
+bool writeStatsJsonFile(const std::string& path, const RunResult& run);
+
+}  // namespace lktm::cfg

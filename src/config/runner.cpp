@@ -1,6 +1,7 @@
 #include "config/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <sstream>
 
@@ -13,15 +14,54 @@
 #include "noc/mesh.hpp"
 #include "runtime/tm_runtime.hpp"
 #include "sim/engine.hpp"
+#include "stats/tx_stats.hpp"
 
 namespace lktm::cfg {
+
+Cycle TimeBreakdown::total() const {
+  Cycle t = 0;
+  for (const Cycle c : cycles) t += c;
+  return t;
+}
+
+double TimeBreakdown::fraction(TimeCat c) const {
+  const Cycle t = total();
+  if (t == 0) return 0.0;
+  return static_cast<double>(get(c)) / static_cast<double>(t);
+}
+
+std::uint64_t RunResult::abortCount(AbortCause cause) const {
+  return stats.sumMatching(std::string("core.*.aborts.") + stats::abortCauseSlug(cause));
+}
+
+double RunResult::commitRate() const {
+  return stats::commitRate(htmCommits(), stlCommits(), aborts());
+}
+
+TimeBreakdown RunResult::breakdown() const {
+  TimeBreakdown b;
+  for (std::size_t i = 0; i < b.cycles.size(); ++i) {
+    b.cycles[i] = stats.sumMatching(std::string("core.*.time.") +
+                                    stats::timeCatSlug(static_cast<TimeCat>(i)));
+  }
+  return b;
+}
+
+TimeBreakdown RunResult::threadBreakdown(unsigned tid) const {
+  TimeBreakdown b;
+  const std::string prefix = "core." + std::to_string(tid) + ".time.";
+  for (std::size_t i = 0; i < b.cycles.size(); ++i) {
+    b.cycles[i] = stats.value(prefix + stats::timeCatSlug(static_cast<TimeCat>(i)));
+  }
+  return b;
+}
 
 std::string RunResult::str() const {
   std::ostringstream oss;
   oss << system << "/" << workload << "@" << threads << "t[" << machine
-      << "]: " << cycles << " cycles, commits htm=" << tx.htmCommits
-      << " lock=" << tx.lockCommits << " stl=" << tx.stlCommits
-      << " aborts=" << tx.aborts << " (rate=" << commitRate() << ")"
+      << "]: " << cycles << " cycles, commits htm=" << htmCommits()
+      << " lock=" << lockCommits() << " stl=" << stlCommits()
+      << " aborts=" << aborts() << " (rate=" << commitRate() << ")"
       << (ok() ? "" : " FAILED");
   for (const auto& v : violations) oss << "\n  violation: " << v;
   if (hang) oss << "\n  HANG: " << hangDiagnostic;
@@ -42,8 +82,10 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
   }
   sim::SimContext& simCtx = *ctx;
   simCtx.beginRun(cfg.machine.watchdogWindow);
+  simCtx.setTraceSink(cfg.traceSink);  // nullptr clears any previous run's sink
   sim::Engine& engine = simCtx.engine();
   mem::MainMemory memory;
+  memory.attachStats(simCtx.stats());
   std::unique_ptr<noc::Network> netPtr;
   if (cfg.machine.idealNetwork) {
     netPtr = std::make_unique<noc::IdealNetwork>(simCtx, cfg.machine.idealNetworkLatency);
@@ -51,8 +93,6 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
     netPtr = std::make_unique<noc::MeshNetwork>(simCtx, cfg.machine.mesh);
   }
   noc::Network& net = *netPtr;
-  stats::ProtocolCounters netCounters;
-  net.attachCounters(&netCounters);
 
   coh::DirectoryController dir(simCtx, net, memory, cfg.machine.protocol,
                                cfg.machine.numCores,
@@ -101,12 +141,16 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
 
   for (auto& c : cpus) c->start();
 
+  const auto wallStart = std::chrono::steady_clock::now();
   try {
     engine.run(cfg.machine.maxCycles);
   } catch (const sim::SimulationHang& e) {
     res.hang = true;
     res.hangDiagnostic = e.what();
   }
+  res.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart)
+          .count();
 
   for (auto& c : cpus) {
     if (!c->halted()) {
@@ -115,16 +159,9 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
       res.hangDiagnostic += "\n  " + c->diagnostic();
     }
     res.cycles = std::max(res.cycles, c->haltedAt());
-    res.breakdown.add(c->breakdown());
-    res.perThread.push_back(c->breakdown());
-    res.tx += c->txCounters();
   }
-  res.tx.fallbackEntries = res.tx.lockCommits;
-  res.tx.sigRejects += dir.sigRejects();
-  res.protocol += netCounters;
-  res.protocol += dir.counters();
-  for (auto& l1 : l1s) res.protocol += l1->counters();
   if (res.cycles == 0) res.cycles = engine.now();
+  res.stats = simCtx.stats().snapshot();
 
   if (!res.hang && cfg.runCoherenceChecker) {
     std::vector<const coh::L1Controller*> cl1s;

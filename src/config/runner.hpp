@@ -1,9 +1,16 @@
 // End-to-end simulation harness: builds a full system (cores + L1s + mesh +
 // directory/LLC) for one (machine, system, workload, thread-count) tuple,
 // runs it to completion, verifies workload invariants and optionally the
-// coherence checker, and returns aggregated statistics.
+// coherence checker, and returns the run's stat snapshot.
+//
+// All statistics flow through the instrumentation spine: components register
+// into the SimContext's StatRegistry, and RunResult carries one StatSnapshot
+// of everything. The named accessors below are the blessed read paths for the
+// figures and tools (they sum per-core counters exactly like the retired
+// per-struct aggregation did, so derived numbers are bit-identical).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -12,11 +19,20 @@
 #include "config/machine.hpp"
 #include "config/systems.hpp"
 #include "sim/context.hpp"
-#include "stats/breakdown.hpp"
-#include "stats/counters.hpp"
+#include "stats/registry.hpp"
 #include "workloads/workload.hpp"
 
 namespace lktm::cfg {
+
+/// Aggregated execution-time breakdown (the paper's Figs 9/11), computed from
+/// a snapshot's "core.*.time.<cat>" counters.
+struct TimeBreakdown {
+  std::array<Cycle, static_cast<std::size_t>(TimeCat::kCount)> cycles{};
+
+  Cycle total() const;
+  Cycle get(TimeCat c) const { return cycles[static_cast<std::size_t>(c)]; }
+  double fraction(TimeCat c) const;
+};
 
 struct RunResult {
   std::string system;
@@ -25,17 +41,46 @@ struct RunResult {
   unsigned threads = 0;
 
   Cycle cycles = 0;  ///< wall-clock of the run (last thread's halt)
-  stats::TxCounters tx;
-  stats::ProtocolCounters protocol;
-  stats::BreakdownSummary breakdown;
-  std::vector<stats::ThreadBreakdown> perThread;
+  stats::StatSnapshot stats;  ///< full registry dump at end of run
+  double wallSeconds = 0.0;   ///< host seconds the simulation loop took
 
   std::vector<std::string> violations;  ///< workload + coherence failures
   bool hang = false;
   std::string hangDiagnostic;
 
   bool ok() const { return violations.empty() && !hang; }
-  double commitRate() const { return tx.commitRate(); }
+
+  // ---- registry-backed accessors (sums over all cores) ----
+  std::uint64_t htmCommits() const { return stats.sumMatching("core.*.commits.htm"); }
+  std::uint64_t lockCommits() const { return stats.sumMatching("core.*.commits.lock"); }
+  std::uint64_t stlCommits() const { return stats.sumMatching("core.*.commits.stl"); }
+  std::uint64_t totalCommits() const {
+    return htmCommits() + lockCommits() + stlCommits();
+  }
+  std::uint64_t aborts() const { return stats.sumMatching("core.*.aborts.total"); }
+  std::uint64_t abortCount(AbortCause cause) const;
+  std::uint64_t switchAttempts() const { return stats.sumMatching("core.*.switch.attempts"); }
+  std::uint64_t switchGrants() const { return stats.sumMatching("core.*.switch.grants"); }
+  std::uint64_t rejectsSent() const { return stats.sumMatching("core.*.rejects.sent"); }
+  std::uint64_t rejectsReceived() const { return stats.sumMatching("core.*.rejects.received"); }
+  std::uint64_t wakeupsSent() const { return stats.sumMatching("core.*.wakeups.sent"); }
+  std::uint64_t sigRejects() const { return stats.value("dir.sig_rejects"); }
+  std::uint64_t l1Hits() const { return stats.sumMatching("core.*.l1.hits"); }
+  std::uint64_t l1Misses() const { return stats.sumMatching("core.*.l1.misses"); }
+  std::uint64_t llcHits() const { return stats.value("dir.llc.hits"); }
+  std::uint64_t llcMisses() const { return stats.value("dir.llc.misses"); }
+  std::uint64_t writebacks() const { return stats.value("dir.writebacks"); }
+  std::uint64_t messages() const { return stats.value("noc.messages"); }
+  std::uint64_t dataMessages() const { return stats.value("noc.data_messages"); }
+  std::uint64_t flitHops() const { return stats.value("noc.flit_hops"); }
+
+  /// Commit rate of speculative attempts: (htm+stl)/(htm+stl+aborts); 1.0
+  /// when there were none (same math as the retired TxCounters).
+  double commitRate() const;
+
+  /// Sum over all threads (Fig 9); per-thread view for skew analysis.
+  TimeBreakdown breakdown() const;
+  TimeBreakdown threadBreakdown(unsigned tid) const;
 
   std::string str() const;
 };
@@ -51,6 +96,9 @@ struct RunConfig {
   bool verifyWorkload = true;
   /// Warm the inclusive LLC with the workload footprint (steady-state runs).
   bool warmLlc = true;
+  /// Optional event-trace sink (only records in LKTM_TRACE builds). The run
+  /// installs it on the SimContext for its duration; caller keeps ownership.
+  sim::TraceSink* traceSink = nullptr;
 };
 
 /// Run one simulation. When `ctx` is non-null the run executes inside that

@@ -14,7 +14,8 @@ Cpu::Cpu(sim::SimContext& ctx, CoreId id, coh::L1Controller& l1, BarrierUnit& ba
       barrier_(barrier),
       prog_(std::move(program)),
       params_(params),
-      onHalt_(std::move(onHalt)) {
+      onHalt_(std::move(onHalt)),
+      bd_(ctx.stats(), "core." + std::to_string(id)) {
   l1_.setCallbacks(coh::L1Controller::Callbacks{
       .priorityValue = [this] { return priorityValue(); },
       .onAbort = [this](AbortCause c) { onAbort(c); },

@@ -39,7 +39,7 @@ class Cpu {
 
   stats::ThreadBreakdown& breakdown() { return bd_; }
   const stats::ThreadBreakdown& breakdown() const { return bd_; }
-  stats::TxCounters& txCounters() { return l1_.txCounters(); }
+  stats::TxStats& txCounters() { return l1_.txCounters(); }
 
   /// Instructions retired since reset (all modes).
   std::uint64_t instsRetired() const { return instsRetired_; }

@@ -2,13 +2,22 @@
 
 namespace lktm::mem {
 
+void MainMemory::attachStats(stats::StatRegistry& reg) {
+  lineReads_ = &reg.counter("mem.line_reads", "DRAM line fetches");
+  lineWrites_ = &reg.counter("mem.line_writes", "DRAM line writebacks");
+}
+
 LineData MainMemory::readLine(LineAddr line) const {
+  if (lineReads_ != nullptr) ++*lineReads_;
   auto it = store_.find(line);
   if (it == store_.end()) return LineData{};
   return it->second;
 }
 
-void MainMemory::writeLine(LineAddr line, const LineData& data) { store_[line] = data; }
+void MainMemory::writeLine(LineAddr line, const LineData& data) {
+  if (lineWrites_ != nullptr) ++*lineWrites_;
+  store_[line] = data;
+}
 
 std::uint64_t MainMemory::readWord(Addr addr) const {
   auto it = store_.find(lineOf(addr));

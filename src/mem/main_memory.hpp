@@ -9,11 +9,18 @@
 
 #include "mem/cache_array.hpp"
 #include "sim/types.hpp"
+#include "stats/registry.hpp"
 
 namespace lktm::mem {
 
 class MainMemory {
  public:
+  /// Opt-in instrumentation: registers "mem.line_reads"/"mem.line_writes" in
+  /// `reg`. Workload setup and invariant checks that poke memory directly via
+  /// the word accessors are not counted — only line traffic from the
+  /// directory. Unattached (unit-test) instances count nothing.
+  void attachStats(stats::StatRegistry& reg);
+
   /// Read a whole line; absent lines read as zero.
   LineData readLine(LineAddr line) const;
 
@@ -27,6 +34,8 @@ class MainMemory {
 
  private:
   std::unordered_map<LineAddr, LineData> store_;
+  stats::Counter* lineReads_ = nullptr;
+  stats::Counter* lineWrites_ = nullptr;
 };
 
 }  // namespace lktm::mem

@@ -12,7 +12,7 @@ namespace lktm::noc {
 class IdealNetwork final : public Network {
  public:
   IdealNetwork(sim::SimContext& ctx, Cycle latency = 3)
-      : engine_(ctx.engine()), latency_(latency) {}
+      : Network(ctx), engine_(ctx.engine()), latency_(latency) {}
 
   /// Contention-free, but still FIFO per (src, dst) pair: the coherence
   /// protocol relies on point-to-point ordering (e.g. a PutM must not be

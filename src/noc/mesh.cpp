@@ -11,10 +11,13 @@ enum Dir : unsigned { E = 0, W = 1, N = 2, S = 3 };
 }
 
 MeshNetwork::MeshNetwork(sim::SimContext& ctx, MeshParams params)
-    : engine_(ctx.engine()),
+    : Network(ctx),
+      engine_(ctx.engine()),
       pool_(ctx.pool<MeshPacket>()),
       params_(params),
-      linkFree_(numTiles()) {}
+      linkFree_(numTiles()),
+      hopsHist_(ctx.stats().histogram("noc.hops",
+                                      "mesh hop count per message (log2 buckets)")) {}
 
 unsigned MeshNetwork::hops(NodeId src, NodeId dst) const {
   const Pos a = posOf(tileOf(src));
@@ -27,7 +30,9 @@ void MeshNetwork::send(NodeId src, NodeId dst, unsigned flits,
                        sim::Action onArrive) {
   const unsigned srcTile = tileOf(src);
   const unsigned dstTile = tileOf(dst);
-  count(flits, hops(src, dst) + 1);
+  const unsigned h = hops(src, dst);
+  count(flits, h + 1);
+  hopsHist_.record(h);
   if (srcTile == dstTile) {
     // Local: through the tile's router once (e.g. L1 to co-located LLC bank).
     engine_.schedule(params_.routerLatency, std::move(onArrive));

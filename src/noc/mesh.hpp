@@ -51,6 +51,7 @@ class MeshNetwork final : public Network {
   MeshParams params_;
   // nextFree cycle per directed link: [tile][direction], 0=E 1=W 2=N 3=S.
   std::vector<std::array<Cycle, 4>> linkFree_;
+  stats::Histogram& hopsHist_;
 
   struct Pos {
     unsigned x, y;

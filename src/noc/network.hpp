@@ -12,7 +12,7 @@
 #include "sim/context.hpp"
 #include "sim/engine.hpp"
 #include "sim/types.hpp"
-#include "stats/counters.hpp"
+#include "stats/registry.hpp"
 
 namespace lktm::noc {
 
@@ -22,6 +22,8 @@ using NodeId = int;
 
 class Network {
  public:
+  /// Registers the interconnect's stats ("noc.*") in the run's registry.
+  explicit Network(sim::SimContext& ctx);
   virtual ~Network() = default;
 
   /// Deliver `onArrive` after the message's network traversal time.
@@ -29,18 +31,17 @@ class Network {
   virtual void send(NodeId src, NodeId dst, unsigned flits,
                     sim::Action onArrive) = 0;
 
-  void attachCounters(stats::ProtocolCounters* c) { counters_ = c; }
-
  protected:
-  stats::ProtocolCounters* counters_ = nullptr;
-
   void count(unsigned flits, unsigned hops) {
-    if (counters_ != nullptr) {
-      ++counters_->messages;
-      if (flits > 1) ++counters_->dataMessages;
-      counters_->flitHops += static_cast<std::uint64_t>(flits) * hops;
-    }
+    ++messages_;
+    if (flits > 1) ++dataMessages_;
+    flitHops_ += static_cast<std::uint64_t>(flits) * hops;
   }
+
+ private:
+  stats::Counter& messages_;
+  stats::Counter& dataMessages_;
+  stats::Counter& flitHops_;
 };
 
 inline constexpr unsigned kControlFlits = 1;

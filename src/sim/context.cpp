@@ -18,6 +18,7 @@ SimContext::SimContext(Cycle watchdogWindow) : engine_(watchdogWindow) {}
 void SimContext::beginRun(Cycle watchdogWindow, std::uint64_t rngSeed) {
   engine_.reset(watchdogWindow);
   rng_ = Rng(rngSeed);
+  stats_.clear();  // next run's components re-register from scratch
   ++runsStarted_;
 }
 

@@ -15,8 +15,11 @@
 #include "sim/engine.hpp"
 #include "sim/pool.hpp"
 #include "sim/rng.hpp"
+#include "stats/registry.hpp"
 
 namespace lktm::sim {
+
+class TraceSink;
 
 namespace detail {
 
@@ -76,6 +79,18 @@ class SimContext {
 
   std::uint64_t runsStarted() const { return runsStarted_; }
 
+  /// The run's stat registry. Components register their stats here at
+  /// construction; beginRun() clears it so the next run's components
+  /// re-register from scratch (no value leaks between sweep iterations).
+  stats::StatRegistry& stats() { return stats_; }
+  const stats::StatRegistry& stats() const { return stats_; }
+
+  /// Optional event-trace sink (see sim/trace.hpp). Not owned; null unless a
+  /// driver attached one. Instrumentation sites are additionally compiled out
+  /// entirely unless the build sets LKTM_TRACE.
+  void setTraceSink(TraceSink* sink) { traceSink_ = sink; }
+  TraceSink* traceSink() const { return traceSink_; }
+
   /// Opaque verification tap slot. The coherence layer stores a coh::MsgTap*
   /// here (see coh::post) so the model checker can observe every message send
   /// and delivery; sim stays ignorant of the concrete type. Not owned, null
@@ -89,6 +104,8 @@ class SimContext {
   std::vector<std::unique_ptr<detail::PoolHolderBase>> pools_;
   std::uint64_t runsStarted_ = 0;
   void* verifyTap_ = nullptr;
+  stats::StatRegistry stats_;
+  TraceSink* traceSink_ = nullptr;
 };
 
 }  // namespace lktm::sim

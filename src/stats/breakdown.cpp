@@ -2,18 +2,28 @@
 
 #include <cassert>
 
+#include "stats/tx_stats.hpp"
+
 namespace lktm::stats {
+
+ThreadBreakdown::ThreadBreakdown(StatRegistry& reg, const std::string& prefix) {
+  for (std::size_t i = 0; i < cycles_.size(); ++i) {
+    const auto cat = static_cast<TimeCat>(i);
+    cycles_[i] = &reg.counter(prefix + ".time." + timeCatSlug(cat),
+                              "cycles spent in this execution category");
+  }
+}
 
 void ThreadBreakdown::beginSegment(TimeCat cat, Cycle now) {
   assert(now >= segStart_);
-  cycles_[static_cast<std::size_t>(cur_)] += now - segStart_;
+  *cycles_[static_cast<std::size_t>(cur_)] += now - segStart_;
   cur_ = cat;
   segStart_ = now;
 }
 
 void ThreadBreakdown::resolveSegment(TimeCat cat, Cycle now, TimeCat next) {
   assert(now >= segStart_);
-  cycles_[static_cast<std::size_t>(cat)] += now - segStart_;
+  *cycles_[static_cast<std::size_t>(cat)] += now - segStart_;
   cur_ = next;
   segStart_ = now;
 }
@@ -22,24 +32,8 @@ void ThreadBreakdown::finish(Cycle now) { beginSegment(cur_, now); }
 
 Cycle ThreadBreakdown::total() const {
   Cycle t = 0;
-  for (auto c : cycles_) t += c;
+  for (const Counter* c : cycles_) t += c->value();
   return t;
-}
-
-void BreakdownSummary::add(const ThreadBreakdown& tb) {
-  for (std::size_t i = 0; i < cycles.size(); ++i) cycles[i] += tb.raw()[i];
-}
-
-Cycle BreakdownSummary::total() const {
-  Cycle t = 0;
-  for (auto c : cycles) t += c;
-  return t;
-}
-
-double BreakdownSummary::fraction(TimeCat c) const {
-  const Cycle t = total();
-  if (t == 0) return 0.0;
-  return static_cast<double>(cycles[static_cast<std::size_t>(c)]) / static_cast<double>(t);
 }
 
 }  // namespace lktm::stats

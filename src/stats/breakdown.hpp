@@ -4,18 +4,27 @@
 // transaction, waiting for a lock, non-transactional code, rollback). Segments
 // in speculative mode are provisional: only when the attempt resolves do we
 // know whether the cycles count as `htm`, `aborted` or `switchLock`.
+//
+// The accumulated cycles live in the run's StatRegistry (one counter per
+// TimeCat under "<prefix>.time.<cat>"); this class keeps only the open
+// segment's bookkeeping. Aggregation across threads happens on snapshots
+// (sum over "core.*.time.<cat>"), not here.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <vector>
+#include <string>
 
 #include "sim/types.hpp"
+#include "stats/registry.hpp"
 
 namespace lktm::stats {
 
 class ThreadBreakdown {
  public:
+  /// Registers "<prefix>.time.<cat>" for every category (prefix: "core.<id>").
+  ThreadBreakdown(StatRegistry& reg, const std::string& prefix);
+
   /// Begin a new segment at `now`; cycles since the previous segment boundary
   /// are attributed to the previous category.
   void beginSegment(TimeCat cat, Cycle now);
@@ -23,35 +32,24 @@ class ThreadBreakdown {
   /// Current provisional category (used when retargeting speculative time).
   TimeCat current() const { return cur_; }
 
-  /// Reclassify the cycles accumulated in the *current open segment* plus any
-  /// cycles parked via `park()` into `cat`, then start a new segment.
-  /// Used when a speculative attempt resolves (commit -> Htm, abort ->
-  /// Aborted, switched-and-committed -> SwitchLock).
+  /// Reclassify the cycles accumulated in the *current open segment* into
+  /// `cat`, then start a new segment. Used when a speculative attempt
+  /// resolves (commit -> Htm, abort -> Aborted, switched-and-committed ->
+  /// SwitchLock).
   void resolveSegment(TimeCat cat, Cycle now, TimeCat next);
 
   /// Close the open segment into its own category at `now`.
   void finish(Cycle now);
 
   Cycle total() const;
-  Cycle get(TimeCat c) const { return cycles_[static_cast<std::size_t>(c)]; }
-
-  const std::array<Cycle, static_cast<std::size_t>(TimeCat::kCount)>& raw() const {
-    return cycles_;
+  Cycle get(TimeCat c) const {
+    return cycles_[static_cast<std::size_t>(c)]->value();
   }
 
  private:
-  std::array<Cycle, static_cast<std::size_t>(TimeCat::kCount)> cycles_{};
+  std::array<Counter*, static_cast<std::size_t>(TimeCat::kCount)> cycles_;
   TimeCat cur_ = TimeCat::NonTran;
   Cycle segStart_ = 0;
-};
-
-/// Aggregate of all threads' breakdowns, normalized for reporting.
-struct BreakdownSummary {
-  std::array<Cycle, static_cast<std::size_t>(TimeCat::kCount)> cycles{};
-
-  void add(const ThreadBreakdown& tb);
-  Cycle total() const;
-  double fraction(TimeCat c) const;
 };
 
 }  // namespace lktm::stats

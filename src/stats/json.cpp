@@ -1,0 +1,302 @@
+#include "stats/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <locale>
+#include <stdexcept>
+
+namespace lktm::stats::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : src_(src) {}
+
+  Value parse() {
+    Value v = value();
+    skipWs();
+    if (pos_ != src_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at byte " + std::to_string(pos_) +
+                             ": " + why);
+  }
+
+  void skipWs() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= src_.size()) fail("unexpected end of input");
+    return src_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value value() {
+    skipWs();
+    switch (peek()) {
+      case '{': return objectValue();
+      case '[': return arrayValue();
+      case '"': return stringValue();
+      case 't': return literal("true", boolValue(true));
+      case 'f': return literal("false", boolValue(false));
+      case 'n': return literal("null", Value{});
+      default: return numberValue();
+    }
+  }
+
+  static Value boolValue(bool b) {
+    Value v;
+    v.kind = Value::Kind::Bool;
+    v.boolean = b;
+    return v;
+  }
+
+  Value literal(const std::string& word, Value v) {
+    if (src_.compare(pos_, word.size(), word) != 0) fail("bad literal");
+    pos_ += word.size();
+    return v;
+  }
+
+  Value stringValue() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= src_.size()) fail("unterminated string");
+      const char c = src_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= src_.size()) fail("bad escape");
+        const char e = src_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Our producers are ASCII; keep the raw sequence readable.
+            if (pos_ + 4 > src_.size()) fail("bad \\u escape");
+            out += "\\u" + src_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    Value v;
+    v.kind = Value::Kind::String;
+    v.text = std::move(out);
+    return v;
+  }
+
+  Value numberValue() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) != 0 ||
+            src_[pos_] == '-' || src_[pos_] == '+' || src_[pos_] == '.' ||
+            src_[pos_] == 'e' || src_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::Number;
+    v.number = std::stod(src_.substr(start, pos_ - start));
+    return v;
+  }
+
+  Value arrayValue() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::Array;
+    v.array = std::make_shared<Array>();
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array->push_back(value());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value objectValue() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::Object;
+    v.object = std::make_shared<Object>();
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skipWs();
+      Value key = stringValue();
+      skipWs();
+      expect(':');
+      (*v.object)[key.text] = value();
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& src) { return Parser(src).parse(); }
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string formatDouble(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
+}
+
+Writer::Writer(std::ostream& os, bool pretty) : os_(os), pretty_(pretty) {
+  os_.imbue(std::locale::classic());
+}
+
+void Writer::indent() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void Writer::separate() {
+  if (pendingKey_) {
+    pendingKey_ = false;
+    return;  // the key already placed the comma/indent
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().hasElements) os_ << ',';
+    stack_.back().hasElements = true;
+    indent();
+  }
+}
+
+void Writer::beginObject() {
+  separate();
+  os_ << '{';
+  stack_.push_back({'}'});
+}
+
+void Writer::endObject() {
+  const bool had = !stack_.empty() && stack_.back().hasElements;
+  stack_.pop_back();
+  if (had) indent();
+  os_ << '}';
+  if (stack_.empty() && pretty_) os_ << '\n';
+}
+
+void Writer::beginArray() {
+  separate();
+  os_ << '[';
+  stack_.push_back({']'});
+}
+
+void Writer::endArray() {
+  const bool had = !stack_.empty() && stack_.back().hasElements;
+  stack_.pop_back();
+  if (had) indent();
+  os_ << ']';
+}
+
+void Writer::key(const std::string& k) {
+  separate();
+  os_ << quote(k) << (pretty_ ? ": " : ":");
+  pendingKey_ = true;
+}
+
+void Writer::value(const std::string& v) {
+  separate();
+  os_ << quote(v);
+}
+
+void Writer::value(const char* v) { value(std::string(v)); }
+
+void Writer::value(std::uint64_t v) {
+  separate();
+  os_ << std::to_string(v);
+}
+
+void Writer::value(std::int64_t v) {
+  separate();
+  os_ << std::to_string(v);
+}
+
+void Writer::value(double v) {
+  separate();
+  os_ << formatDouble(v);
+}
+
+void Writer::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+}
+
+void Writer::null() {
+  separate();
+  os_ << "null";
+}
+
+}  // namespace lktm::stats::json

@@ -1,0 +1,102 @@
+// Minimal JSON support shared by the instrumentation spine: a streaming
+// writer for the run artifacts / trace files, and the recursive-descent
+// reader that bench_to_json, validate_stats_json and the round-trip tests
+// use. Only what our own formats need — objects, arrays, strings, numbers,
+// true/false/null, common escapes.
+//
+// All emission is locale-independent: integers via std::to_string, doubles
+// via std::to_chars, and every stream this writer drives should additionally
+// be imbued with std::locale::classic() by the caller (writeTo does it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lktm::stats::json {
+
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::shared_ptr<Array> array;
+  std::shared_ptr<Object> object;
+
+  const Value* find(const std::string& key) const {
+    if (kind != Kind::Object || object == nullptr) return nullptr;
+    const auto it = object->find(key);
+    return it == object->end() ? nullptr : &it->second;
+  }
+  bool isString() const { return kind == Kind::String; }
+  bool isNumber() const { return kind == Kind::Number; }
+  bool isArray() const { return kind == Kind::Array && array != nullptr; }
+  bool isObject() const { return kind == Kind::Object && object != nullptr; }
+};
+
+/// Parse a complete JSON document. Throws std::runtime_error with a byte
+/// offset on malformed input.
+Value parse(const std::string& src);
+
+/// Escape and quote a string for JSON output.
+std::string quote(const std::string& s);
+
+/// Locale-independent number formatting (std::to_chars; shortest roundtrip).
+std::string formatDouble(double v);
+
+/// Streaming writer with explicit structure: the caller opens/closes objects
+/// and arrays; commas are inserted automatically. Output is deterministic:
+/// emission order is exactly the call order.
+class Writer {
+ public:
+  /// Imbues the stream with the classic locale so numeric punctuation can
+  /// never vary with the host environment.
+  explicit Writer(std::ostream& os, bool pretty = true);
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Start a keyed child inside an object.
+  void key(const std::string& k);
+
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(double v);
+  void value(bool v);
+  void null();
+
+  /// key + value in one call.
+  template <class T>
+  void field(const std::string& k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void separate();  ///< comma/newline bookkeeping before a new element
+  void indent();
+
+  std::ostream& os_;
+  bool pretty_;
+  struct Scope {
+    char close;        // '}' or ']'
+    bool hasElements = false;
+  };
+  std::vector<Scope> stack_;
+  bool pendingKey_ = false;
+};
+
+}  // namespace lktm::stats::json

@@ -1,0 +1,295 @@
+#include "stats/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace lktm::stats {
+
+const char* toString(StatKind k) {
+  switch (k) {
+    case StatKind::Counter: return "counter";
+    case StatKind::Histogram: return "histogram";
+    case StatKind::Distribution: return "distribution";
+    case StatKind::Formula: return "formula";
+  }
+  return "?";
+}
+
+unsigned Histogram::bucketOf(std::uint64_t v) {
+  return static_cast<unsigned>(std::bit_width(v));
+}
+
+std::uint64_t Histogram::bucketLow(unsigned b) {
+  if (b == 0) return 0;
+  return std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t Histogram::bucketHigh(unsigned b) {
+  if (b == 0) return 0;
+  if (b >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << b) - 1;
+}
+
+// ---------------------------------------------------------------------------
+// StatSnapshot
+
+void StatSnapshot::add(SnapshotEntry e) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), e.path,
+      [](const SnapshotEntry& a, const std::string& p) { return a.path < p; });
+  if (it != entries_.end() && it->path == e.path) {
+    throw std::logic_error("StatSnapshot: duplicate path '" + e.path + "'");
+  }
+  entries_.insert(it, std::move(e));
+}
+
+const SnapshotEntry* StatSnapshot::find(std::string_view path) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), path,
+      [](const SnapshotEntry& a, std::string_view p) { return a.path < p; });
+  if (it == entries_.end() || it->path != path) return nullptr;
+  return &*it;
+}
+
+std::uint64_t StatSnapshot::value(std::string_view path) const {
+  const SnapshotEntry* e = find(path);
+  return e != nullptr && e->kind == StatKind::Counter ? e->value : 0;
+}
+
+double StatSnapshot::number(std::string_view path) const {
+  const SnapshotEntry* e = find(path);
+  return e != nullptr && e->kind == StatKind::Formula ? e->number : 0.0;
+}
+
+bool StatSnapshot::matches(std::string_view pattern, std::string_view path) {
+  // Segment-wise comparison; '*' matches exactly one segment.
+  std::size_t pi = 0, si = 0;
+  while (true) {
+    const std::size_t pd = pattern.find('.', pi);
+    const std::size_t sd = path.find('.', si);
+    const std::string_view pseg = pattern.substr(
+        pi, pd == std::string_view::npos ? std::string_view::npos : pd - pi);
+    const std::string_view sseg =
+        path.substr(si, sd == std::string_view::npos ? std::string_view::npos : sd - si);
+    if (pseg != "*" && pseg != sseg) return false;
+    const bool pEnd = pd == std::string_view::npos;
+    const bool sEnd = sd == std::string_view::npos;
+    if (pEnd || sEnd) return pEnd && sEnd;
+    pi = pd + 1;
+    si = sd + 1;
+  }
+}
+
+std::uint64_t StatSnapshot::sumMatching(std::string_view pattern) const {
+  std::uint64_t total = 0;
+  for (const SnapshotEntry& e : entries_) {
+    if (e.kind == StatKind::Counter && matches(pattern, e.path)) total += e.value;
+  }
+  return total;
+}
+
+namespace {
+
+std::uint64_t subSat(std::uint64_t a, std::uint64_t b) { return a >= b ? a - b : 0; }
+
+std::vector<std::pair<unsigned, std::uint64_t>> diffBuckets(
+    const std::vector<std::pair<unsigned, std::uint64_t>>& a,
+    const std::vector<std::pair<unsigned, std::uint64_t>>& b) {
+  std::vector<std::pair<unsigned, std::uint64_t>> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size()) {
+    while (j < b.size() && b[j].first < a[i].first) ++j;
+    std::uint64_t v = a[i].second;
+    if (j < b.size() && b[j].first == a[i].first) v = subSat(v, b[j].second);
+    if (v != 0) out.emplace_back(a[i].first, v);
+    ++i;
+  }
+  return out;
+}
+
+std::vector<std::pair<unsigned, std::uint64_t>> mergeBuckets(
+    const std::vector<std::pair<unsigned, std::uint64_t>>& a,
+    const std::vector<std::pair<unsigned, std::uint64_t>>& b) {
+  std::vector<std::pair<unsigned, std::uint64_t>> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].first < b[j].first)) {
+      out.push_back(a[i++]);
+    } else if (i >= a.size() || b[j].first < a[i].first) {
+      out.push_back(b[j++]);
+    } else {
+      out.emplace_back(a[i].first, a[i].second + b[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatSnapshot StatSnapshot::diff(const StatSnapshot& base) const {
+  StatSnapshot out;
+  for (const SnapshotEntry& e : entries_) {
+    const SnapshotEntry* b = base.find(e.path);
+    if (b == nullptr || b->kind != e.kind) {
+      out.add(e);
+      continue;
+    }
+    SnapshotEntry d = e;
+    d.value = subSat(e.value, b->value);
+    d.count = subSat(e.count, b->count);
+    d.sum = subSat(e.sum, b->sum);
+    d.buckets = diffBuckets(e.buckets, b->buckets);
+    d.number = e.number - b->number;
+    out.add(std::move(d));
+  }
+  return out;
+}
+
+void StatSnapshot::merge(const StatSnapshot& other) {
+  for (const SnapshotEntry& o : other.entries_) {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), o.path,
+        [](const SnapshotEntry& a, const std::string& p) { return a.path < p; });
+    if (it == entries_.end() || it->path != o.path) {
+      entries_.insert(it, o);
+      continue;
+    }
+    if (it->kind != o.kind) {
+      throw std::logic_error("StatSnapshot::merge: kind mismatch at '" + o.path + "'");
+    }
+    it->value += o.value;
+    it->sum += o.sum;
+    it->buckets = mergeBuckets(it->buckets, o.buckets);
+    // min/max widen; empty sides (count == 0) must not contribute their zeros.
+    if (o.count != 0) {
+      if (it->count == 0) {
+        it->min = o.min;
+        it->max = o.max;
+      } else {
+        it->min = std::min(it->min, o.min);
+        it->max = std::max(it->max, o.max);
+      }
+    }
+    it->count += o.count;
+    // Formulas cannot be re-evaluated from a dump; keep this side's value.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StatRegistry
+
+StatRegistry::Entry& StatRegistry::registerPath(std::string path, std::string help,
+                                                StatKind kind) {
+  if (path.empty()) throw std::logic_error("StatRegistry: empty stat path");
+  const auto [it, inserted] = byPath_.emplace(path, entries_.size());
+  if (!inserted) {
+    throw std::logic_error("StatRegistry: path already registered: '" + path + "'");
+  }
+  entries_.push_back(Entry{std::move(path), std::move(help), kind, 0});
+  return entries_.back();
+}
+
+Counter& StatRegistry::counter(std::string path, std::string help) {
+  Entry& e = registerPath(std::move(path), std::move(help), StatKind::Counter);
+  e.index = counters_.size();
+  counters_.emplace_back();
+  return counters_.back();
+}
+
+Histogram& StatRegistry::histogram(std::string path, std::string help) {
+  Entry& e = registerPath(std::move(path), std::move(help), StatKind::Histogram);
+  e.index = histograms_.size();
+  histograms_.emplace_back();
+  return histograms_.back();
+}
+
+Distribution& StatRegistry::distribution(std::string path, std::string help) {
+  Entry& e = registerPath(std::move(path), std::move(help), StatKind::Distribution);
+  e.index = distributions_.size();
+  distributions_.emplace_back();
+  return distributions_.back();
+}
+
+void StatRegistry::formula(std::string path, FormulaFn fn, std::string help) {
+  Entry& e = registerPath(std::move(path), std::move(help), StatKind::Formula);
+  e.index = formulas_.size();
+  formulas_.push_back(std::move(fn));
+}
+
+bool StatRegistry::contains(std::string_view path) const {
+  return byPath_.find(std::string(path)) != byPath_.end();
+}
+
+void StatRegistry::clear() {
+  entries_.clear();
+  byPath_.clear();
+  counters_.clear();
+  histograms_.clear();
+  distributions_.clear();
+  formulas_.clear();
+}
+
+void StatRegistry::reset() {
+  for (Counter& c : counters_) c.reset();
+  for (Histogram& h : histograms_) h.reset();
+  for (Distribution& d : distributions_) d.reset();
+  // Formulas are derived: they re-evaluate from the (reset) stats.
+}
+
+std::vector<std::size_t> StatRegistry::sortedOrder() const {
+  std::vector<std::size_t> order(entries_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return entries_[a].path < entries_[b].path;
+  });
+  return order;
+}
+
+StatSnapshot StatRegistry::snapshot() const {
+  StatSnapshot snap;
+  for (const std::size_t i : sortedOrder()) {
+    const Entry& e = entries_[i];
+    SnapshotEntry s;
+    s.path = e.path;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case StatKind::Counter:
+        s.value = counters_[e.index].value();
+        break;
+      case StatKind::Histogram: {
+        const Histogram& h = histograms_[e.index];
+        s.count = h.count();
+        s.sum = h.sum();
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+          if (h.bucket(b) != 0) s.buckets.emplace_back(b, h.bucket(b));
+        }
+        break;
+      }
+      case StatKind::Distribution: {
+        const Distribution& d = distributions_[e.index];
+        s.count = d.count();
+        s.sum = d.sum();
+        s.min = d.min();
+        s.max = d.max();
+        break;
+      }
+      case StatKind::Formula:
+        s.number = formulas_[e.index]();
+        break;
+    }
+    snap.add(std::move(s));
+  }
+  return snap;
+}
+
+void StatRegistry::forEach(const std::function<void(const std::string&, StatKind,
+                                                    const std::string&)>& fn) const {
+  for (const std::size_t i : sortedOrder()) {
+    fn(entries_[i].path, entries_[i].kind, entries_[i].help);
+  }
+}
+
+}  // namespace lktm::stats

@@ -1,0 +1,225 @@
+// The instrumentation spine: one hierarchical registry of name-pathed stats
+// (`core.3.aborts.mem_conflict`, `dir.llc.hits`, `noc.flit_hops`) owned by the
+// per-run SimContext. Components register their stats once at construction and
+// keep cheap handles (Counter&); everything downstream — text reports, the
+// figure benches, --stats-json artifacts, sweep aggregation — reads the
+// registry instead of scraping per-component structs.
+//
+// Kinds:
+//  * Counter      — monotonically increasing u64 (the workhorse)
+//  * Histogram    — log2-bucketed value distribution (bucket 0 holds the
+//                   value 0, bucket b>0 holds [2^(b-1), 2^b))
+//  * Distribution — count/sum/min/max summary
+//  * Formula      — a double computed from other stats at snapshot time
+//
+// Lifecycle: SimContext::beginRun() clears the registry; the components of
+// the next run re-register from scratch, so no value can leak between sweep
+// iterations. reset() (zero every value, keep registrations) is the single
+// reset path for harnesses that reuse live components.
+//
+// Iteration and snapshots are deterministically ordered by path. Registering
+// the same path twice throws.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lktm::stats {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  Counter& operator++() {
+    ++v_;
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) {
+    v_ += n;
+    return *this;
+  }
+  std::uint64_t value() const { return v_; }
+  operator std::uint64_t() const { return v_; }  // NOLINT(google-explicit-constructor)
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class Histogram {
+ public:
+  /// 65 buckets cover the full u64 range: bucket 0 holds the value 0,
+  /// bucket b (1..64) holds [2^(b-1), 2^b).
+  static constexpr unsigned kBuckets = 65;
+
+  static unsigned bucketOf(std::uint64_t v);
+  /// Inclusive value range of bucket `b`.
+  static std::uint64_t bucketLow(unsigned b);
+  static std::uint64_t bucketHigh(unsigned b);
+
+  void record(std::uint64_t v) {
+    ++buckets_[bucketOf(v)];
+    ++count_;
+    sum_ += v;
+  }
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t bucket(unsigned b) const { return buckets_.at(b); }
+  void reset() {
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+class Distribution {
+ public:
+  void record(std::uint64_t v) {
+    ++count_;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  /// 0 when empty (min/max are meaningless without samples).
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  void reset() {
+    count_ = 0;
+    sum_ = 0;
+    min_ = std::numeric_limits<std::uint64_t>::max();
+    max_ = 0;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+enum class StatKind : std::uint8_t { Counter, Histogram, Distribution, Formula };
+
+const char* toString(StatKind k);
+
+/// One stat's value at snapshot time. Which fields are meaningful depends on
+/// `kind`; the others stay zero so entry comparison is well-defined.
+struct SnapshotEntry {
+  std::string path;
+  StatKind kind = StatKind::Counter;
+  std::uint64_t value = 0;                                  ///< Counter
+  std::uint64_t count = 0, sum = 0, min = 0, max = 0;       ///< Histogram/Distribution
+  std::vector<std::pair<unsigned, std::uint64_t>> buckets;  ///< Histogram (sparse, sorted)
+  double number = 0.0;                                      ///< Formula
+
+  bool operator==(const SnapshotEntry&) const = default;
+};
+
+/// A path-sorted, self-contained dump of a registry. Safe to keep after the
+/// registry (or the components whose formulas it evaluated) are gone.
+class StatSnapshot {
+ public:
+  void add(SnapshotEntry e);  ///< keeps entries sorted by path; collisions throw
+  const std::vector<SnapshotEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  const SnapshotEntry* find(std::string_view path) const;
+  /// Counter value at `path` (0 when absent or not a counter).
+  std::uint64_t value(std::string_view path) const;
+  /// Formula value at `path` (0.0 when absent or not a formula).
+  double number(std::string_view path) const;
+
+  /// Sum of all *counter* values whose path matches `pattern`, where a `*`
+  /// segment matches exactly one path segment: "core.*.commits.htm" sums the
+  /// htm commits of every core. Exact paths are a special case.
+  std::uint64_t sumMatching(std::string_view pattern) const;
+
+  /// Entry-wise `this - base` for entries present in both (counters, counts,
+  /// sums, buckets subtract saturating at 0; formulas subtract; min/max carry
+  /// this snapshot's values — extrema do not diff). Entries absent from
+  /// `base` pass through unchanged; entries only in `base` are dropped.
+  StatSnapshot diff(const StatSnapshot& base) const;
+
+  /// Path-union aggregation for sweeps: counters, counts, sums and buckets
+  /// add; min/max widen; formulas keep this snapshot's value (they cannot be
+  /// re-evaluated from a dump). Kind mismatch on a shared path throws.
+  void merge(const StatSnapshot& other);
+
+  bool operator==(const StatSnapshot&) const = default;
+
+  static bool matches(std::string_view pattern, std::string_view path);
+
+ private:
+  std::vector<SnapshotEntry> entries_;  // sorted by path
+};
+
+class StatRegistry {
+ public:
+  using FormulaFn = std::function<double()>;
+
+  StatRegistry() = default;
+  StatRegistry(const StatRegistry&) = delete;
+  StatRegistry& operator=(const StatRegistry&) = delete;
+
+  /// Register a stat at `path`. References stay valid until clear().
+  /// Registering an already-taken path throws std::logic_error.
+  Counter& counter(std::string path, std::string help = "");
+  Histogram& histogram(std::string path, std::string help = "");
+  Distribution& distribution(std::string path, std::string help = "");
+  void formula(std::string path, FormulaFn fn, std::string help = "");
+
+  bool contains(std::string_view path) const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// Drop every registration (SimContext::beginRun: the next run's components
+  /// re-register from scratch).
+  void clear();
+
+  /// Zero every registered value, keeping the registrations. The single
+  /// reset path for harnesses that reuse live components across runs.
+  void reset();
+
+  /// Evaluate every stat (including formulas) into a path-sorted snapshot.
+  StatSnapshot snapshot() const;
+
+  /// Deterministic path-sorted iteration over (path, kind, help).
+  void forEach(const std::function<void(const std::string& path, StatKind kind,
+                                        const std::string& help)>& fn) const;
+
+ private:
+  struct Entry {
+    std::string path;
+    std::string help;
+    StatKind kind = StatKind::Counter;
+    std::size_t index = 0;  ///< into the kind's deque
+  };
+
+  Entry& registerPath(std::string path, std::string help, StatKind kind);
+  std::vector<std::size_t> sortedOrder() const;
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, std::size_t> byPath_;
+  std::deque<Counter> counters_;
+  std::deque<Histogram> histograms_;
+  std::deque<Distribution> distributions_;
+  std::deque<FormulaFn> formulas_;
+};
+
+}  // namespace lktm::stats

@@ -1,8 +1,9 @@
 #include "stats/report.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
-#include <cstdio>
+#include <locale>
 #include <sstream>
 
 namespace lktm::stats {
@@ -20,6 +21,7 @@ std::string Table::str() const {
     }
   }
   std::ostringstream oss;
+  oss.imbue(std::locale::classic());  // report text never varies with the host locale
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     const auto& row = rows_[r];
     for (std::size_t i = 0; i < row.size(); ++i) {
@@ -39,15 +41,16 @@ std::string Table::str() const {
 }
 
 std::string Table::fixed(double v, int precision) {
+  // std::to_chars: the decimal point is always '.', whatever LC_NUMERIC says.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  return buf;
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::fixed, precision);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
 }
 
 std::string Table::pct(double fraction, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
-  return buf;
+  return fixed(fraction * 100.0, precision) + "%";
 }
 
 std::string bar(double fraction, int width) {

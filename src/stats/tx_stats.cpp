@@ -1,0 +1,72 @@
+#include "stats/tx_stats.hpp"
+
+namespace lktm::stats {
+
+const char* abortCauseSlug(AbortCause c) {
+  switch (c) {
+    case AbortCause::None: return "none";
+    case AbortCause::MemConflict: return "mem_conflict";
+    case AbortCause::LockConflict: return "lock_conflict";
+    case AbortCause::Mutex: return "mutex";
+    case AbortCause::NonTran: return "non_tran";
+    case AbortCause::Overflow: return "overflow";
+    case AbortCause::Fault: return "fault";
+    case AbortCause::Explicit: return "explicit";
+  }
+  return "?";
+}
+
+const char* timeCatSlug(TimeCat c) {
+  switch (c) {
+    case TimeCat::Htm: return "htm";
+    case TimeCat::Aborted: return "aborted";
+    case TimeCat::Lock: return "lock";
+    case TimeCat::SwitchLock: return "switch_lock";
+    case TimeCat::NonTran: return "non_tran";
+    case TimeCat::WaitLock: return "wait_lock";
+    case TimeCat::Rollback: return "rollback";
+    case TimeCat::kCount: break;
+  }
+  return "?";
+}
+
+double commitRate(std::uint64_t htmCommits, std::uint64_t stlCommits,
+                  std::uint64_t aborts) {
+  const std::uint64_t attempts = htmCommits + stlCommits + aborts;
+  if (attempts == 0) return 1.0;
+  return static_cast<double>(htmCommits + stlCommits) / static_cast<double>(attempts);
+}
+
+namespace {
+
+std::array<Counter*, TxStats::kCauses> registerCauses(StatRegistry& reg,
+                                                      const std::string& prefix) {
+  std::array<Counter*, TxStats::kCauses> out{};
+  for (std::size_t i = 0; i < TxStats::kCauses; ++i) {
+    const auto cause = static_cast<AbortCause>(i);
+    out[i] = &reg.counter(prefix + ".aborts." + abortCauseSlug(cause),
+                          "aborts attributed to this cause");
+  }
+  return out;
+}
+
+}  // namespace
+
+TxStats::TxStats(StatRegistry& reg, const std::string& prefix)
+    : htmCommits(reg.counter(prefix + ".commits.htm",
+                             "transactions committed speculatively")),
+      lockCommits(reg.counter(prefix + ".commits.lock",
+                              "critical sections completed in TL mode")),
+      stlCommits(reg.counter(prefix + ".commits.stl",
+                             "transactions that switched (STL) and committed")),
+      aborts(reg.counter(prefix + ".aborts.total",
+                         "total aborted speculative attempts")),
+      abortsByCause(registerCauses(reg, prefix)),
+      switchAttempts(reg.counter(prefix + ".switch.attempts")),
+      switchGrants(reg.counter(prefix + ".switch.grants")),
+      rejectsSent(reg.counter(prefix + ".rejects.sent",
+                              "recovery: toxic requests revoked")),
+      rejectsReceived(reg.counter(prefix + ".rejects.received")),
+      wakeupsSent(reg.counter(prefix + ".wakeups.sent")) {}
+
+}  // namespace lktm::stats

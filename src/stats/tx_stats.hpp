@@ -1,0 +1,69 @@
+// Transaction-outcome stats as a registry handle bundle. Each L1 controller
+// constructs one TxStats against the run's StatRegistry under its core's
+// prefix ("core.<id>"); the members are references into the registry, so
+// call sites read exactly like the old plain-struct counters
+// (`++txStats.htmCommits`, `txStats.recordAbort(cause)`) while every value
+// lives in — and is reported from — the instrumentation spine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+#include "stats/registry.hpp"
+
+namespace lktm::stats {
+
+/// Stable path segment for an abort cause ("mem_conflict", "overflow", ...).
+const char* abortCauseSlug(AbortCause c);
+
+/// Stable path segment for a time category ("htm", "switch_lock", ...).
+const char* timeCatSlug(TimeCat c);
+
+/// Commit rate of *speculative* attempts: (htm + stl) / (htm + stl + aborts).
+/// Lock-mode (TL) commits are excluded: they never abort. 1.0 when there were
+/// no speculative attempts at all.
+double commitRate(std::uint64_t htmCommits, std::uint64_t stlCommits,
+                  std::uint64_t aborts);
+
+struct TxStats {
+  static constexpr std::size_t kCauses = 8;  ///< indexed by AbortCause
+
+  /// Registers everything under `prefix` (e.g. "core.3"): commits.{htm,lock,
+  /// stl}, aborts.total, aborts.<cause>, switch.{attempts,grants},
+  /// rejects.{sent,received}, wakeups.sent.
+  TxStats(StatRegistry& reg, const std::string& prefix);
+
+  Counter& htmCommits;   ///< transactions committed speculatively
+  Counter& lockCommits;  ///< critical sections completed in TL mode
+  Counter& stlCommits;   ///< transactions that switched (STL) and committed
+  Counter& aborts;       ///< total aborted speculative attempts
+  std::array<Counter*, kCauses> abortsByCause;
+
+  Counter& switchAttempts;
+  Counter& switchGrants;
+  Counter& rejectsSent;  ///< recovery: toxic requests revoked
+  Counter& rejectsReceived;
+  Counter& wakeupsSent;
+
+  void recordAbort(AbortCause cause) {
+    ++aborts;
+    ++*abortsByCause[static_cast<std::size_t>(cause)];
+  }
+
+  std::uint64_t abortCount(AbortCause cause) const {
+    return abortsByCause[static_cast<std::size_t>(cause)]->value();
+  }
+
+  /// Total committed critical sections of any kind.
+  std::uint64_t totalCommits() const {
+    return htmCommits.value() + lockCommits.value() + stlCommits.value();
+  }
+
+  double commitRate() const {
+    return stats::commitRate(htmCommits.value(), stlCommits.value(), aborts.value());
+  }
+};
+
+}  // namespace lktm::stats

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/trace.hpp"
+
 namespace lktm::verify {
 
 std::size_t DfsOracle::pick(Cycle /*now*/, std::size_t nReady) {
@@ -68,6 +70,17 @@ ModelChecker::PathOutcome ModelChecker::runPath(const ModelConfig& cfg,
   ModelHarness harness(cfg);
   harness.engine().setScheduleOracle(&oracle);
 
+  // Record the path's event trace so a counterexample dump carries the full
+  // txn/coherence timeline next to the delivery schedule. Compiles to a
+  // never-written sink unless LKTM_TRACE is on.
+  sim::TraceSink sink;
+  harness.ctx().setTraceSink(&sink);
+  const auto captureTrace = [&] {
+    if (sim::kTraceEnabled && !out.violations.empty()) {
+      out.traceJson = sink.chromeJson();
+    }
+  };
+
   const SystemView view = harness.view();
   harness.registry().setSendHook(
       [&](const coh::Msg& msg, noc::NodeId src, noc::NodeId /*dst*/) {
@@ -92,6 +105,7 @@ ModelChecker::PathOutcome ModelChecker::runPath(const ModelConfig& cfg,
     } catch (const std::exception& e) {
       out.violations.push_back(
           Violation{"exception", std::string("schedule triggers: ") + e.what()});
+      captureTrace();
       return out;
     }
     ++out.events;
@@ -102,7 +116,10 @@ ModelChecker::PathOutcome ModelChecker::runPath(const ModelConfig& cfg,
     for (Violation& v : InvariantPack::checkState(view)) {
       out.violations.push_back(std::move(v));
     }
-    if (!out.violations.empty()) return out;
+    if (!out.violations.empty()) {
+      captureTrace();
+      return out;
+    }
 
     if (visited != nullptr && oracle.prefixConsumed()) {
       const std::uint64_t fp = harness.fingerprint();
@@ -132,6 +149,7 @@ ModelChecker::PathOutcome ModelChecker::runPath(const ModelConfig& cfg,
         Violation{"quiescence", "event queue drained with unfinished programs (deadlock)"});
     out.deadlockDiagnostic = harness.programStatus();
   }
+  captureTrace();
   return out;
 }
 
@@ -162,6 +180,7 @@ CheckResult ModelChecker::run() {
         cex.detail = result.violations.front().detail;
         cex.schedule = oracle.choices();
         cex.trace = std::move(out.trace);
+        cex.traceJson = std::move(out.traceJson);
         result.cex = std::move(cex);
         return result;
       }
@@ -204,6 +223,7 @@ CheckResult ModelChecker::replaySchedule(const ModelConfig& cfg,
     cex.detail = result.violations.front().detail;
     cex.schedule = oracle.choices();
     cex.trace = std::move(out.trace);
+    cex.traceJson = std::move(out.traceJson);
     result.cex = std::move(cex);
   }
   return result;
@@ -238,6 +258,11 @@ void writeCounterexample(const std::string& path, const Counterexample& cex) {
   for (std::size_t c : cex.schedule) out << " " << c;
   out << "\n";
   out << "trace-begin\n" << cex.trace << "trace-end\n";
+  if (!cex.traceJson.empty()) {
+    out << "trace-events-begin\n" << cex.traceJson;
+    if (cex.traceJson.back() != '\n') out << "\n";
+    out << "trace-events-end\n";
+  }
 }
 
 std::optional<Counterexample> readCounterexample(const std::string& path) {
@@ -249,6 +274,7 @@ std::optional<Counterexample> readCounterexample(const std::string& path) {
   }
   Counterexample cex;
   bool inTrace = false;
+  bool inTraceJson = false;
   while (std::getline(in, line)) {
     if (inTrace) {
       if (line == "trace-end") {
@@ -258,8 +284,20 @@ std::optional<Counterexample> readCounterexample(const std::string& path) {
       cex.trace += line + "\n";
       continue;
     }
+    if (inTraceJson) {
+      if (line == "trace-events-end") {
+        inTraceJson = false;
+        continue;
+      }
+      cex.traceJson += line + "\n";
+      continue;
+    }
     if (line == "trace-begin") {
       inTrace = true;
+      continue;
+    }
+    if (line == "trace-events-begin") {
+      inTraceJson = true;
       continue;
     }
     std::istringstream iss(line);

@@ -71,6 +71,9 @@ struct Counterexample {
   std::string detail;
   std::vector<std::size_t> schedule;  ///< forced choice at each branch
   std::string trace;                  ///< message deliveries, replay style
+  /// Chrome trace_event JSON of the violating path (txn/lock-mode spans,
+  /// reject/wakeup/directory instants). Empty unless built with LKTM_TRACE.
+  std::string traceJson;
 };
 
 struct CheckResult {
@@ -105,6 +108,7 @@ class ModelChecker {
   struct PathOutcome {
     std::vector<Violation> violations;
     std::string trace;
+    std::string traceJson;  ///< Chrome JSON, filled on violation (LKTM_TRACE)
     bool pruned = false;
     bool truncated = false;
     std::uint64_t events = 0;

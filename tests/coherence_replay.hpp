@@ -193,8 +193,8 @@ inline std::string directoryReplayTrace() {
     trace += line.str();
   }
   std::ostringstream tail;
-  tail << "llcHits=" << dir.counters().llcHits << " llcMisses=" << dir.counters().llcMisses
-       << " writebacks=" << dir.counters().writebacks << " sigRejects=" << dir.sigRejects()
+  tail << "llcHits=" << dir.llcHits() << " llcMisses=" << dir.llcMisses()
+       << " writebacks=" << dir.writebacks() << " sigRejects=" << dir.sigRejects()
        << " busyLines=" << dir.busyLines() << "\n";
   trace += tail.str();
   return trace;
@@ -225,12 +225,12 @@ inline std::string fullSimFingerprint() {
     });
     std::ostringstream line;
     line << c.system << "/" << c.workload << "/t" << c.threads
-         << " cycles=" << r.cycles << " commits=" << r.tx.htmCommits << "/"
-         << r.tx.lockCommits << "/" << r.tx.stlCommits << " aborts=" << r.tx.aborts
-         << " rejects=" << r.tx.rejectsSent << " wakeups=" << r.tx.wakeupsSent
-         << " sig=" << r.tx.sigRejects << " llc=" << r.protocol.llcHits << "/"
-         << r.protocol.llcMisses << " wb=" << r.protocol.writebacks
-         << " msgs=" << r.protocol.messages << " ok=" << (r.ok() ? 1 : 0) << "\n";
+         << " cycles=" << r.cycles << " commits=" << r.htmCommits() << "/"
+         << r.lockCommits() << "/" << r.stlCommits() << " aborts=" << r.aborts()
+         << " rejects=" << r.rejectsSent() << " wakeups=" << r.wakeupsSent()
+         << " sig=" << r.sigRejects() << " llc=" << r.llcHits() << "/"
+         << r.llcMisses() << " wb=" << r.writebacks()
+         << " msgs=" << r.messages() << " ok=" << (r.ok() ? 1 : 0) << "\n";
     out += line.str();
   }
   return out;

@@ -95,8 +95,8 @@ TEST(Fig9, HtmLockReducesWaitLockTime) {
   for (const char* w : {"vacation+", "intruder"}) {
     const auto rwi = run("Lockiller-RWI", w, 16);
     const auto rwil = run("Lockiller-RWIL", w, 16);
-    const double rwiWait = rwi.breakdown.fraction(TimeCat::WaitLock);
-    const double rwilWait = rwil.breakdown.fraction(TimeCat::WaitLock);
+    const double rwiWait = rwi.breakdown().fraction(TimeCat::WaitLock);
+    const double rwilWait = rwil.breakdown().fraction(TimeCat::WaitLock);
     EXPECT_LE(rwilWait, rwiWait) << w;
   }
 }
@@ -107,27 +107,27 @@ TEST(Fig10, HtmLockEliminatesMutexAborts) {
   for (const char* w : {"intruder", "yada", "labyrinth"}) {
     const auto base = run("Baseline", w, 2);
     const auto rwil = run("Lockiller-RWIL", w, 2);
-    EXPECT_GT(base.tx.abortCount(AbortCause::Mutex) +
-                  base.tx.abortCount(AbortCause::LockConflict),
+    EXPECT_GT(base.abortCount(AbortCause::Mutex) +
+                  base.abortCount(AbortCause::LockConflict),
               0u)
         << w << ": baseline should see fallback-induced aborts";
-    EXPECT_EQ(rwil.tx.abortCount(AbortCause::Mutex), 0u) << w;
+    EXPECT_EQ(rwil.abortCount(AbortCause::Mutex), 0u) << w;
   }
 }
 
 TEST(Fig10, SwitchingModeReducesOverflowAborts) {
   const auto rwil = run("Lockiller-RWIL", "labyrinth", 2);
   const auto lk = run("LockillerTM", "labyrinth", 2);
-  EXPECT_LT(lk.tx.abortCount(AbortCause::Overflow),
-            rwil.tx.abortCount(AbortCause::Overflow));
-  EXPECT_GT(lk.tx.stlCommits, 0u);
-  EXPECT_GT(lk.tx.switchGrants, 0u);
+  EXPECT_LT(lk.abortCount(AbortCause::Overflow),
+            rwil.abortCount(AbortCause::Overflow));
+  EXPECT_GT(lk.stlCommits(), 0u);
+  EXPECT_GT(lk.switchGrants(), 0u);
 }
 
 // Fig 11: successful switches appear as `switchLock` execution time.
 TEST(Fig11, SwitchLockTimeAppears) {
   const auto lk = run("LockillerTM", "labyrinth", 2);
-  EXPECT_GT(lk.breakdown.cycles[static_cast<std::size_t>(TimeCat::SwitchLock)], 0u);
+  EXPECT_GT(lk.breakdown().cycles[static_cast<std::size_t>(TimeCat::SwitchLock)], 0u);
 }
 
 // Fig 12: LockillerTM edges out the LosaTM-SAFU comparator on average.

@@ -34,7 +34,7 @@ TEST_P(MatrixTest, CompletesCoherentlyAndAtomically) {
   const auto r = run(c.system, c.workload, c.threads);
   EXPECT_TRUE(r.ok()) << r.str();
   EXPECT_GT(r.cycles, 0u);
-  EXPECT_GT(r.tx.totalCommits() + r.tx.htmCommits, 0u);
+  EXPECT_GT(r.totalCommits() + r.htmCommits(), 0u);
 }
 
 std::vector<MatrixCase> matrixCases() {
@@ -67,10 +67,10 @@ TEST(Integration, DeterministicAcrossRuns) {
   const auto a = run("LockillerTM", "intruder", 8);
   const auto b = run("LockillerTM", "intruder", 8);
   EXPECT_EQ(a.cycles, b.cycles);
-  EXPECT_EQ(a.tx.htmCommits, b.tx.htmCommits);
-  EXPECT_EQ(a.tx.aborts, b.tx.aborts);
-  EXPECT_EQ(a.tx.rejectsSent, b.tx.rejectsSent);
-  EXPECT_EQ(a.protocol.messages, b.protocol.messages);
+  EXPECT_EQ(a.htmCommits(), b.htmCommits());
+  EXPECT_EQ(a.aborts(), b.aborts());
+  EXPECT_EQ(a.rejectsSent(), b.rejectsSent());
+  EXPECT_EQ(a.messages(), b.messages());
 }
 
 TEST(Integration, DeterministicUnderAllPolicies) {
@@ -78,7 +78,7 @@ TEST(Integration, DeterministicUnderAllPolicies) {
     const auto a = run(sys.name, "vacation+", 4);
     const auto b = run(sys.name, "vacation+", 4);
     EXPECT_EQ(a.cycles, b.cycles) << sys.name;
-    EXPECT_EQ(a.tx.aborts, b.tx.aborts) << sys.name;
+    EXPECT_EQ(a.aborts(), b.aborts()) << sys.name;
   }
 }
 
@@ -86,8 +86,8 @@ TEST(Integration, SmallCacheStressesOverflowButStaysCorrect) {
   for (const char* sys : {"Baseline", "Lockiller-RWIL", "LockillerTM"}) {
     const auto r = run(sys, "labyrinth", 4, MachineParams::smallCache());
     EXPECT_TRUE(r.ok()) << r.str();
-    EXPECT_GT(r.tx.abortCount(AbortCause::Overflow) + r.tx.stlCommits +
-                  r.tx.lockCommits,
+    EXPECT_GT(r.abortCount(AbortCause::Overflow) + r.stlCommits() +
+                  r.lockCommits(),
               0u)
         << sys << ": 8KB L1 must trigger the overflow machinery";
   }
@@ -96,8 +96,8 @@ TEST(Integration, SmallCacheStressesOverflowButStaysCorrect) {
 TEST(Integration, LargeCacheRemovesMostOverflow) {
   const auto small = run("Baseline", "labyrinth", 2, MachineParams::smallCache());
   const auto large = run("Baseline", "labyrinth", 2, MachineParams::largeCache());
-  EXPECT_LT(large.tx.abortCount(AbortCause::Overflow),
-            small.tx.abortCount(AbortCause::Overflow));
+  EXPECT_LT(large.abortCount(AbortCause::Overflow),
+            small.abortCount(AbortCause::Overflow));
 }
 
 TEST(Integration, ThreadScalingKeepsTotalWork) {
@@ -105,7 +105,7 @@ TEST(Integration, ThreadScalingKeepsTotalWork) {
   // thread count (lock commits + htm commits + stl commits).
   const auto a = run("LockillerTM", "ssca2", 2);
   const auto b = run("LockillerTM", "ssca2", 16);
-  EXPECT_EQ(a.tx.totalCommits(), b.tx.totalCommits());
+  EXPECT_EQ(a.totalCommits(), b.totalCommits());
 }
 
 TEST(Integration, SweepRunnerPreservesOrderAndLabels) {
@@ -173,12 +173,12 @@ TEST(Integration, BreakdownAccountsForAllCycles) {
   const auto r = run("LockillerTM", "vacation-", 4);
   ASSERT_TRUE(r.ok()) << r.str();
   // Every thread's breakdown sums to <= wall-clock; total > 0.
-  ASSERT_EQ(r.perThread.size(), 4u);
-  for (const auto& bd : r.perThread) {
+  for (unsigned tid = 0; tid < 4; ++tid) {
+    const cfg::TimeBreakdown bd = r.threadBreakdown(tid);
     EXPECT_LE(bd.total(), r.cycles);
     EXPECT_GT(bd.total(), 0u);
   }
-  EXPECT_GT(r.breakdown.total(), 0u);
+  EXPECT_GT(r.breakdown().total(), 0u);
 }
 
 TEST(Integration, Table2RegistryMatchesPaper) {

@@ -213,10 +213,10 @@ TEST(KernelContext, ReusedContextMatchesFreshRun) {
   ASSERT_TRUE(fresh.ok());
   ASSERT_TRUE(reused.ok());
   EXPECT_EQ(fresh.cycles, reused.cycles);
-  EXPECT_EQ(fresh.tx.htmCommits, reused.tx.htmCommits);
-  EXPECT_EQ(fresh.tx.lockCommits, reused.tx.lockCommits);
-  EXPECT_EQ(fresh.tx.aborts, reused.tx.aborts);
-  EXPECT_EQ(fresh.protocol.messages, reused.protocol.messages);
+  EXPECT_EQ(fresh.htmCommits(), reused.htmCommits());
+  EXPECT_EQ(fresh.lockCommits(), reused.lockCommits());
+  EXPECT_EQ(fresh.aborts(), reused.aborts());
+  EXPECT_EQ(fresh.messages(), reused.messages());
 }
 
 TEST(KernelContext, PoolsSurviveBeginRun) {

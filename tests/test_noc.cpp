@@ -99,13 +99,19 @@ TEST(Mesh, CountsFlitHops) {
   sim::SimContext sc;
   sim::Engine& e = sc.engine();
   MeshNetwork net(sc, {});
-  stats::ProtocolCounters c;
-  net.attachCounters(&c);
   net.send(0, 2, kDataFlits, [] {});
   e.queue().runUntilDrained(1000);
-  EXPECT_EQ(c.messages, 1u);
-  EXPECT_EQ(c.dataMessages, 1u);
-  EXPECT_EQ(c.flitHops, kDataFlits * 3u);  // (2 hops + injection) * 5 flits
+  const stats::StatSnapshot snap = sc.stats().snapshot();
+  EXPECT_EQ(snap.value("noc.messages"), 1u);
+  EXPECT_EQ(snap.value("noc.data_messages"), 1u);
+  EXPECT_EQ(snap.value("noc.flit_hops"), kDataFlits * 3u);  // (2 hops + injection) * 5 flits
+  // The hop histogram saw exactly one 2-hop message, and the formula stat
+  // derives flit-hops per message from the same counters.
+  const stats::SnapshotEntry* h = snap.find("noc.hops");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_EQ(h->sum, 2u);
+  EXPECT_DOUBLE_EQ(snap.number("noc.avg_flit_hops_per_msg"), kDataFlits * 3.0);
 }
 
 TEST(Ideal, FixedLatency) {

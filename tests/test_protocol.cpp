@@ -239,8 +239,8 @@ TEST(Protocol, CountersTrackHitsAndMisses) {
   sys.load(0, kA);
   sys.load(0, kA);
   sys.load(0, kA);
-  EXPECT_EQ(sys.l1(0).counters().l1Misses, 1u);
-  EXPECT_EQ(sys.l1(0).counters().l1Hits, 2u);
+  EXPECT_EQ(sys.l1(0).misses(), 1u);
+  EXPECT_EQ(sys.l1(0).hits(), 2u);
 }
 
 }  // namespace

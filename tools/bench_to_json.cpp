@@ -8,207 +8,28 @@
 // speedup column (baseline_ns / current_ns) per benchmark. The kernel PR's
 // acceptance gate — >=1.5x on the event-queue and mesh micros — is evaluated
 // into the report's "summary" block so CI can grep a single line.
-#include <cctype>
+//
+// Parsing and emission ride the instrumentation spine's shared JSON layer
+// (stats/json.hpp): same reader as validate_stats_json, locale-independent
+// writer. The output is stamped "schema": "lktm.bench.v1", and a "schema"
+// field found in the baseline file is passed through as "baseline_schema".
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <memory>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
-#include <vector>
+
+#include "stats/json.hpp"
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON reader. Only what the two input formats
-// need: objects, arrays, strings, numbers, true/false/null. No escapes beyond
-// the common ones; benchmark names never use exotic ones.
+using lktm::stats::json::Value;
+using lktm::stats::json::Writer;
 
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;
-  std::shared_ptr<JsonArray> array;
-  std::shared_ptr<JsonObject> object;
-
-  const JsonValue* find(const std::string& key) const {
-    if (kind != Kind::Object || object == nullptr) return nullptr;
-    const auto it = object->find(key);
-    return it == object->end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string src) : src_(std::move(src)) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skipWs();
-    if (pos_ != src_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("JSON parse error at byte " + std::to_string(pos_) +
-                             ": " + why);
-  }
-
-  void skipWs() {
-    while (pos_ < src_.size() &&
-           std::isspace(static_cast<unsigned char>(src_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= src_.size()) fail("unexpected end of input");
-    return src_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    skipWs();
-    switch (peek()) {
-      case '{': return objectValue();
-      case '[': return arrayValue();
-      case '"': return stringValue();
-      case 't': return literal("true", boolValue(true));
-      case 'f': return literal("false", boolValue(false));
-      case 'n': return literal("null", JsonValue{});
-      default: return numberValue();
-    }
-  }
-
-  static JsonValue boolValue(bool b) {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Bool;
-    v.boolean = b;
-    return v;
-  }
-
-  JsonValue literal(const std::string& word, JsonValue v) {
-    if (src_.compare(pos_, word.size(), word) != 0) fail("bad literal");
-    pos_ += word.size();
-    return v;
-  }
-
-  JsonValue stringValue() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= src_.size()) fail("unterminated string");
-      const char c = src_[pos_++];
-      if (c == '"') break;
-      if (c == '\\') {
-        if (pos_ >= src_.size()) fail("bad escape");
-        const char e = src_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u':
-            // Benchmark names are ASCII; keep the raw sequence readable.
-            if (pos_ + 4 > src_.size()) fail("bad \\u escape");
-            out += "\\u" + src_.substr(pos_, 4);
-            pos_ += 4;
-            break;
-          default: fail("unknown escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    JsonValue v;
-    v.kind = JsonValue::Kind::String;
-    v.text = std::move(out);
-    return v;
-  }
-
-  JsonValue numberValue() {
-    const std::size_t start = pos_;
-    while (pos_ < src_.size() &&
-           (std::isdigit(static_cast<unsigned char>(src_[pos_])) != 0 ||
-            src_[pos_] == '-' || src_[pos_] == '+' || src_[pos_] == '.' ||
-            src_[pos_] == 'e' || src_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::Number;
-    v.number = std::stod(src_.substr(start, pos_ - start));
-    return v;
-  }
-
-  JsonValue arrayValue() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::Array;
-    v.array = std::make_shared<JsonArray>();
-    skipWs();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array->push_back(value());
-      skipWs();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  JsonValue objectValue() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::Object;
-    v.object = std::make_shared<JsonObject>();
-    skipWs();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skipWs();
-      JsonValue key = stringValue();
-      skipWs();
-      expect(':');
-      (*v.object)[key.text] = value();
-      skipWs();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  std::string src_;
-  std::size_t pos_ = 0;
-};
+constexpr const char* kBenchSchema = "lktm.bench.v1";
 
 std::string readFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -226,8 +47,6 @@ double toNs(double t, const std::string& unit) {
   throw std::runtime_error("unknown time_unit '" + unit + "'");
 }
 
-// ---------------------------------------------------------------------------
-
 struct Measurement {
   double realTimeNs = 0.0;
   std::optional<double> itemsPerSecond;
@@ -237,26 +56,26 @@ struct Measurement {
 /// run used --benchmark_repetitions, only the *_median aggregates are kept
 /// (and the suffix is stripped so names join against the baseline); plain
 /// single-run entries are used otherwise.
-std::map<std::string, Measurement> readBenchmarkRun(const JsonValue& root) {
-  const JsonValue* benches = root.find("benchmarks");
-  if (benches == nullptr || benches->kind != JsonValue::Kind::Array) {
+std::map<std::string, Measurement> readBenchmarkRun(const Value& root) {
+  const Value* benches = root.find("benchmarks");
+  if (benches == nullptr || !benches->isArray()) {
     throw std::runtime_error("benchmark output has no \"benchmarks\" array");
   }
   std::map<std::string, Measurement> plain;
   std::map<std::string, Measurement> medians;
-  for (const JsonValue& b : *benches->array) {
-    const JsonValue* name = b.find("name");
-    const JsonValue* realTime = b.find("real_time");
-    const JsonValue* unit = b.find("time_unit");
+  for (const Value& b : *benches->array) {
+    const Value* name = b.find("name");
+    const Value* realTime = b.find("real_time");
+    const Value* unit = b.find("time_unit");
     if (name == nullptr || realTime == nullptr || unit == nullptr) continue;
     Measurement m;
     m.realTimeNs = toNs(realTime->number, unit->text);
-    if (const JsonValue* ips = b.find("items_per_second");
-        ips != nullptr && ips->kind == JsonValue::Kind::Number) {
+    if (const Value* ips = b.find("items_per_second");
+        ips != nullptr && ips->isNumber()) {
       m.itemsPerSecond = ips->number;
     }
-    const JsonValue* aggregate = b.find("aggregate_name");
-    if (aggregate != nullptr && aggregate->kind == JsonValue::Kind::String) {
+    const Value* aggregate = b.find("aggregate_name");
+    if (aggregate != nullptr && aggregate->isString()) {
       if (aggregate->text == "median") {
         std::string n = name->text;
         if (const auto pos = n.rfind("_median"); pos != std::string::npos) {
@@ -271,25 +90,17 @@ std::map<std::string, Measurement> readBenchmarkRun(const JsonValue& root) {
   return medians.empty() ? plain : medians;
 }
 
-std::map<std::string, double> readBaseline(const JsonValue& root) {
+std::map<std::string, double> readBaseline(const Value& root) {
   std::map<std::string, double> out;
-  const JsonValue* benches = root.find("benchmarks");
-  if (benches == nullptr || benches->kind != JsonValue::Kind::Object) return out;
+  const Value* benches = root.find("benchmarks");
+  if (benches == nullptr || !benches->isObject()) return out;
   for (const auto& [name, entry] : *benches->object) {
-    if (const JsonValue* ns = entry.find("real_time_ns");
-        ns != nullptr && ns->kind == JsonValue::Kind::Number) {
+    if (const Value* ns = entry.find("real_time_ns");
+        ns != nullptr && ns->isNumber()) {
       out[name] = ns->number;
     }
   }
   return out;
-}
-
-std::string jsonNumber(double v) {
-  if (!std::isfinite(v)) return "null";
-  std::ostringstream ss;
-  ss.precision(6);
-  ss << std::fixed << v;
-  return ss.str();
 }
 
 /// Benchmarks whose speedup vs the seed baseline gates this PR.
@@ -315,8 +126,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    const JsonValue run = JsonParser(readFile(argv[1])).parse();
-    const JsonValue base = JsonParser(readFile(argv[2])).parse();
+    const Value run = lktm::stats::json::parse(readFile(argv[1]));
+    const Value base = lktm::stats::json::parse(readFile(argv[2]));
     const auto measurements = readBenchmarkRun(run);
     const auto baseline = readBaseline(base);
     if (measurements.empty()) {
@@ -326,43 +137,48 @@ int main(int argc, char** argv) {
     bool gatePassed = true;
     unsigned gateCount = 0;
     std::ostringstream out;
-    out << "{\n  \"baseline\": \"" << argv[2] << "\",\n";
-    out << "  \"required_speedup\": " << jsonNumber(kRequiredSpeedup) << ",\n";
-    out << "  \"benchmarks\": {\n";
-    bool first = true;
+    Writer w(out, /*pretty=*/true);
+    w.beginObject();
+    w.field("schema", kBenchSchema);
+    if (const Value* baseSchema = base.find("schema");
+        baseSchema != nullptr && baseSchema->isString()) {
+      w.field("baseline_schema", baseSchema->text);
+    }
+    w.field("baseline", argv[2]);
+    w.field("required_speedup", kRequiredSpeedup);
+    w.key("benchmarks");
+    w.beginObject();
     for (const auto& [name, m] : measurements) {
-      if (!first) out << ",\n";
-      first = false;
-      out << "    \"" << name << "\": {\n";
-      out << "      \"real_time_ns\": " << jsonNumber(m.realTimeNs);
-      if (m.itemsPerSecond) {
-        out << ",\n      \"items_per_second\": " << jsonNumber(*m.itemsPerSecond);
-      }
+      w.key(name);
+      w.beginObject();
+      w.field("real_time_ns", m.realTimeNs);
+      if (m.itemsPerSecond) w.field("items_per_second", *m.itemsPerSecond);
       const auto it = baseline.find(name);
       if (it != baseline.end() && m.realTimeNs > 0.0) {
         const double speedup = it->second / m.realTimeNs;
-        out << ",\n      \"baseline_ns\": " << jsonNumber(it->second);
-        out << ",\n      \"speedup\": " << jsonNumber(speedup);
+        w.field("baseline_ns", it->second);
+        w.field("speedup", speedup);
         if (isGated(name)) {
           ++gateCount;
           const bool ok = speedup >= kRequiredSpeedup;
           gatePassed = gatePassed && ok;
-          out << ",\n      \"gated\": true";
-          out << ",\n      \"gate_passed\": " << (ok ? "true" : "false");
+          w.field("gated", true);
+          w.field("gate_passed", ok);
         }
       }
-      out << "\n    }";
+      w.endObject();
     }
-    out << "\n  },\n";
-    out << "  \"summary\": {\n";
-    out << "    \"gated_benchmarks\": " << gateCount << ",\n";
-    out << "    \"gate_passed\": "
-        << ((gatePassed && gateCount > 0) ? "true" : "false") << "\n";
-    out << "  }\n}\n";
+    w.endObject();
+    w.key("summary");
+    w.beginObject();
+    w.field("gated_benchmarks", gateCount);
+    w.field("gate_passed", gatePassed && gateCount > 0);
+    w.endObject();
+    w.endObject();
 
     std::ofstream os(argv[3], std::ios::binary);
     if (!os) throw std::runtime_error(std::string("cannot write ") + argv[3]);
-    os << out.str();
+    os << out.str() << "\n";
     std::cout << "wrote " << argv[3] << " (" << measurements.size()
               << " benchmarks, gate "
               << ((gatePassed && gateCount > 0) ? "PASSED" : "FAILED") << ")\n";

@@ -11,8 +11,10 @@
 #include <cstring>
 #include <string>
 
+#include "config/artifact.hpp"
 #include "config/runner.hpp"
 #include "config/systems.hpp"
+#include "sim/trace.hpp"
 #include "stats/report.hpp"
 #include "workloads/micro.hpp"
 #include "workloads/workload.hpp"
@@ -32,6 +34,9 @@ void usage() {
       "  --machine M            typical | small | large (default typical)\n"
       "  --seed N               workload generation seed (default 11)\n"
       "  --breakdown            print the per-category time breakdown\n"
+      "  --stats-json PATH      write the lktm.stats.v1 artifact to PATH\n"
+      "  --trace PATH           write a Chrome trace_event JSON to PATH\n"
+      "                         (needs a -DLKTM_TRACE=ON build to record)\n"
       "  --switch-on-fault      enable the switch-on-fault extension\n"
       "  --ideal-net            contention-free network (ablation)\n"
       "  --no-check             skip coherence checker + invariants\n");
@@ -54,6 +59,8 @@ int main(int argc, char** argv) {
   unsigned threads = 8;
   std::uint64_t seed = 11;
   bool breakdown = false;
+  std::string statsJsonPath;
+  std::string tracePath;
   bool switchOnFault = false;
   bool idealNet = false;
   bool check = true;
@@ -88,6 +95,10 @@ int main(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (a == "--breakdown") {
       breakdown = true;
+    } else if (a == "--stats-json") {
+      statsJsonPath = next();
+    } else if (a == "--trace") {
+      tracePath = next();
     } else if (a == "--switch-on-fault") {
       switchOnFault = true;
     } else if (a == "--ideal-net") {
@@ -127,6 +138,17 @@ int main(int argc, char** argv) {
   rc.runCoherenceChecker = check;
   rc.verifyWorkload = check;
 
+  sim::TraceSink sink;
+  if (!tracePath.empty()) {
+    if (!sim::kTraceEnabled) {
+      std::fprintf(stderr,
+                   "note: this build has tracing compiled out; %s will hold an "
+                   "empty trace (reconfigure with -DLKTM_TRACE=ON)\n",
+                   tracePath.c_str());
+    }
+    rc.traceSink = &sink;
+  }
+
   cfg::RunResult r;
   try {
     r = cfg::runSimulation(rc, [&] { return makeWorkload(workload, seed); });
@@ -140,39 +162,53 @@ int main(int argc, char** argv) {
   stats::Table t({"metric", "value"});
   t.addRow({"cycles", std::to_string(r.cycles)});
   t.addRow({"commit rate", stats::Table::pct(r.commitRate())});
-  t.addRow({"htm commits", std::to_string(r.tx.htmCommits)});
-  t.addRow({"lock commits", std::to_string(r.tx.lockCommits)});
-  t.addRow({"stl commits", std::to_string(r.tx.stlCommits)});
-  t.addRow({"aborts", std::to_string(r.tx.aborts)});
+  t.addRow({"htm commits", std::to_string(r.htmCommits())});
+  t.addRow({"lock commits", std::to_string(r.lockCommits())});
+  t.addRow({"stl commits", std::to_string(r.stlCommits())});
+  t.addRow({"aborts", std::to_string(r.aborts())});
   for (auto cause : {AbortCause::MemConflict, AbortCause::LockConflict,
                      AbortCause::Mutex, AbortCause::NonTran, AbortCause::Overflow,
                      AbortCause::Fault, AbortCause::Explicit}) {
-    const auto n = r.tx.abortCount(cause);
+    const auto n = r.abortCount(cause);
     if (n != 0) t.addRow({std::string("  abort/") + toString(cause), std::to_string(n)});
   }
-  t.addRow({"rejects sent", std::to_string(r.tx.rejectsSent)});
-  t.addRow({"sig rejects", std::to_string(r.tx.sigRejects)});
-  t.addRow({"switch attempts/grants", std::to_string(r.tx.switchAttempts) + "/" +
-                                          std::to_string(r.tx.switchGrants)});
-  t.addRow({"wakeups", std::to_string(r.tx.wakeupsSent)});
-  t.addRow({"net messages", std::to_string(r.protocol.messages)});
-  t.addRow({"flit-hops", std::to_string(r.protocol.flitHops)});
+  t.addRow({"rejects sent", std::to_string(r.rejectsSent())});
+  t.addRow({"sig rejects", std::to_string(r.sigRejects())});
+  t.addRow({"switch attempts/grants", std::to_string(r.switchAttempts()) + "/" +
+                                          std::to_string(r.switchGrants())});
+  t.addRow({"wakeups", std::to_string(r.wakeupsSent())});
+  t.addRow({"net messages", std::to_string(r.messages())});
+  t.addRow({"flit-hops", std::to_string(r.flitHops())});
   t.addRow({"L1 hit rate",
-            stats::Table::pct(r.protocol.l1Hits + r.protocol.l1Misses
-                                  ? double(r.protocol.l1Hits) /
-                                        (r.protocol.l1Hits + r.protocol.l1Misses)
+            stats::Table::pct(r.l1Hits() + r.l1Misses()
+                                  ? double(r.l1Hits()) /
+                                        double(r.l1Hits() + r.l1Misses())
                                   : 0.0)});
-  t.addRow({"writebacks", std::to_string(r.protocol.writebacks)});
+  t.addRow({"writebacks", std::to_string(r.writebacks())});
   std::printf("%s\n", t.str().c_str());
 
   if (breakdown) {
+    const cfg::TimeBreakdown bd = r.breakdown();
     stats::Table bt({"category", "fraction", ""});
     for (int c = 0; c < static_cast<int>(TimeCat::kCount); ++c) {
       const auto cat = static_cast<TimeCat>(c);
-      bt.addRow({toString(cat), stats::Table::pct(r.breakdown.fraction(cat)),
-                 stats::bar(r.breakdown.fraction(cat))});
+      bt.addRow({toString(cat), stats::Table::pct(bd.fraction(cat)),
+                 stats::bar(bd.fraction(cat))});
     }
     std::printf("%s\n", bt.str().c_str());
+  }
+
+  if (!statsJsonPath.empty()) {
+    if (!cfg::writeStatsJsonFile(statsJsonPath, r)) return 1;
+    std::printf("stats artifact: %s\n", statsJsonPath.c_str());
+  }
+  if (!tracePath.empty()) {
+    if (!sink.writeChromeJson(tracePath)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n", tracePath.c_str());
+      return 1;
+    }
+    std::printf("trace (%zu events): %s  [open in ui.perfetto.dev]\n",
+                sink.size(), tracePath.c_str());
   }
   return r.ok() ? 0 : 1;
 }

@@ -3,10 +3,12 @@
 # full test suite under both (tier-1 plus the fuzz and coherence-replay
 # determinism tests under ASan+UBSan), run the model-checker suite (ctest -L
 # verify: exhaustive lktm_check sweeps + test_verify) under both presets, run
-# clang-tidy over src/ when the tool is installed, then build the release tree
-# and run the gated kernel microbenchmarks (writes BENCH_kernel.json; fails if
-# any gated benchmark regresses below the required speedup against the
-# recorded baseline).
+# clang-tidy over src/ when the tool is installed, validate a --stats-json
+# artifact against the lktm.stats.v1 schema, build + test the trace preset
+# (LKTM_TRACE=ON), grep-gate bench/ against hand-scraped counter structs,
+# then build the release tree and run the gated kernel microbenchmarks
+# (writes BENCH_kernel.json; fails if any gated benchmark regresses below the
+# required speedup against the recorded baseline).
 #
 # Usage: tools/run_checks.sh [--no-bench]
 #   --no-bench   skip the release build + benchmark gate (tests only)
@@ -43,6 +45,24 @@ if command -v clang-tidy >/dev/null 2>&1; then
 else
   echo "clang-tidy not installed; skipping static-analysis stage"
 fi
+
+echo "== stats artifact: emit + validate (lktm.stats.v1) =="
+./build/tools/lktm-sim --system LockillerTM --workload counter --threads 4 \
+  --stats-json build/stats_check.json >/dev/null
+./build/tools/validate_stats_json build/stats_check.json
+
+echo "== grep gate: bench/ reads the stat registry, not ad-hoc counters =="
+if grep -rnE '\.tx\.|\.protocol\.(messages|flitHops|llc|l1|writebacks)|TxCounters|ProtocolCounters|BreakdownSummary' bench/; then
+  echo "bench/ still scrapes retired counter structs (see matches above)" >&2
+  exit 1
+fi
+
+echo "== configure + build: trace (LKTM_TRACE=ON) =="
+cmake --preset trace >/dev/null
+cmake --build build-trace -j "$JOBS"
+
+echo "== ctest: trace (full suite with tracing compiled in) =="
+ctest --preset trace
 
 echo "== configure + build: sanitize (ASan + UBSan) =="
 cmake --preset sanitize >/dev/null

@@ -1,0 +1,180 @@
+// validate_stats_json: check that a --stats-json artifact conforms to the
+// lktm.stats.v1 schema (see src/config/artifact.hpp). Used as a CI stage in
+// tools/run_checks.sh: lktm-sim writes an artifact, this tool validates it.
+//
+//   validate_stats_json <artifact.json> [more.json ...]
+//
+// Exit codes: 0 = every file validates, 1 = a file is invalid, 2 = usage /
+// unreadable file.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/artifact.hpp"
+#include "stats/json.hpp"
+
+namespace {
+
+using lktm::stats::json::Value;
+
+std::vector<std::string> g_errors;
+
+void fail(const std::string& what) { g_errors.push_back(what); }
+
+bool requireNumber(const Value& obj, const char* key, const std::string& where) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || !v->isNumber()) {
+    fail(where + ": missing or non-numeric \"" + key + "\"");
+    return false;
+  }
+  return true;
+}
+
+void checkStatEntry(const Value& e, const std::string& where) {
+  const Value* path = e.find("path");
+  const Value* kind = e.find("kind");
+  if (path == nullptr || !path->isString() || path->text.empty()) {
+    fail(where + ": stat entry without a \"path\" string");
+    return;
+  }
+  const std::string at = where + " stat \"" + path->text + "\"";
+  if (kind == nullptr || !kind->isString()) {
+    fail(at + ": missing \"kind\"");
+    return;
+  }
+  const std::string& k = kind->text;
+  if (k == "counter" || k == "formula") {
+    requireNumber(e, "value", at);
+  } else if (k == "distribution") {
+    for (const char* f : {"count", "sum", "min", "max"}) requireNumber(e, f, at);
+  } else if (k == "histogram") {
+    requireNumber(e, "count", at);
+    requireNumber(e, "sum", at);
+    const Value* buckets = e.find("buckets");
+    if (buckets == nullptr || !buckets->isArray()) {
+      fail(at + ": histogram without a \"buckets\" array");
+      return;
+    }
+    for (const Value& b : *buckets->array) {
+      if (!b.isArray() || b.array->size() != 2 || !b.array->at(0).isNumber() ||
+          !b.array->at(1).isNumber()) {
+        fail(at + ": bucket entries must be [bucket, count] pairs");
+        return;
+      }
+    }
+  } else {
+    fail(at + ": unknown kind \"" + k + "\"");
+  }
+}
+
+void checkRun(const Value& run, unsigned idx) {
+  const std::string where = "runs[" + std::to_string(idx) + "]";
+  for (const char* key : {"system", "workload", "machine"}) {
+    const Value* v = run.find(key);
+    if (v == nullptr || !v->isString()) {
+      fail(where + ": missing or non-string \"" + key + "\"");
+    }
+  }
+  for (const char* key : {"threads", "cycles", "wall_seconds"}) {
+    requireNumber(run, key, where);
+  }
+  for (const char* key : {"ok", "hang"}) {
+    const Value* v = run.find(key);
+    if (v == nullptr || v->kind != Value::Kind::Bool) {
+      fail(where + ": missing or non-boolean \"" + key + "\"");
+    }
+  }
+  const Value* violations = run.find("violations");
+  if (violations == nullptr || !violations->isArray()) {
+    fail(where + ": missing \"violations\" array");
+  }
+  const Value* derived = run.find("derived");
+  if (derived == nullptr || !derived->isObject()) {
+    fail(where + ": missing \"derived\" object");
+  } else {
+    for (const char* key : {"commit_rate", "total_commits", "htm_commits",
+                            "lock_commits", "stl_commits", "aborts"}) {
+      requireNumber(*derived, key, where + ".derived");
+    }
+  }
+  const Value* stats = run.find("stats");
+  if (stats == nullptr || !stats->isArray()) {
+    fail(where + ": missing \"stats\" array");
+    return;
+  }
+  std::string prev;
+  std::set<std::string> seen;
+  for (const Value& e : *stats->array) {
+    checkStatEntry(e, where);
+    const Value* path = e.find("path");
+    if (path == nullptr || !path->isString()) continue;
+    if (!seen.insert(path->text).second) {
+      fail(where + ": duplicate stat path \"" + path->text + "\"");
+    }
+    if (!prev.empty() && path->text < prev) {
+      fail(where + ": stats not path-sorted (\"" + path->text + "\" after \"" +
+           prev + "\")");
+    }
+    prev = path->text;
+  }
+}
+
+bool validateFile(const std::string& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "validate_stats_json: cannot open %s\n", file.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  g_errors.clear();
+  Value doc;
+  try {
+    doc = lktm::stats::json::parse(ss.str());
+  } catch (const std::exception& e) {
+    fail(e.what());
+  }
+  if (g_errors.empty()) {
+    const Value* schema = doc.find("schema");
+    if (schema == nullptr || !schema->isString()) {
+      fail("missing \"schema\" string");
+    } else if (schema->text != lktm::cfg::kStatsSchema) {
+      fail("schema is \"" + schema->text + "\", expected \"" +
+           lktm::cfg::kStatsSchema + "\"");
+    }
+    const Value* runs = doc.find("runs");
+    if (runs == nullptr || !runs->isArray()) {
+      fail("missing \"runs\" array");
+    } else {
+      if (runs->array->empty()) fail("\"runs\" is empty");
+      for (unsigned i = 0; i < runs->array->size(); ++i) {
+        checkRun(runs->array->at(i), i);
+      }
+    }
+  }
+
+  if (g_errors.empty()) {
+    std::printf("%s: OK (%s)\n", file.c_str(), lktm::cfg::kStatsSchema);
+    return true;
+  }
+  for (const std::string& e : g_errors) {
+    std::fprintf(stderr, "%s: %s\n", file.c_str(), e.c_str());
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: validate_stats_json <artifact.json> [...]\n");
+    return 2;
+  }
+  bool allOk = true;
+  for (int i = 1; i < argc; ++i) allOk = validateFile(argv[i]) && allOk;
+  return allOk ? 0 : 1;
+}

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <iostream>
 #include <locale>
+#include <sstream>
+#include <stdexcept>
 
 #include "stats/tx_stats.hpp"
 
@@ -55,9 +57,12 @@ void writeRun(stats::json::Writer& w, const RunResult& r) {
   w.field("workload", r.workload);
   w.field("machine", r.machine);
   w.field("threads", r.threads);
+  w.field("seed", r.seed);
   w.field("cycles", r.cycles);
   w.field("ok", r.ok());
-  w.field("hang", r.hang);
+  w.field("status", toString(r.status));
+  w.field("hang", r.hang());
+  w.field("diagnostic", r.diagnostic);
   w.field("wall_seconds", r.wallSeconds);
   w.key("violations");
   w.beginArray();
@@ -105,6 +110,100 @@ bool writeStatsJsonFile(const std::string& path, const RunResult& run) {
   }
   writeStatsJson(out, run);
   return static_cast<bool>(out);
+}
+
+namespace {
+
+using stats::json::asU64;
+using stats::json::Value;
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("malformed stats artifact: " + what);
+}
+
+const Value& need(const Value& obj, const char* key) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) malformed(std::string("missing \"") + key + "\"");
+  return *v;
+}
+
+stats::SnapshotEntry snapshotEntryFromJson(const Value& e) {
+  stats::SnapshotEntry out;
+  out.path = need(e, "path").text;
+  const std::string& kind = need(e, "kind").text;
+  if (kind == "counter") {
+    out.kind = stats::StatKind::Counter;
+    out.value = asU64(need(e, "value"));
+  } else if (kind == "histogram") {
+    out.kind = stats::StatKind::Histogram;
+    out.count = asU64(need(e, "count"));
+    out.sum = asU64(need(e, "sum"));
+    const Value& buckets = need(e, "buckets");
+    if (!buckets.isArray()) malformed(out.path + ": buckets is not an array");
+    for (const Value& b : *buckets.array) {
+      if (!b.isArray() || b.array->size() != 2) {
+        malformed(out.path + ": bucket entries must be [bucket, count] pairs");
+      }
+      out.buckets.emplace_back(static_cast<unsigned>(asU64(b.array->at(0))),
+                               asU64(b.array->at(1)));
+    }
+  } else if (kind == "distribution") {
+    out.kind = stats::StatKind::Distribution;
+    out.count = asU64(need(e, "count"));
+    out.sum = asU64(need(e, "sum"));
+    out.min = asU64(need(e, "min"));
+    out.max = asU64(need(e, "max"));
+  } else if (kind == "formula") {
+    out.kind = stats::StatKind::Formula;
+    out.number = need(e, "value").number;
+  } else {
+    malformed(out.path + ": unknown stat kind \"" + kind + "\"");
+  }
+  return out;
+}
+
+}  // namespace
+
+RunResult runResultFromJson(const Value& run) {
+  if (!run.isObject()) malformed("run entry is not an object");
+  RunResult r;
+  r.system = need(run, "system").text;
+  r.workload = need(run, "workload").text;
+  r.machine = need(run, "machine").text;
+  r.threads = static_cast<unsigned>(asU64(need(run, "threads")));
+  r.seed = asU64(need(run, "seed"));
+  r.cycles = asU64(need(run, "cycles"));
+  if (!runStatusFromString(need(run, "status").text, r.status)) {
+    malformed("unknown run status \"" + need(run, "status").text + "\"");
+  }
+  r.diagnostic = need(run, "diagnostic").text;
+  r.wallSeconds = need(run, "wall_seconds").number;
+  const Value& violations = need(run, "violations");
+  if (!violations.isArray()) malformed("violations is not an array");
+  for (const Value& v : *violations.array) r.violations.push_back(v.text);
+  const Value& statsArr = need(run, "stats");
+  if (!statsArr.isArray()) malformed("stats is not an array");
+  for (const Value& e : *statsArr.array) {
+    r.stats.add(snapshotEntryFromJson(e));
+  }
+  return r;
+}
+
+RunResult loadStatsArtifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open stats artifact: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const Value doc = stats::json::parse(ss.str());
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || schema->text != kStatsSchema) {
+    malformed(path + ": not a " + std::string(kStatsSchema) + " document");
+  }
+  const Value* runs = doc.find("runs");
+  if (runs == nullptr || !runs->isArray() || runs->array->size() != 1) {
+    malformed(path + ": expected exactly one run");
+  }
+  return runResultFromJson(runs->array->at(0));
 }
 
 }  // namespace lktm::cfg

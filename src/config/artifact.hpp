@@ -6,7 +6,11 @@
 //     "schema": "lktm.stats.v1",
 //     "runs": [ {
 //       "system": ..., "workload": ..., "machine": ..., "threads": N,
-//       "cycles": N, "ok": bool, "hang": bool, "wall_seconds": f,
+//       "seed": N, "cycles": N, "ok": bool,
+//       "status": "ok" | "failed" | "hang" | "timeout",
+//       "hang": bool,                  // status == "hang" (legacy consumers)
+//       "diagnostic": "...",           // failure detail, "" when ok
+//       "wall_seconds": f,
 //       "violations": [ ... ],
 //       "derived": { "commit_rate": f, "total_commits": N, ... },
 //       "stats": [ {"path": "core.0.commits.htm", "kind": "counter",
@@ -46,5 +50,16 @@ void writeStatsJson(std::ostream& os, const RunResult& run);
 /// Write the artifact to `path`; returns false (with a message on stderr)
 /// when the file cannot be opened.
 bool writeStatsJsonFile(const std::string& path, const RunResult& run);
+
+/// Rebuild a RunResult from one parsed "runs" entry — the inverse of the
+/// writer as far as a dump allows (formula stats come back as plain values;
+/// that is also what snapshot merging already assumes). Throws
+/// std::runtime_error on a malformed entry.
+RunResult runResultFromJson(const stats::json::Value& run);
+
+/// Load a single-run artifact file written by writeStatsJsonFile. Throws
+/// std::runtime_error when the file is unreadable or not a one-run
+/// lktm.stats.v1 document.
+RunResult loadStatsArtifact(const std::string& path);
 
 }  // namespace lktm::cfg

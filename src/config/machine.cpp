@@ -1,6 +1,7 @@
 #include "config/machine.hpp"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace lktm::cfg {
 
@@ -36,6 +37,13 @@ std::string MachineParams::describe() const {
     oss << "mesh " << mesh.rows << "x" << mesh.cols;
   }
   return oss.str();
+}
+
+MachineParams machineByName(const std::string& name) {
+  if (name == "typical") return MachineParams::typical();
+  if (name == "small-cache" || name == "small") return MachineParams::smallCache();
+  if (name == "large-cache" || name == "large") return MachineParams::largeCache();
+  throw std::invalid_argument("unknown machine: " + name);
 }
 
 }  // namespace lktm::cfg

@@ -35,4 +35,9 @@ struct MachineParams {
   std::string describe() const;
 };
 
+/// Look up a machine preset by name: "typical", "small-cache" (alias
+/// "small"), "large-cache" (alias "large"). Throws std::invalid_argument on
+/// an unknown name. The sweep manifest stores machines by these names.
+MachineParams machineByName(const std::string& name);
+
 }  // namespace lktm::cfg

@@ -1,0 +1,531 @@
+#include "config/orchestrator.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "config/artifact.hpp"
+#include "config/systems.hpp"
+#include "stats/json.hpp"
+#include "workloads/micro.hpp"
+#include "workloads/workload.hpp"
+
+namespace lktm::cfg {
+
+namespace {
+
+namespace fs = std::filesystem;
+using stats::json::Value;
+
+/// Diagnostic prefix marking a TransientJobError capture; isTransientFailure
+/// keys on it so scripted runners returning (not throwing) a transient
+/// failure classify identically.
+constexpr const char* kTransientPrefix = "transient: ";
+
+[[noreturn]] void badManifest(const std::string& what) {
+  throw std::runtime_error("malformed manifest: " + what);
+}
+
+const Value& needField(const Value& obj, const char* key) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) badManifest(std::string("missing \"") + key + "\"");
+  return *v;
+}
+
+std::string sanitizeForFilename(const std::string& id) {
+  std::string out;
+  out.reserve(id.size());
+  for (const char c : id) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-';
+    out += keep ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* toString(JobState s) {
+  switch (s) {
+    case JobState::Pending: return "pending";
+    case JobState::Running: return "running";
+    case JobState::Ok: return "ok";
+    case JobState::Failed: return "failed";
+    case JobState::Hang: return "hang";
+    case JobState::Timeout: return "timeout";
+  }
+  return "?";
+}
+
+bool jobStateFromString(const std::string& name, JobState& out) {
+  for (const JobState s : {JobState::Pending, JobState::Running, JobState::Ok,
+                           JobState::Failed, JobState::Hang, JobState::Timeout}) {
+    if (name == toString(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+JobState jobStateOf(const RunResult& r) {
+  switch (r.status) {
+    case RunStatus::Hang: return JobState::Hang;
+    case RunStatus::Timeout: return JobState::Timeout;
+    case RunStatus::Failed: return JobState::Failed;
+    case RunStatus::Ok: break;
+  }
+  // Invariant/coherence violations fail the job even though the simulation
+  // itself ran to completion.
+  return r.violations.empty() ? JobState::Ok : JobState::Failed;
+}
+
+std::string JobSpec::id() const {
+  return system + "/" + workload + "/" + machine + "@" + std::to_string(threads) +
+         "#" + std::to_string(seed);
+}
+
+JobRecord* SweepManifest::find(const std::string& id) {
+  for (JobRecord& j : jobs) {
+    if (j.spec.id() == id) return &j;
+  }
+  return nullptr;
+}
+
+std::size_t SweepManifest::countIn(JobState s) const {
+  std::size_t n = 0;
+  for (const JobRecord& j : jobs) n += (j.state == s) ? 1 : 0;
+  return n;
+}
+
+bool SweepManifest::complete() const {
+  for (const JobRecord& j : jobs) {
+    if (j.state == JobState::Pending || j.state == JobState::Running) return false;
+  }
+  return true;
+}
+
+bool SweepManifest::allOk() const {
+  for (const JobRecord& j : jobs) {
+    if (j.state != JobState::Ok) return false;
+  }
+  return true;
+}
+
+SweepManifest SweepManifest::fromJson(const std::string& text) {
+  const Value doc = stats::json::parse(text);
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || schema->text != kManifestSchema) {
+    badManifest(std::string("schema is not ") + kManifestSchema);
+  }
+  SweepManifest m;
+  m.artifactDir = needField(doc, "artifact_dir").text;
+  const Value& jobs = needField(doc, "jobs");
+  if (!jobs.isArray()) badManifest("jobs is not an array");
+  std::vector<std::string> seen;
+  for (const Value& e : *jobs.array) {
+    if (!e.isObject()) badManifest("job entry is not an object");
+    JobRecord j;
+    j.spec.system = needField(e, "system").text;
+    j.spec.workload = needField(e, "workload").text;
+    j.spec.machine = needField(e, "machine").text;
+    j.spec.threads = static_cast<unsigned>(stats::json::asU64(needField(e, "threads")));
+    j.spec.seed = stats::json::asU64(needField(e, "seed"));
+    if (!jobStateFromString(needField(e, "state").text, j.state)) {
+      badManifest("unknown job state \"" + needField(e, "state").text + "\"");
+    }
+    j.attempts = static_cast<unsigned>(stats::json::asU64(needField(e, "attempts")));
+    j.diagnostic = needField(e, "diagnostic").text;
+    j.artifact = needField(e, "artifact").text;
+    j.wallSeconds = needField(e, "wall_seconds").number;
+    j.cycles = stats::json::asU64(needField(e, "cycles"));
+    const std::string id = j.spec.id();
+    for (const std::string& s : seen) {
+      if (s == id) badManifest("duplicate job id " + id);
+    }
+    seen.push_back(id);
+    m.jobs.push_back(std::move(j));
+  }
+  return m;
+}
+
+SweepManifest SweepManifest::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open manifest: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return fromJson(ss.str());
+}
+
+std::string SweepManifest::toJson() const {
+  std::ostringstream os;
+  stats::json::Writer w(os, /*pretty=*/true);
+  w.beginObject();
+  w.field("schema", kManifestSchema);
+  w.field("artifact_dir", artifactDir);
+  w.key("jobs");
+  w.beginArray();
+  for (const JobRecord& j : jobs) {
+    w.beginObject();
+    w.field("id", j.spec.id());
+    w.field("system", j.spec.system);
+    w.field("workload", j.spec.workload);
+    w.field("machine", j.spec.machine);
+    w.field("threads", j.spec.threads);
+    w.field("seed", j.spec.seed);
+    w.field("state", toString(j.state));
+    w.field("attempts", j.attempts);
+    w.field("diagnostic", j.diagnostic);
+    w.field("artifact", j.artifact);
+    w.field("wall_seconds", j.wallSeconds);
+    w.field("cycles", j.cycles);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return os.str();
+}
+
+bool SweepManifest::save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "error: cannot open " << tmp << " for writing\n";
+      return false;
+    }
+    out << toJson();
+    if (!out) {
+      std::cerr << "error: short write to " << tmp << "\n";
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::cerr << "error: cannot rename " << tmp << " -> " << path << ": "
+              << ec.message() << "\n";
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<wl::Workload> makeJobWorkload(const std::string& name,
+                                              std::uint64_t seed) {
+  if (name == "counter") return wl::makeCounter(4, 2, 256, seed);
+  if (name == "bank") return wl::makeBank(64, 480, seed);
+  if (name == "linkedlist") return wl::makeLinkedList(128, 6, 240, seed);
+  return wl::makeStamp(name, seed);
+}
+
+RunResult runSpec(const JobSpec& spec, const OrchestratorOptions& opts,
+                  sim::SimContext& ctx) {
+  RunConfig cfg;
+  cfg.machine = machineByName(spec.machine);
+  if (opts.jobCycleBudget > 0) cfg.machine.maxCycles = opts.jobCycleBudget;
+  cfg.system = systemByName(spec.system);
+  cfg.threads = spec.threads;
+  cfg.rngSeed = jobRunSeed(spec.seed, spec.system, spec.workload, spec.threads);
+  cfg.wallBudgetSeconds = opts.jobWallBudgetSeconds;
+  RunResult r = runSimulation(
+      cfg, [&] { return makeJobWorkload(spec.workload, spec.seed); }, &ctx);
+  r.workload = spec.workload;
+  return r;
+}
+
+bool isTransientFailure(const RunResult& r) {
+  if (r.status == RunStatus::Timeout) {
+    // Wall-clock expiry depends on host load; a cycle-budget timeout is a
+    // property of the simulation and would reproduce exactly.
+    return r.diagnostic.find("wall-clock") != std::string::npos;
+  }
+  if (r.status == RunStatus::Failed) {
+    return r.diagnostic.compare(0, std::char_traits<char>::length(kTransientPrefix),
+                                kTransientPrefix) == 0;
+  }
+  return false;
+}
+
+OrchestratorReport runManifest(SweepManifest& manifest, const std::string& manifestPath,
+                               const OrchestratorOptions& opts, const JobRunner& runner,
+                               std::vector<RunResult>* results) {
+  const JobRunner run = runner ? runner : JobRunner(&runSpec);
+  OrchestratorReport report;
+
+  if (!manifest.artifactDir.empty()) {
+    std::error_code ec;
+    fs::create_directories(manifest.artifactDir, ec);
+  }
+
+  // Normalize stale state from a previous (possibly killed) invocation.
+  std::vector<std::size_t> runnable;
+  for (std::size_t i = 0; i < manifest.jobs.size(); ++i) {
+    JobRecord& j = manifest.jobs[i];
+    if (j.state == JobState::Running) j.state = JobState::Pending;
+    if (j.state == JobState::Ok &&
+        (j.artifact.empty() || !fs::exists(fs::path(j.artifact)))) {
+      j.state = JobState::Pending;  // artifact lost; the result is gone with it
+      j.artifact.clear();
+    }
+    if (opts.rerunFailed &&
+        (j.state == JobState::Failed || j.state == JobState::Hang ||
+         j.state == JobState::Timeout)) {
+      j.state = JobState::Pending;
+      j.diagnostic.clear();
+    }
+    if (j.state == JobState::Pending) {
+      runnable.push_back(i);
+    } else {
+      ++report.skipped;
+    }
+  }
+
+  std::mutex mu;  // guards manifest, report, progress, checkpoint saves
+  std::vector<char> ranNow(manifest.jobs.size(), 0);
+  std::size_t started = 0;
+  std::size_t claimCursor = 0;
+  std::size_t doneThisRun = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto checkpoint = [&] {
+    if (!manifestPath.empty()) manifest.save(manifestPath);
+  };
+
+  auto claim = [&]() -> std::ptrdiff_t {
+    std::lock_guard<std::mutex> lock(mu);
+    if (claimCursor >= runnable.size()) return -1;
+    if (opts.maxJobs != 0 && started >= opts.maxJobs) return -1;
+    const std::size_t i = runnable[claimCursor++];
+    ++started;
+    manifest.jobs[i].state = JobState::Running;
+    checkpoint();
+    return static_cast<std::ptrdiff_t>(i);
+  };
+
+  const unsigned maxAttempts = std::max(1u, opts.maxAttempts);
+
+  auto attemptOnce = [&](const JobSpec& spec, sim::SimContext& ctx) -> RunResult {
+    auto crashed = [&](std::string diagnostic) {
+      RunResult r;
+      r.system = spec.system;
+      r.workload = spec.workload;
+      r.machine = spec.machine;
+      r.threads = spec.threads;
+      r.seed = jobRunSeed(spec.seed, spec.system, spec.workload, spec.threads);
+      r.status = RunStatus::Failed;
+      r.diagnostic = std::move(diagnostic);
+      return r;
+    };
+    try {
+      return run(spec, opts, ctx);
+    } catch (const TransientJobError& e) {
+      return crashed(std::string(kTransientPrefix) + e.what());
+    } catch (const std::exception& e) {
+      return crashed(std::string("exception: ") + e.what());
+    } catch (...) {
+      return crashed("non-standard exception (not derived from std::exception)");
+    }
+  };
+
+  auto runOne = [&](std::size_t i, sim::SimContext& ctx) {
+    const JobSpec spec = manifest.jobs[i].spec;
+    RunResult r;
+    for (;;) {
+      unsigned attempt = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        attempt = ++manifest.jobs[i].attempts;
+      }
+      r = attemptOnce(spec, ctx);
+      if (jobStateOf(r) == JobState::Ok || !isTransientFailure(r) ||
+          attempt >= maxAttempts) {
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++report.retried;
+        if (opts.progress != nullptr) {
+          *opts.progress << "retry " << spec.id() << " (attempt " << (attempt + 1)
+                         << "/" << maxAttempts << "): " << r.diagnostic << "\n";
+        }
+      }
+      if (opts.retryBackoffSeconds > 0.0) {
+        const double backoff =
+            opts.retryBackoffSeconds * static_cast<double>(1u << (attempt - 1));
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+    }
+
+    JobState state = jobStateOf(r);
+    std::string artifactPath;
+    if (state == JobState::Ok && !manifest.artifactDir.empty()) {
+      artifactPath = (fs::path(manifest.artifactDir) /
+                      (sanitizeForFilename(spec.id()) + ".json"))
+                         .string();
+      if (!writeStatsJsonFile(artifactPath, r)) {
+        state = JobState::Failed;
+        r.status = RunStatus::Failed;
+        r.diagnostic = "cannot write artifact " + artifactPath;
+        artifactPath.clear();
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(mu);
+    JobRecord& j = manifest.jobs[i];
+    j.state = state;
+    j.artifact = artifactPath;
+    j.wallSeconds = r.wallSeconds;
+    j.cycles = r.cycles;
+    j.diagnostic = state == JobState::Ok ? "" : r.diagnostic;
+    if (state == JobState::Failed && j.diagnostic.empty() && !r.violations.empty()) {
+      j.diagnostic = r.violations.front();
+    }
+    if (results != nullptr) (*results)[i] = std::move(r);
+    ranNow[i] = 1;
+    ++report.ran;
+    ++doneThisRun;
+    checkpoint();
+    if (opts.progress != nullptr) {
+      const std::size_t terminalTotal = report.skipped + doneThisRun;
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      const std::size_t target =
+          opts.maxJobs != 0 ? std::min(runnable.size(), opts.maxJobs) : runnable.size();
+      const std::size_t left = target > doneThisRun ? target - doneThisRun : 0;
+      const double eta =
+          doneThisRun > 0 ? elapsed / static_cast<double>(doneThisRun) *
+                                static_cast<double>(left)
+                          : 0.0;
+      char line[256];
+      std::snprintf(line, sizeof(line), "[%zu/%zu] %s: %s (%.1fs) eta %.0fs\n",
+                    terminalTotal, manifest.jobs.size(), spec.id().c_str(),
+                    toString(state), j.wallSeconds, eta);
+      *opts.progress << line;
+    }
+  };
+
+  if (results != nullptr) {
+    results->clear();
+    results->resize(manifest.jobs.size());
+  }
+
+  detail::runWorkerPool(opts.hostThreads, runnable.size(), claim, runOne);
+
+  // Hand back the complete result set: skipped-Ok jobs reload from their
+  // artifacts so figure code sees a resumed sweep exactly like a fresh one.
+  for (std::size_t i = 0; i < manifest.jobs.size(); ++i) {
+    const JobRecord& j = manifest.jobs[i];
+    if (j.state == JobState::Ok) ++report.ok;
+    if (j.state == JobState::Failed || j.state == JobState::Hang ||
+        j.state == JobState::Timeout) {
+      ++report.failed;
+    }
+    if (results == nullptr || ranNow[i] != 0) continue;
+    RunResult& slot = (*results)[i];
+    if (j.state == JobState::Ok) {
+      try {
+        slot = loadStatsArtifact(j.artifact);
+        continue;
+      } catch (const std::exception& e) {
+        slot.diagnostic = std::string("exception: ") + e.what();
+        slot.status = RunStatus::Failed;
+      }
+    }
+    slot.system = j.spec.system;
+    slot.workload = j.spec.workload;
+    slot.machine = j.spec.machine;
+    slot.threads = j.spec.threads;
+    slot.seed = j.spec.seed;
+    if (j.state == JobState::Hang) slot.status = RunStatus::Hang;
+    if (j.state == JobState::Timeout) slot.status = RunStatus::Timeout;
+    if (j.state == JobState::Failed) slot.status = RunStatus::Failed;
+    if (j.state == JobState::Pending || j.state == JobState::Running) {
+      // maxJobs interrupted the invocation before this job ran; make sure the
+      // placeholder can never pass for a real result.
+      slot.status = RunStatus::Failed;
+      slot.diagnostic = "job not run (interrupted invocation)";
+    }
+    if (slot.diagnostic.empty()) slot.diagnostic = j.diagnostic;
+  }
+
+  checkpoint();
+  return report;
+}
+
+bool writeMergedArtifact(const SweepManifest& manifest, const std::string& outPath) {
+  std::ostringstream os;
+  stats::json::Writer w(os, /*pretty=*/true);
+  w.beginObject();
+  w.field("schema", kStatsSchema);
+  w.key("runs");
+  w.beginArray();
+  for (const JobRecord& j : manifest.jobs) {
+    if (j.state != JobState::Ok) continue;
+    std::ifstream in(j.artifact, std::ios::binary);
+    if (!in) {
+      std::cerr << "error: cannot open artifact " << j.artifact << " for "
+                << j.spec.id() << "\n";
+      return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    Value doc;
+    try {
+      doc = stats::json::parse(ss.str());
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << j.artifact << ": " << e.what() << "\n";
+      return false;
+    }
+    const Value* runs = doc.find("runs");
+    if (runs == nullptr || !runs->isArray() || runs->array->size() != 1) {
+      std::cerr << "error: " << j.artifact << " is not a one-run artifact\n";
+      return false;
+    }
+    Value run = runs->array->at(0);
+    if (run.isObject()) {
+      // Host timing is the one field a resume cannot reproduce; zero it so
+      // merged bytes depend only on the job specs.
+      Value zero;
+      zero.kind = Value::Kind::Number;
+      zero.number = 0.0;
+      zero.text = "0";
+      (*run.object)["wall_seconds"] = zero;
+    }
+    stats::json::writeValue(w, run);
+  }
+  w.endArray();
+  w.endObject();
+
+  std::ofstream out(outPath, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "error: cannot open " << outPath << " for writing\n";
+    return false;
+  }
+  out << os.str();
+  return static_cast<bool>(out);
+}
+
+SweepManifest makeManifest(const std::string& artifactDir, const std::string& machine,
+                           const std::vector<std::string>& systems,
+                           const std::vector<std::string>& workloads,
+                           const std::vector<unsigned>& threads, std::uint64_t seed) {
+  SweepManifest m;
+  m.artifactDir = artifactDir;
+  for (const std::string& w : workloads) {
+    for (const std::string& s : systems) {
+      for (const unsigned t : threads) {
+        JobRecord j;
+        j.spec = JobSpec{s, w, machine, t, seed};
+        m.jobs.push_back(std::move(j));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace lktm::cfg

@@ -18,6 +18,27 @@
 
 namespace lktm::cfg {
 
+const char* toString(RunStatus s) {
+  switch (s) {
+    case RunStatus::Ok: return "ok";
+    case RunStatus::Failed: return "failed";
+    case RunStatus::Hang: return "hang";
+    case RunStatus::Timeout: return "timeout";
+  }
+  return "?";
+}
+
+bool runStatusFromString(const std::string& name, RunStatus& out) {
+  for (auto s : {RunStatus::Ok, RunStatus::Failed, RunStatus::Hang,
+                 RunStatus::Timeout}) {
+    if (name == toString(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
 Cycle TimeBreakdown::total() const {
   Cycle t = 0;
   for (const Cycle c : cycles) t += c;
@@ -64,7 +85,9 @@ std::string RunResult::str() const {
       << " aborts=" << aborts() << " (rate=" << commitRate() << ")"
       << (ok() ? "" : " FAILED");
   for (const auto& v : violations) oss << "\n  violation: " << v;
-  if (hang) oss << "\n  HANG: " << hangDiagnostic;
+  if (status != RunStatus::Ok) {
+    oss << "\n  " << toString(status) << ": " << diagnostic;
+  }
   return oss.str();
 }
 
@@ -74,6 +97,7 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
   res.system = cfg.system.name;
   res.machine = cfg.machine.name;
   res.threads = cfg.threads;
+  res.seed = cfg.rngSeed;
 
   std::unique_ptr<sim::SimContext> localCtx;
   if (ctx == nullptr) {
@@ -81,7 +105,7 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
     ctx = localCtx.get();
   }
   sim::SimContext& simCtx = *ctx;
-  simCtx.beginRun(cfg.machine.watchdogWindow);
+  simCtx.beginRun(cfg.machine.watchdogWindow, cfg.rngSeed);
   simCtx.setTraceSink(cfg.traceSink);  // nullptr clears any previous run's sink
   sim::Engine& engine = simCtx.engine();
   mem::MainMemory memory;
@@ -142,35 +166,47 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
   for (auto& c : cpus) c->start();
 
   const auto wallStart = std::chrono::steady_clock::now();
+  if (cfg.wallBudgetSeconds > 0.0) {
+    engine.setWallDeadline(wallStart + std::chrono::duration_cast<
+                                           std::chrono::steady_clock::duration>(
+                                           std::chrono::duration<double>(
+                                               cfg.wallBudgetSeconds)));
+  }
   try {
     engine.run(cfg.machine.maxCycles);
+  } catch (const sim::SimulationTimeout& e) {
+    res.status = RunStatus::Timeout;
+    res.diagnostic = e.what();
   } catch (const sim::SimulationHang& e) {
-    res.hang = true;
-    res.hangDiagnostic = e.what();
+    res.status = RunStatus::Hang;
+    res.diagnostic = e.what();
   }
+  engine.clearWallDeadline();
   res.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart)
           .count();
 
   for (auto& c : cpus) {
     if (!c->halted()) {
-      res.hang = true;
-      if (res.hangDiagnostic.empty()) res.hangDiagnostic = "thread never halted";
-      res.hangDiagnostic += "\n  " + c->diagnostic();
+      if (res.status == RunStatus::Ok) {
+        res.status = RunStatus::Hang;
+        res.diagnostic = "thread never halted";
+      }
+      res.diagnostic += "\n  " + c->diagnostic();
     }
     res.cycles = std::max(res.cycles, c->haltedAt());
   }
   if (res.cycles == 0) res.cycles = engine.now();
   res.stats = simCtx.stats().snapshot();
 
-  if (!res.hang && cfg.runCoherenceChecker) {
+  if (res.status == RunStatus::Ok && cfg.runCoherenceChecker) {
     std::vector<const coh::L1Controller*> cl1s;
     for (auto& l1 : l1s) cl1s.push_back(l1.get());
     coh::CoherenceChecker checker(cl1s, &dir);
     for (auto& v : checker.check()) res.violations.push_back("coherence: " + v);
   }
 
-  if (!res.hang && cfg.verifyWorkload) {
+  if (res.status == RunStatus::Ok && cfg.verifyWorkload) {
     // Coherent word reader: freshest dirty L1 copy > LLC > main memory.
     wl::WordReader read = [&](Addr addr) -> std::uint64_t {
       const LineAddr line = lineOf(addr);

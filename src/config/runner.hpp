@@ -34,21 +34,34 @@ struct TimeBreakdown {
   double fraction(TimeCat c) const;
 };
 
+/// How a run terminated. `Failed` covers crashes (exceptions) and invariant
+/// violations; `Hang` is the forward-progress watchdog (livelock/deadlock);
+/// `Timeout` is an exhausted budget (simulated-cycle ceiling or host
+/// wall-clock deadline). The distinction matters downstream: a crash is a
+/// bug, a hang is a protocol bug, a timeout may just be an undersized budget.
+enum class RunStatus : std::uint8_t { Ok, Failed, Hang, Timeout };
+
+const char* toString(RunStatus s);
+/// Inverse of toString; returns false on an unknown name.
+bool runStatusFromString(const std::string& name, RunStatus& out);
+
 struct RunResult {
   std::string system;
   std::string workload;
   std::string machine;
   unsigned threads = 0;
+  std::uint64_t seed = 0;  ///< RNG seed the run executed with (job identity)
 
   Cycle cycles = 0;  ///< wall-clock of the run (last thread's halt)
   stats::StatSnapshot stats;  ///< full registry dump at end of run
   double wallSeconds = 0.0;   ///< host seconds the simulation loop took
 
   std::vector<std::string> violations;  ///< workload + coherence failures
-  bool hang = false;
-  std::string hangDiagnostic;
+  RunStatus status = RunStatus::Ok;
+  std::string diagnostic;  ///< failure detail (exception text, hang report, …)
 
-  bool ok() const { return violations.empty() && !hang; }
+  bool ok() const { return violations.empty() && status == RunStatus::Ok; }
+  bool hang() const { return status == RunStatus::Hang; }
 
   // ---- registry-backed accessors (sums over all cores) ----
   std::uint64_t htmCommits() const { return stats.sumMatching("core.*.commits.htm"); }
@@ -92,6 +105,13 @@ struct RunConfig {
   MachineParams machine = MachineParams::typical();
   SystemSpec system;
   unsigned threads = 2;
+  /// Seed for the context RNG stream (SimContext::beginRun). Always set
+  /// explicitly by the sweep orchestrator from the job manifest so a job's
+  /// randomness can never depend on which worker's context runs it.
+  std::uint64_t rngSeed = sim::SimContext::kDefaultSeed;
+  /// Host wall-clock budget for the simulation loop (0 = unlimited). On
+  /// expiry the run ends with RunStatus::Timeout.
+  double wallBudgetSeconds = 0.0;
   bool runCoherenceChecker = true;
   bool verifyWorkload = true;
   /// Warm the inclusive LLC with the workload footprint (steady-state runs).

@@ -90,7 +90,7 @@ void TmRuntime::emitExit(ProgramBuilder& b) const {
 // Test-and-test-and-set acquire of the fallback lock through the coherence
 // protocol (CAS needs exclusive ownership, polling reads stay shared).
 void TmRuntime::emitSpinAcquire(ProgramBuilder& b) const {
-  b.li(kRegScratch2, static_cast<std::int64_t>(retry_.spinBackoff));
+  b.li(kRegScratch2, static_cast<std::int64_t>(retry_.clampedSpinBackoff()));
   const auto spin = b.here();
   b.load(kRegStatus, kRegLockAddr);
   const auto poll = b.bne(kRegStatus, cpu::kZeroReg);  // held -> backoff
@@ -101,7 +101,7 @@ void TmRuntime::emitSpinAcquire(ProgramBuilder& b) const {
   const auto backoff = b.here();
   b.delayReg(kRegScratch2);
   b.add(kRegScratch2, kRegScratch2, kRegScratch2);
-  b.li(kRegStatus, static_cast<std::int64_t>(retry_.spinBackoffMax));
+  b.li(kRegStatus, static_cast<std::int64_t>(retry_.clampedSpinBackoffMax()));
   const auto noCap = b.blt(kRegScratch2, kRegStatus);
   b.mov(kRegScratch2, kRegStatus);
   b.patchTarget(noCap, b.here());
@@ -149,7 +149,7 @@ void TmRuntime::emitEnterBestEffort(ProgramBuilder& b) const {
   const auto pollLock = b.here();
   b.load(kRegScratch, kRegLockAddr);
   const auto lockFree = b.beq(kRegScratch, cpu::kZeroReg);
-  b.compute(static_cast<std::int64_t>(retry_.spinBackoff));
+  b.compute(static_cast<std::int64_t>(retry_.clampedSpinBackoff()));
   b.jmp(pollLock);
   b.patchTarget(lockFree, b.here());
   b.jmp(retryLoop);

@@ -49,17 +49,29 @@ namespace lktm::sim {
 void Engine::run(Cycle maxCycles) {
   lastProgress_ = q_.now();
   const Cycle limit = q_.now() + maxCycles;
+  std::uint64_t events = 0;
+  auto diagnose = [this](std::ostringstream& oss) {
+    for (const auto& d : diagnostics_) oss << "\n  " << d();
+  };
   while (q_.runOne()) {
     if (q_.now() - lastProgress_ > watchdogWindow_ || q_.now() > limit) {
       std::ostringstream oss;
       if (q_.now() > limit) {
         oss << "simulation exceeded cycle budget (" << maxCycles << " cycles)";
-      } else {
-        oss << "watchdog: no forward progress for " << watchdogWindow_
-            << " cycles (now=" << q_.now() << ")";
+        diagnose(oss);
+        throw SimulationTimeout(oss.str());
       }
-      for (const auto& d : diagnostics_) oss << "\n  " << d();
+      oss << "watchdog: no forward progress for " << watchdogWindow_
+          << " cycles (now=" << q_.now() << ")";
+      diagnose(oss);
       throw SimulationHang(oss.str());
+    }
+    if ((++events & kWallCheckMask) == 0 && hasWallDeadline_ &&
+        std::chrono::steady_clock::now() > wallDeadline_) {
+      std::ostringstream oss;
+      oss << "wall-clock budget exceeded (simulated cycle " << q_.now() << ")";
+      diagnose(oss);
+      throw SimulationTimeout(oss.str());
     }
   }
 }

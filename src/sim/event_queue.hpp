@@ -28,6 +28,15 @@ class SimulationHang : public std::runtime_error {
   explicit SimulationHang(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a run exhausts an explicit budget — the simulated-cycle
+/// ceiling or a host wall-clock deadline — rather than losing forward
+/// progress. Subclasses SimulationHang so legacy catch sites keep working,
+/// but the sweep orchestrator records it as `timeout`, not `hang`.
+class SimulationTimeout : public SimulationHang {
+ public:
+  explicit SimulationTimeout(const std::string& what) : SimulationHang(what) {}
+};
+
 /// Nondeterminism seam for the protocol model checker (src/verify): when an
 /// oracle is installed, every cycle whose bucket holds more than one ready
 /// event becomes an explicit choice point — the oracle picks which same-cycle

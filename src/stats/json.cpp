@@ -118,7 +118,8 @@ class Parser {
     if (pos_ == start) fail("expected a value");
     Value v;
     v.kind = Value::Kind::Number;
-    v.number = std::stod(src_.substr(start, pos_ - start));
+    v.text = src_.substr(start, pos_ - start);  // raw literal, kept for re-emission
+    v.number = std::stod(v.text);
     return v;
   }
 
@@ -177,6 +178,17 @@ class Parser {
 }  // namespace
 
 Value parse(const std::string& src) { return Parser(src).parse(); }
+
+std::uint64_t asU64(const Value& v) {
+  if (v.kind != Value::Kind::Number) return 0;
+  if (!v.text.empty()) {
+    std::uint64_t out = 0;
+    const auto [ptr, ec] =
+        std::from_chars(v.text.data(), v.text.data() + v.text.size(), out);
+    if (ec == std::errc{} && ptr == v.text.data() + v.text.size()) return out;
+  }
+  return static_cast<std::uint64_t>(v.number);
+}
 
 std::string quote(const std::string& s) {
   std::string out;
@@ -297,6 +309,49 @@ void Writer::value(bool v) {
 void Writer::null() {
   separate();
   os_ << "null";
+}
+
+void Writer::rawNumber(const std::string& literal) {
+  separate();
+  os_ << literal;
+}
+
+void writeValue(Writer& w, const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::Null:
+      w.null();
+      return;
+    case Value::Kind::Bool:
+      w.value(v.boolean);
+      return;
+    case Value::Kind::Number:
+      if (!v.text.empty()) {
+        w.rawNumber(v.text);
+      } else {
+        w.value(v.number);
+      }
+      return;
+    case Value::Kind::String:
+      w.value(v.text);
+      return;
+    case Value::Kind::Array:
+      w.beginArray();
+      if (v.array != nullptr) {
+        for (const Value& e : *v.array) writeValue(w, e);
+      }
+      w.endArray();
+      return;
+    case Value::Kind::Object:
+      w.beginObject();
+      if (v.object != nullptr) {
+        for (const auto& [k, child] : *v.object) {
+          w.key(k);
+          writeValue(w, child);
+        }
+      }
+      w.endObject();
+      return;
+  }
 }
 
 }  // namespace lktm::stats::json

@@ -26,6 +26,9 @@ struct Value {
   enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
   bool boolean = false;
   double number = 0.0;
+  /// String content for Kind::String; for Kind::Number, the raw literal as it
+  /// appeared in the document. The raw literal is what makes u64 values above
+  /// 2^53 (seeds, counters) survive a parse → re-emit round trip exactly.
   std::string text;
   std::shared_ptr<Array> array;
   std::shared_ptr<Object> object;
@@ -44,6 +47,11 @@ struct Value {
 /// Parse a complete JSON document. Throws std::runtime_error with a byte
 /// offset on malformed input.
 Value parse(const std::string& src);
+
+/// Unsigned 64-bit view of a parsed number: exact (std::from_chars over the
+/// raw literal) when the document carried a plain unsigned integer, the
+/// rounded double otherwise. 0 for non-numbers.
+std::uint64_t asU64(const Value& v);
 
 /// Escape and quote a string for JSON output.
 std::string quote(const std::string& s);
@@ -77,6 +85,9 @@ class Writer {
   void value(double v);
   void value(bool v);
   void null();
+  /// Emit a pre-formatted numeric literal verbatim (raw text from a parsed
+  /// Value): the byte-exactness workhorse of artifact merging.
+  void rawNumber(const std::string& literal);
 
   /// key + value in one call.
   template <class T>
@@ -98,5 +109,12 @@ class Writer {
   std::vector<Scope> stack_;
   bool pendingKey_ = false;
 };
+
+/// Re-emit a parsed Value through `w`: objects in key-sorted (map) order,
+/// numbers via their raw literal. Deterministic — the same parsed document
+/// always re-emits the same bytes — which is what lets the sweep orchestrator
+/// merge per-job artifacts into a bit-stable combined document regardless of
+/// how many interruptions/resumes produced them.
+void writeValue(Writer& w, const Value& v);
 
 }  // namespace lktm::stats::json

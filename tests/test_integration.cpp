@@ -143,13 +143,16 @@ TEST(Integration, SweepCapturesExceptionsAsFailures) {
   const auto results = runSweep(std::move(jobs), 1);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_FALSE(results[0].ok());
-  EXPECT_NE(results[0].hangDiagnostic.find("boom"), std::string::npos);
+  EXPECT_NE(results[0].diagnostic.find("boom"), std::string::npos);
   // The failed cell is still locatable by its sweep coordinates (the old
   // exception path dropped workload/threads, so findResult could never see
   // failed jobs).
   const RunResult* r = findResult(results, "SysX", "wlY", 4);
   ASSERT_NE(r, nullptr);
-  EXPECT_TRUE(r->hang);
+  // A crash is a Failed run, not a Hang — the old code folded every failure
+  // into the hang flag.
+  EXPECT_EQ(r->status, RunStatus::Failed);
+  EXPECT_FALSE(r->hang());
 }
 
 TEST(Integration, SweepHandlesEmptyJobList) {

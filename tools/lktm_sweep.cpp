@@ -1,0 +1,202 @@
+// Manifest-driven sweep driver: plan a sweep once, run it (resumably, with
+// per-job watchdogs and bounded retry), inspect its state, and merge the
+// per-job artifacts into one lktm.stats.v1 document.
+//
+//   lktm_sweep plan --preset smoke --manifest sweep.json --artifact-dir runs/
+//   lktm_sweep run --manifest sweep.json --host-threads 4
+//   lktm_sweep status --manifest sweep.json
+//   lktm_sweep merge --manifest sweep.json --out merged.json
+//
+// `run` is idempotent: completed jobs are skipped, a job interrupted mid-run
+// restarts, and the merged output is bit-identical no matter how many times
+// the sweep was interrupted or how many host threads executed it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "config/orchestrator.hpp"
+#include "config/systems.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace lktm;
+
+void usage() {
+  std::printf(
+      "usage: lktm_sweep <command> [options]\n"
+      "commands:\n"
+      "  plan    create a job manifest\n"
+      "    --manifest PATH      manifest file to write (required)\n"
+      "    --artifact-dir DIR   per-job artifact directory (default: <manifest>.d)\n"
+      "    --preset NAME        smoke | figures (default smoke)\n"
+      "    --seed N             workload seed (default 11)\n"
+      "  run     execute the pending jobs of a manifest (resumable)\n"
+      "    --manifest PATH      manifest file (required; updated in place)\n"
+      "    --host-threads N     worker threads (default: hardware)\n"
+      "    --max-jobs N         stop after N jobs this invocation (0 = all)\n"
+      "    --max-attempts N     attempts for transient failures (default 2)\n"
+      "    --retry-backoff S    seconds before first retry, doubling (default 0.5)\n"
+      "    --wall-budget S      per-job host wall-clock budget (0 = none)\n"
+      "    --cycle-budget N     per-job simulated-cycle ceiling (0 = machine)\n"
+      "    --rerun-failed       re-run jobs recorded as failed/hang/timeout\n"
+      "    --quiet              no per-job progress on stderr\n"
+      "  status  print per-state counts and failed jobs\n"
+      "    --manifest PATH\n"
+      "  merge   write the combined artifact of every completed job\n"
+      "    --manifest PATH\n"
+      "    --out PATH           merged lktm.stats.v1 (required)\n");
+}
+
+cfg::SweepManifest planPreset(const std::string& preset, const std::string& artifactDir,
+                              std::uint64_t seed) {
+  if (preset == "smoke") {
+    // Micro workloads only: seconds, not minutes — the CI resume test runs
+    // this twice.
+    return cfg::makeManifest(artifactDir, "typical", {"Baseline", "LockillerTM"},
+                             {"counter", "bank"}, {2, 4}, seed);
+  }
+  if (preset == "figures") {
+    std::vector<std::string> systems;
+    for (const auto& s : cfg::evaluatedSystems()) systems.push_back(s.name);
+    // Figs 1/7-12: the full Table II grid on the typical machine.
+    cfg::SweepManifest m = cfg::makeManifest(artifactDir, "typical", systems,
+                                             wl::stampNames(), {2, 4, 8, 16, 32}, seed);
+    // Fig 13 cache-sensitivity: every system at max threads on the small and
+    // large machines.
+    for (const char* machine : {"small-cache", "large-cache"}) {
+      cfg::SweepManifest extra =
+          cfg::makeManifest(artifactDir, machine, systems, wl::stampNames(), {32}, seed);
+      for (auto& j : extra.jobs) m.jobs.push_back(std::move(j));
+    }
+    return m;
+  }
+  throw std::invalid_argument("unknown preset: " + preset);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  std::string manifestPath;
+  std::string artifactDir;
+  std::string preset = "smoke";
+  std::string outPath;
+  std::uint64_t seed = cfg::kDefaultSweepSeed;
+  cfg::OrchestratorOptions opts;
+  opts.retryBackoffSeconds = 0.5;
+  opts.progress = &std::cerr;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--manifest") {
+      manifestPath = next();
+    } else if (a == "--artifact-dir") {
+      artifactDir = next();
+    } else if (a == "--preset") {
+      preset = next();
+    } else if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
+    } else if (a == "--out") {
+      outPath = next();
+    } else if (a == "--host-threads") {
+      opts.hostThreads = static_cast<unsigned>(std::atoi(next()));
+    } else if (a == "--max-jobs") {
+      opts.maxJobs = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (a == "--max-attempts") {
+      opts.maxAttempts = static_cast<unsigned>(std::atoi(next()));
+    } else if (a == "--retry-backoff") {
+      opts.retryBackoffSeconds = std::atof(next());
+    } else if (a == "--wall-budget") {
+      opts.jobWallBudgetSeconds = std::atof(next());
+    } else if (a == "--cycle-budget") {
+      opts.jobCycleBudget = static_cast<Cycle>(std::strtoull(next(), nullptr, 10));
+    } else if (a == "--rerun-failed") {
+      opts.rerunFailed = true;
+    } else if (a == "--quiet") {
+      opts.progress = nullptr;
+    } else {
+      usage();
+      return a == "--help" || a == "-h" ? 0 : 2;
+    }
+  }
+
+  if (manifestPath.empty()) {
+    std::fprintf(stderr, "error: --manifest is required\n");
+    return 2;
+  }
+
+  try {
+    if (cmd == "plan") {
+      if (artifactDir.empty()) artifactDir = manifestPath + ".d";
+      const cfg::SweepManifest m = planPreset(preset, artifactDir, seed);
+      if (!m.save(manifestPath)) return 1;
+      std::printf("%s: %zu jobs (%s), artifacts in %s\n", manifestPath.c_str(),
+                  m.jobs.size(), preset.c_str(), artifactDir.c_str());
+      return 0;
+    }
+
+    cfg::SweepManifest m = cfg::SweepManifest::load(manifestPath);
+
+    if (cmd == "run") {
+      const cfg::OrchestratorReport rep = cfg::runManifest(m, manifestPath, opts);
+      std::printf("ran %zu, skipped %zu, retried %zu; ok %zu, failed %zu, total %zu\n",
+                  rep.ran, rep.skipped, rep.retried, rep.ok, rep.failed,
+                  m.jobs.size());
+      if (!m.complete()) {
+        std::printf("manifest incomplete (%zu pending) — re-run to resume\n",
+                    m.countIn(cfg::JobState::Pending));
+      }
+      return m.complete() && m.allOk() ? 0 : 1;
+    }
+    if (cmd == "status") {
+      for (const auto s : {cfg::JobState::Pending, cfg::JobState::Running,
+                           cfg::JobState::Ok, cfg::JobState::Failed,
+                           cfg::JobState::Hang, cfg::JobState::Timeout}) {
+        std::printf("%-8s %zu\n", toString(s), m.countIn(s));
+      }
+      for (const auto& j : m.jobs) {
+        if (j.state == cfg::JobState::Failed || j.state == cfg::JobState::Hang ||
+            j.state == cfg::JobState::Timeout) {
+          std::printf("  %s: %s (%u attempts) %s\n", j.spec.id().c_str(),
+                      toString(j.state), j.attempts, j.diagnostic.c_str());
+        }
+      }
+      return 0;
+    }
+    if (cmd == "merge") {
+      if (outPath.empty()) {
+        std::fprintf(stderr, "error: merge needs --out\n");
+        return 2;
+      }
+      if (!m.complete()) {
+        std::fprintf(stderr, "error: manifest has unfinished jobs (%zu pending)\n",
+                     m.countIn(cfg::JobState::Pending));
+        return 1;
+      }
+      if (!cfg::writeMergedArtifact(m, outPath)) return 1;
+      std::size_t merged = m.countIn(cfg::JobState::Ok);
+      std::printf("merged %zu runs into %s\n", merged, outPath.c_str());
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}

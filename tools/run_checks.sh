@@ -4,7 +4,9 @@
 # determinism tests under ASan+UBSan), run the model-checker suite (ctest -L
 # verify: exhaustive lktm_check sweeps + test_verify) under both presets, run
 # clang-tidy over src/ when the tool is installed, validate a --stats-json
-# artifact against the lktm.stats.v1 schema, build + test the trace preset
+# artifact against the lktm.stats.v1 schema, smoke the lktm_sweep orchestrator
+# (interrupt + resume must merge bit-identical to an uninterrupted run, under
+# the default and sanitize builds), build + test the trace preset
 # (LKTM_TRACE=ON), grep-gate bench/ against hand-scraped counter structs,
 # then build the release tree and run the gated kernel microbenchmarks
 # (writes BENCH_kernel.json; fails if any gated benchmark regresses below the
@@ -51,6 +53,26 @@ echo "== stats artifact: emit + validate (lktm.stats.v1) =="
   --stats-json build/stats_check.json >/dev/null
 ./build/tools/validate_stats_json build/stats_check.json
 
+echo "== sweep orchestrator: smoke + interrupt/resume + bit-identical merge =="
+run_sweep_smoke() {
+  # $1 = build dir. Plan a smoke sweep, run it interrupted (3 jobs), resume,
+  # merge; then run the same sweep uninterrupted on more host threads and
+  # require a byte-identical merged artifact. Validates both schemas.
+  local bdir="$1" d
+  d="$bdir/sweep_check"
+  rm -rf "$d" && mkdir -p "$d/a" "$d/b"
+  "$bdir/tools/lktm_sweep" plan --preset smoke --manifest "$d/a/sweep.json" >/dev/null
+  "$bdir/tools/lktm_sweep" run --manifest "$d/a/sweep.json" --max-jobs 3 --quiet >/dev/null || true
+  "$bdir/tools/lktm_sweep" run --manifest "$d/a/sweep.json" --quiet >/dev/null
+  "$bdir/tools/lktm_sweep" merge --manifest "$d/a/sweep.json" --out "$d/a/merged.json" >/dev/null
+  "$bdir/tools/lktm_sweep" plan --preset smoke --manifest "$d/b/sweep.json" >/dev/null
+  "$bdir/tools/lktm_sweep" run --manifest "$d/b/sweep.json" --host-threads 4 --quiet >/dev/null
+  "$bdir/tools/lktm_sweep" merge --manifest "$d/b/sweep.json" --out "$d/b/merged.json" >/dev/null
+  cmp "$d/a/merged.json" "$d/b/merged.json"
+  "$bdir/tools/validate_stats_json" "$d/a/sweep.json" "$d/a/merged.json" "$d/a/sweep.json.d"/*.json
+}
+run_sweep_smoke build
+
 echo "== grep gate: bench/ reads the stat registry, not ad-hoc counters =="
 if grep -rnE '\.tx\.|\.protocol\.(messages|flitHops|llc|l1|writebacks)|TxCounters|ProtocolCounters|BreakdownSummary' bench/; then
   echo "bench/ still scrapes retired counter structs (see matches above)" >&2
@@ -73,6 +95,9 @@ ctest --preset sanitize
 
 echo "== ctest: model checker (sanitize) =="
 ctest --preset verify-sanitize
+
+echo "== sweep orchestrator: smoke + resume under ASan/UBSan =="
+run_sweep_smoke build-sanitize
 
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "== configure + build: release (benchmarks) =="

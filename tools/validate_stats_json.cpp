@@ -1,6 +1,9 @@
-// validate_stats_json: check that a --stats-json artifact conforms to the
-// lktm.stats.v1 schema (see src/config/artifact.hpp). Used as a CI stage in
-// tools/run_checks.sh: lktm-sim writes an artifact, this tool validates it.
+// validate_stats_json: check that a versioned JSON artifact conforms to its
+// declared schema — lktm.stats.v1 run artifacts (src/config/artifact.hpp) or
+// lktm.manifest.v1 sweep manifests (src/config/orchestrator.hpp); the file's
+// own "schema" field picks the checker. Used as a CI stage in
+// tools/run_checks.sh: lktm-sim / lktm_sweep write artifacts, this validates
+// them.
 //
 //   validate_stats_json <artifact.json> [more.json ...]
 //
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "config/artifact.hpp"
+#include "config/orchestrator.hpp"
 #include "stats/json.hpp"
 
 namespace {
@@ -72,13 +76,13 @@ void checkStatEntry(const Value& e, const std::string& where) {
 
 void checkRun(const Value& run, unsigned idx) {
   const std::string where = "runs[" + std::to_string(idx) + "]";
-  for (const char* key : {"system", "workload", "machine"}) {
+  for (const char* key : {"system", "workload", "machine", "diagnostic"}) {
     const Value* v = run.find(key);
     if (v == nullptr || !v->isString()) {
       fail(where + ": missing or non-string \"" + key + "\"");
     }
   }
-  for (const char* key : {"threads", "cycles", "wall_seconds"}) {
+  for (const char* key : {"threads", "seed", "cycles", "wall_seconds"}) {
     requireNumber(run, key, where);
   }
   for (const char* key : {"ok", "hang"}) {
@@ -86,6 +90,13 @@ void checkRun(const Value& run, unsigned idx) {
     if (v == nullptr || v->kind != Value::Kind::Bool) {
       fail(where + ": missing or non-boolean \"" + key + "\"");
     }
+  }
+  const Value* status = run.find("status");
+  lktm::cfg::RunStatus parsed;
+  if (status == nullptr || !status->isString()) {
+    fail(where + ": missing or non-string \"status\"");
+  } else if (!lktm::cfg::runStatusFromString(status->text, parsed)) {
+    fail(where + ": unknown status \"" + status->text + "\"");
   }
   const Value* violations = run.find("violations");
   if (violations == nullptr || !violations->isArray()) {
@@ -122,6 +133,53 @@ void checkRun(const Value& run, unsigned idx) {
   }
 }
 
+void checkManifest(const Value& doc) {
+  const Value* dir = doc.find("artifact_dir");
+  if (dir == nullptr || !dir->isString()) {
+    fail("missing or non-string \"artifact_dir\"");
+  }
+  const Value* jobs = doc.find("jobs");
+  if (jobs == nullptr || !jobs->isArray()) {
+    fail("missing \"jobs\" array");
+    return;
+  }
+  std::set<std::string> ids;
+  for (unsigned i = 0; i < jobs->array->size(); ++i) {
+    const Value& j = jobs->array->at(i);
+    const std::string where = "jobs[" + std::to_string(i) + "]";
+    if (!j.isObject()) {
+      fail(where + ": not an object");
+      continue;
+    }
+    for (const char* key : {"id", "system", "workload", "machine", "diagnostic",
+                            "artifact"}) {
+      const Value* v = j.find(key);
+      if (v == nullptr || !v->isString()) {
+        fail(where + ": missing or non-string \"" + key + "\"");
+      }
+    }
+    for (const char* key : {"threads", "seed", "attempts", "wall_seconds", "cycles"}) {
+      requireNumber(j, key, where);
+    }
+    const Value* state = j.find("state");
+    lktm::cfg::JobState parsed;
+    if (state == nullptr || !state->isString()) {
+      fail(where + ": missing or non-string \"state\"");
+    } else if (!lktm::cfg::jobStateFromString(state->text, parsed)) {
+      fail(where + ": unknown state \"" + state->text + "\"");
+    } else if (parsed == lktm::cfg::JobState::Ok) {
+      const Value* artifact = j.find("artifact");
+      if (artifact != nullptr && artifact->isString() && artifact->text.empty()) {
+        fail(where + ": state \"ok\" without an artifact path");
+      }
+    }
+    const Value* id = j.find("id");
+    if (id != nullptr && id->isString() && !ids.insert(id->text).second) {
+      fail(where + ": duplicate job id \"" + id->text + "\"");
+    }
+  }
+}
+
 bool validateFile(const std::string& file) {
   std::ifstream in(file, std::ios::binary);
   if (!in) {
@@ -138,27 +196,33 @@ bool validateFile(const std::string& file) {
   } catch (const std::exception& e) {
     fail(e.what());
   }
+  std::string schemaName = "?";
   if (g_errors.empty()) {
     const Value* schema = doc.find("schema");
     if (schema == nullptr || !schema->isString()) {
       fail("missing \"schema\" string");
-    } else if (schema->text != lktm::cfg::kStatsSchema) {
-      fail("schema is \"" + schema->text + "\", expected \"" +
-           lktm::cfg::kStatsSchema + "\"");
-    }
-    const Value* runs = doc.find("runs");
-    if (runs == nullptr || !runs->isArray()) {
-      fail("missing \"runs\" array");
-    } else {
-      if (runs->array->empty()) fail("\"runs\" is empty");
-      for (unsigned i = 0; i < runs->array->size(); ++i) {
-        checkRun(runs->array->at(i), i);
+    } else if (schema->text == lktm::cfg::kStatsSchema) {
+      schemaName = schema->text;
+      const Value* runs = doc.find("runs");
+      if (runs == nullptr || !runs->isArray()) {
+        fail("missing \"runs\" array");
+      } else {
+        if (runs->array->empty()) fail("\"runs\" is empty");
+        for (unsigned i = 0; i < runs->array->size(); ++i) {
+          checkRun(runs->array->at(i), i);
+        }
       }
+    } else if (schema->text == lktm::cfg::kManifestSchema) {
+      schemaName = schema->text;
+      checkManifest(doc);
+    } else {
+      fail("schema is \"" + schema->text + "\", expected \"" +
+           lktm::cfg::kStatsSchema + "\" or \"" + lktm::cfg::kManifestSchema + "\"");
     }
   }
 
   if (g_errors.empty()) {
-    std::printf("%s: OK (%s)\n", file.c_str(), lktm::cfg::kStatsSchema);
+    std::printf("%s: OK (%s)\n", file.c_str(), schemaName.c_str());
     return true;
   }
   for (const std::string& e : g_errors) {

@@ -15,6 +15,7 @@ using sim::kDirectoryLane;
 DirectoryController::DirectoryController(sim::SimContext& ctx, noc::Network& net,
                                          mem::MainMemory& memory,
                                          ProtocolParams params, unsigned numCores,
+                                         unsigned numBanks,
                                          core::HtmLockUnitParams sigParams)
     : ctx_(ctx),
       engine_(ctx.engine()),
@@ -22,25 +23,50 @@ DirectoryController::DirectoryController(sim::SimContext& ctx, noc::Network& net
       memory_(memory),
       params_(params),
       numCores_(numCores),
+      bankMask_(numBanks - 1),
       l1s_(numCores, nullptr),
-      hlUnit_(arbiter_, sigParams),
       llcHits_(ctx.stats().counter("dir.llc.hits")),
       llcMisses_(ctx.stats().counter("dir.llc.misses")),
       writebacks_(ctx.stats().counter("dir.writebacks",
                                       "dirty lines written back into the LLC")),
       sigRejects_(ctx.stats().counter("dir.sig_rejects",
                                       "LLC signature-induced rejections")),
+      interBankMsgs_(ctx.stats().counter(
+          "dir.interbank.msgs",
+          "lock-mirror broadcast messages between LLC banks")),
       waitqDepth_(ctx.stats().distribution(
-          "dir.waitq.depth", "requests queued behind a busy line at enqueue")) {}
+          "dir.waitq.depth", "requests queued behind a busy line at enqueue")) {
+  if (numBanks == 0 || (numBanks & (numBanks - 1)) != 0) {
+    throw std::invalid_argument(
+        "directory bank count must be a power of two, got " +
+        std::to_string(numBanks));
+  }
+  if (numBanks > numCores) {
+    throw std::invalid_argument(
+        "directory bank count (" + std::to_string(numBanks) +
+        ") cannot exceed the core count (" + std::to_string(numCores) +
+        "): each bank needs a distinct home node on the NoC");
+  }
+  banks_.reserve(numBanks);
+  bankReqs_.reserve(numBanks);
+  for (unsigned b = 0; b < numBanks; ++b) {
+    banks_.emplace_back(sigParams);
+    bankReqs_.push_back(&ctx.stats().counter(
+        "dir.bank." + std::to_string(b) + ".reqs"));
+  }
+}
 
 void DirectoryController::connectL1(CoreId core, MsgSink* sink) {
   l1s_.at(static_cast<std::size_t>(core)) = sink;
 }
 
 void DirectoryController::preloadLlc(LineAddr from, LineAddr to) {
-  if (to > from) llc_.reserve(llc_.size() + (to - from));
+  if (to > from) {
+    const std::size_t perBank = (to - from) / banks_.size() + 1;
+    for (Bank& b : banks_) b.llc.reserve(b.llc.size() + perBank);
+  }
   for (LineAddr l = from; l < to; ++l) {
-    auto [data, inserted] = llc_.tryEmplace(l);
+    auto [data, inserted] = bankFor(l).llc.tryEmplace(l);
     if (inserted) *data = memory_.readLine(l);
   }
 }
@@ -48,48 +74,74 @@ void DirectoryController::preloadLlc(LineAddr from, LineAddr to) {
 void DirectoryController::sendToL1(CoreId core, Msg msg) {
   MsgSink* sink = l1s_.at(static_cast<std::size_t>(core));
   assert(sink != nullptr);
-  post(ctx_, net_, bankNode(msg.line), core, *sink, std::move(msg));
+  post(ctx_, net_, lineNode(msg.line), core, *sink, std::move(msg));
 }
 
-mem::LineData& DirectoryController::llcFetch(LineAddr line, bool& cold) {
-  if (mem::LineData* data = llc_.find(line)) {
+void DirectoryController::sendBankToBank(unsigned srcBank, unsigned dstBank,
+                                         Msg msg) {
+  ++interBankMsgs_;
+  post(ctx_, net_, bankCtrlNode(srcBank), bankCtrlNode(dstBank), *this,
+       std::move(msg));
+}
+
+mem::LineData& DirectoryController::llcFetch(Bank& b, LineAddr line, bool& cold) {
+  if (mem::LineData* data = b.llc.find(line)) {
     cold = false;
     ++llcHits_;
     return *data;
   }
   cold = true;
   ++llcMisses_;
-  mem::LineData* data = llc_.tryEmplace(line).first;
+  mem::LineData* data = b.llc.tryEmplace(line).first;
   *data = memory_.readLine(line);
   return *data;
 }
 
 DirectoryController::DirSnapshot DirectoryController::snapshot(LineAddr line) const {
   DirSnapshot s;
-  if (const DirInfo* d = dir_.find(line)) {
+  const Bank& b = bankFor(line);
+  if (const DirInfo* d = b.dir.find(line)) {
     s.owner = d->owner;
     s.sharers = d->sharers;
   }
-  s.busy = pending_.contains(line);
+  s.busy = b.pending.contains(line);
   return s;
 }
 
 mem::LineData DirectoryController::llcData(LineAddr line) const {
-  if (const mem::LineData* data = llc_.find(line)) return *data;
+  if (const mem::LineData* data = bankFor(line).llc.find(line)) return *data;
   return memory_.readLine(line);
+}
+
+bool DirectoryController::anyOverflow() const {
+  for (const Bank& b : banks_) {
+    if (b.hl.anyOverflow()) return true;
+  }
+  return false;
+}
+
+std::size_t DirectoryController::busyLines() const {
+  std::size_t n = 0;
+  for (const Bank& b : banks_) n += b.pending.size();
+  return n;
 }
 
 std::string DirectoryController::diagnostic() const {
   std::ostringstream oss;
-  oss << "directory: " << pending_.size() << " busy lines";
-  pending_.forEachOrdered([&](LineAddr line, const Pending& p) {
-    oss << " [0x" << std::hex << line << std::dec << " " << toString(p.req.type)
-        << " from c" << p.req.from << " acksLeft=" << p.acksLeft
-        << (p.waitUnblock ? " waitUnblock" : "") << "]";
-  });
+  oss << "directory: " << busyLines() << " busy lines";
+  for (unsigned bi = 0; bi < banks_.size(); ++bi) {
+    banks_[bi].pending.forEachOrdered([&](LineAddr line, const Pending& p) {
+      oss << " [0x" << std::hex << line << std::dec << " " << toString(p.req.type)
+          << " from c" << p.req.from << " acksLeft=" << p.acksLeft
+          << (p.waitUnblock ? " waitUnblock" : "") << "]";
+    });
+  }
   if (arbiter_.active()) {
     oss << " HTMLock holder=c" << arbiter_.holder() << " (" << toString(arbiter_.holderMode())
         << ", " << arbiter_.queued() << " TL queued)";
+  }
+  if (interBankAcksPending() != 0) {
+    oss << " interbank acks pending=" << interBankAcksPending();
   }
   return oss.str();
 }
@@ -99,8 +151,9 @@ void DirectoryController::onMessage(const Msg& msg) {
   switch (msg.type) {
     case MsgType::GetS:
     case MsgType::GetX: {
-      if (pending_.contains(msg.line)) {
-        std::deque<Msg>& q = waitq_[msg.line];
+      Bank& b = bankFor(msg.line);
+      if (b.pending.contains(msg.line)) {
+        std::deque<Msg>& q = b.waitq[msg.line];
         q.push_back(msg);
         waitqDepth_.record(q.size());
         return;
@@ -109,7 +162,7 @@ void DirectoryController::onMessage(const Msg& msg) {
       return;
     }
     case MsgType::Unblock: {
-      const Pending* p = pending_.find(msg.line);
+      const Pending* p = bankFor(msg.line).pending.find(msg.line);
       // Unblock must match an in-flight transaction.
       if (p == nullptr || !p->waitUnblock) {
         throw std::logic_error("stray Unblock at directory");
@@ -124,16 +177,17 @@ void DirectoryController::onMessage(const Msg& msg) {
     case MsgType::FwdReject: return onFwdResponse(msg);
     case MsgType::PutM: return onPutM(msg);
     case MsgType::WbClean: {
-      llc_[msg.line] = msg.data;
+      bankFor(msg.line).llc[msg.line] = msg.data;
       return;
     }
     case MsgType::TxAbortInv: {
-      if (pending_.contains(msg.line)) {
+      Bank& b = bankFor(msg.line);
+      if (b.pending.contains(msg.line)) {
         // A forward for this line is in flight to the aborting owner; its
         // response (FwdAckTxInv) will carry the state fix. Drop.
         return;
       }
-      if (DirInfo* d = dir_.find(msg.line); d != nullptr && d->owner == msg.from) {
+      if (DirInfo* d = b.dir.find(msg.line); d != nullptr && d->owner == msg.from) {
         d->owner = kNoCore;
       }
       return;
@@ -141,6 +195,10 @@ void DirectoryController::onMessage(const Msg& msg) {
     case MsgType::SigAdd: return onSigAdd(msg);
     case MsgType::SigClear: return onSigClear(msg);
     case MsgType::HlaReq: return onHlaReq(msg);
+    case MsgType::BankLockSet: return onBankLockSet(msg);
+    case MsgType::BankLockAck: return onBankLockAck(msg);
+    case MsgType::BankLockClear: return onBankLockClear(msg);
+    case MsgType::BankClearAck: return onBankClearAck(msg);
     default:
       throw std::logic_error(std::string("directory cannot handle ") + toString(msg.type));
   }
@@ -150,53 +208,57 @@ void DirectoryController::startRequest(const Msg& msg) {
   sim::traceInstant(ctx_, TraceCat::Directory, "dir_busy", kDirectoryLane,
                     {"line", msg.line},
                     {"from", static_cast<std::uint64_t>(msg.from)});
-  Pending& p = *pending_.tryEmplace(msg.line).first;
+  Bank& b = bankFor(msg.line);
+  ++*bankReqs_[bankOfLine(msg.line)];
+  Pending& p = *b.pending.tryEmplace(msg.line).first;
   p.req = PendingReq{msg.type, msg.line, msg.from, msg.req};
   p.acksLeft = 0;
   p.anyReject = false;
   p.rejectHint = AbortCause::MemConflict;
   p.waitUnblock = false;
   // LLC/tag access latency; cold lines additionally pay the memory latency.
-  const bool cold = !llc_.contains(msg.line);
+  const bool cold = !b.llc.contains(msg.line);
   const Cycle lat = params_.llcLatency + (cold ? params_.memLatency : 0);
   engine_.schedule(lat, [this, line = msg.line]() { handleRequest(line); });
 }
 
 void DirectoryController::handleRequest(LineAddr line) {
-  Pending* pp = pending_.find(line);
+  Bank& b = bankFor(line);
+  Pending* pp = b.pending.find(line);
   assert(pp != nullptr);
   Pending& p = *pp;
-  DirInfo& d = dir_[line];
+  DirInfo& d = b.dir[line];
   bool cold = false;
-  llcFetch(line, cold);  // materialize data
+  llcFetch(b, line, cold);  // materialize data
 
-  // HTMLock mechanism: LLC overflow-signature filter (Fig 5 step 3).
+  // HTMLock mechanism: LLC overflow-signature filter (Fig 5 step 3),
+  // answered entirely from this bank's signatures and lock mirror.
   const bool wantX = p.req.type == MsgType::GetX;
-  if (hlUnit_.shouldReject(line, wantX, d.hasCopies(), p.req.from)) {
+  if (b.hl.shouldReject(line, wantX, d.hasCopies(), p.req.from)) {
     ++sigRejects_;
     sim::traceInstant(ctx_, TraceCat::Directory, "sig_reject", kDirectoryLane,
                       {"line", line},
                       {"core", static_cast<std::uint64_t>(p.req.from)});
-    hlUnit_.recordWaiter(line, p.req.from);
+    b.hl.recordWaiter(line, p.req.from);
     sendReject(p.req, AbortCause::LockConflict);
     finishPending(line);
     return;
   }
 
   if (wantX) {
-    handleGetX(p, d);
+    handleGetX(b, p, d);
   } else {
-    handleGetS(p, d);
+    handleGetS(b, p, d);
   }
 }
 
-void DirectoryController::handleGetS(Pending& p, DirInfo& d) {
+void DirectoryController::handleGetS(Bank& b, Pending& p, DirInfo& d) {
   const LineAddr line = p.req.line;
   const CoreId r = p.req.from;
   if (d.owner == r || !d.hasCopies()) {
     // No other copies (or the owner silently dropped a clean line and is
     // re-requesting): grant exclusive, MESI E-state optimization.
-    Msg resp{.type = MsgType::DataE, .line = line, .data = llc_[line], .hasData = true};
+    Msg resp{.type = MsgType::DataE, .line = line, .data = b.llc[line], .hasData = true};
     d.owner = r;
     d.sharers.clear();
     p.waitUnblock = true;
@@ -210,18 +272,18 @@ void DirectoryController::handleGetS(Pending& p, DirInfo& d) {
     return;
   }
   // Shared: serve from LLC.
-  Msg resp{.type = MsgType::DataS, .line = line, .data = llc_[line], .hasData = true};
+  Msg resp{.type = MsgType::DataS, .line = line, .data = b.llc[line], .hasData = true};
   d.sharers.insert(r);
   p.waitUnblock = true;
   sendToL1(r, std::move(resp));
 }
 
-void DirectoryController::handleGetX(Pending& p, DirInfo& d) {
+void DirectoryController::handleGetX(Bank& b, Pending& p, DirInfo& d) {
   const LineAddr line = p.req.line;
   const CoreId r = p.req.from;
   if (d.owner == r) {
     // Owner silently dropped its clean copy and wants it back exclusively.
-    Msg resp{.type = MsgType::DataE, .line = line, .data = llc_[line], .hasData = true};
+    Msg resp{.type = MsgType::DataE, .line = line, .data = b.llc[line], .hasData = true};
     p.waitUnblock = true;
     sendToL1(r, std::move(resp));
     return;
@@ -240,7 +302,7 @@ void DirectoryController::handleGetX(Pending& p, DirInfo& d) {
   if (others == 0) {
     // Even when the requester is a listed sharer, send data: it may have
     // silently dropped its clean copy, and the directory cannot tell.
-    Msg resp{.type = MsgType::DataE, .line = line, .data = llc_[line], .hasData = true};
+    Msg resp{.type = MsgType::DataE, .line = line, .data = b.llc[line], .hasData = true};
     d.sharers.clear();
     d.owner = r;
     p.waitUnblock = true;
@@ -251,7 +313,7 @@ void DirectoryController::handleGetX(Pending& p, DirInfo& d) {
     // Injected defect: grant exclusive data while the sharers keep their
     // copies and stay listed — the requester and every sharer now hold the
     // line simultaneously, violating SWMR.
-    Msg resp{.type = MsgType::DataE, .line = line, .data = llc_[line], .hasData = true};
+    Msg resp{.type = MsgType::DataE, .line = line, .data = b.llc[line], .hasData = true};
     d.owner = r;
     p.waitUnblock = true;
     sendToL1(r, std::move(resp));
@@ -266,51 +328,68 @@ void DirectoryController::handleGetX(Pending& p, DirInfo& d) {
 }
 
 void DirectoryController::hashState(sim::StateHasher& h) const {
-  h.section(0x30);  // LLC data
-  llc_.forEachOrdered([&](LineAddr line, const mem::LineData& data) {
-    h.put(line);
-    for (std::uint64_t word : data) h.put(word);
-  });
+  h.section(0x30);  // LLC data, per bank
+  for (const Bank& b : banks_) {
+    b.llc.forEachOrdered([&](LineAddr line, const mem::LineData& data) {
+      h.put(line);
+      for (std::uint64_t word : data) h.put(word);
+    });
+  }
 
-  h.section(0x31);  // directory entries
-  dir_.forEachOrdered([&](LineAddr line, const DirInfo& d) {
-    h.put(line);
-    h.put(static_cast<std::uint64_t>(d.owner));
-    h.put(d.sharers.raw());
-  });
+  h.section(0x31);  // directory entries, per bank
+  for (const Bank& b : banks_) {
+    b.dir.forEachOrdered([&](LineAddr line, const DirInfo& d) {
+      h.put(line);
+      h.put(static_cast<std::uint64_t>(d.owner));
+      for (std::uint64_t w : d.sharers.rawWords()) h.put(w);
+    });
+  }
 
-  h.section(0x32);  // pending per-line transactions
-  pending_.forEachOrdered([&](LineAddr line, const Pending& p) {
-    h.put(line);
-    h.put(static_cast<std::uint64_t>(p.req.type));
-    h.put(static_cast<std::uint64_t>(p.req.from));
-    h.put(static_cast<std::uint64_t>(p.req.req.core));
-    h.put((p.req.req.isTx ? 1u : 0u) | (p.req.req.lockMode ? 2u : 0u) |
-          (p.req.req.wantsExclusive ? 4u : 0u));
-    h.put(p.req.req.priority);
-    h.put(p.acksLeft);
-    h.put((p.anyReject ? 1u : 0u) | (p.waitUnblock ? 2u : 0u));
-    h.put(static_cast<std::uint64_t>(p.rejectHint));
-  });
+  h.section(0x32);  // pending per-line transactions, per bank
+  for (const Bank& b : banks_) {
+    b.pending.forEachOrdered([&](LineAddr line, const Pending& p) {
+      h.put(line);
+      h.put(static_cast<std::uint64_t>(p.req.type));
+      h.put(static_cast<std::uint64_t>(p.req.from));
+      h.put(static_cast<std::uint64_t>(p.req.req.core));
+      h.put((p.req.req.isTx ? 1u : 0u) | (p.req.req.lockMode ? 2u : 0u) |
+            (p.req.req.wantsExclusive ? 4u : 0u));
+      h.put(p.req.req.priority);
+      h.put(p.acksLeft);
+      h.put((p.anyReject ? 1u : 0u) | (p.waitUnblock ? 2u : 0u));
+      h.put(static_cast<std::uint64_t>(p.rejectHint));
+    });
+  }
 
-  h.section(0x33);  // queued requests, FIFO order per line
-  waitq_.forEachOrdered([&](LineAddr line, const std::deque<Msg>& q) {
-    h.put(line);
-    for (const Msg& m : q) h.put(msgFingerprint(m));
-  });
+  h.section(0x33);  // queued requests, FIFO order per line, per bank
+  for (const Bank& b : banks_) {
+    b.waitq.forEachOrdered([&](LineAddr line, const std::deque<Msg>& q) {
+      h.put(line);
+      for (const Msg& m : q) h.put(msgFingerprint(m));
+    });
+  }
 
-  h.section(0x34);  // HTMLock arbiter
+  h.section(0x34);  // HTMLock arbiter + inter-bank broadcast bookkeeping
   h.put(static_cast<std::uint64_t>(arbiter_.holder()));
   h.put(static_cast<std::uint64_t>(arbiter_.holderMode()));
   for (CoreId c : arbiter_.tlQueue()) h.put(static_cast<std::uint64_t>(c));
+  h.put(lockAcksLeft_);
+  h.put(static_cast<std::uint64_t>(lockGrantee_));
+  h.put(static_cast<std::uint64_t>(lockGranteeMode_));
+  h.put(clearAcksLeft_);
+  h.put(static_cast<std::uint64_t>(clearingCore_));
 
-  h.section(0x35);  // LLC overflow signatures + their waiters
-  for (std::uint64_t w : hlUnit_.readSig().rawWords()) h.put(w);
-  for (std::uint64_t w : hlUnit_.writeSig().rawWords()) h.put(w);
-  hlUnit_.waiters().forEach([&](LineAddr line, CoreId core) {
-    h.put(line);
-    h.put(static_cast<std::uint64_t>(core));
-  });
+  h.section(0x35);  // per-bank lock mirrors, overflow signatures + waiters
+  for (const Bank& b : banks_) {
+    h.put(static_cast<std::uint64_t>(b.hl.lockHolder()));
+    h.put(static_cast<std::uint64_t>(b.hl.lockMode()));
+    for (std::uint64_t w : b.hl.readSig().rawWords()) h.put(w);
+    for (std::uint64_t w : b.hl.writeSig().rawWords()) h.put(w);
+    b.hl.waiters().forEach([&](LineAddr line, CoreId core) {
+      h.put(line);
+      h.put(static_cast<std::uint64_t>(core));
+    });
+  }
 }
 
 void DirectoryController::sendReject(const PendingReq& req, AbortCause hint) {
@@ -319,10 +398,11 @@ void DirectoryController::sendReject(const PendingReq& req, AbortCause hint) {
 }
 
 void DirectoryController::onInvResponse(const Msg& msg, bool rejected) {
-  Pending* pp = pending_.find(msg.line);
+  Bank& b = bankFor(msg.line);
+  Pending* pp = b.pending.find(msg.line);
   assert(pp != nullptr && pp->acksLeft > 0);
   Pending& p = *pp;
-  DirInfo& d = dir_[msg.line];
+  DirInfo& d = b.dir[msg.line];
   if (rejected) {
     p.anyReject = true;
     if (msg.rejectHint == AbortCause::LockConflict) p.rejectHint = AbortCause::LockConflict;
@@ -338,7 +418,7 @@ void DirectoryController::onInvResponse(const Msg& msg, bool rejected) {
     finishPending(msg.line);
     return;
   }
-  Msg resp{.type = MsgType::DataE, .line = msg.line, .data = llc_[msg.line],
+  Msg resp{.type = MsgType::DataE, .line = msg.line, .data = b.llc[msg.line],
            .hasData = true};
   d.sharers.clear();
   d.owner = r;
@@ -347,10 +427,11 @@ void DirectoryController::onInvResponse(const Msg& msg, bool rejected) {
 }
 
 void DirectoryController::onFwdResponse(const Msg& msg) {
-  Pending* pp = pending_.find(msg.line);
+  Bank& b = bankFor(msg.line);
+  Pending* pp = b.pending.find(msg.line);
   assert(pp != nullptr && pp->acksLeft == 1);
   Pending& p = *pp;
-  DirInfo& d = dir_[msg.line];
+  DirInfo& d = b.dir[msg.line];
   const CoreId r = p.req.from;
   const bool isGetX = p.req.type == MsgType::GetX;
 
@@ -365,7 +446,7 @@ void DirectoryController::onFwdResponse(const Msg& msg) {
       // requester receives exclusive data either way.
       d.owner = r;
       d.sharers.clear();
-      Msg resp{.type = MsgType::DataE, .line = msg.line, .data = llc_[msg.line], .hasData = true};
+      Msg resp{.type = MsgType::DataE, .line = msg.line, .data = b.llc[msg.line], .hasData = true};
       p.acksLeft = 0;
       p.waitUnblock = true;
       sendToL1(r, std::move(resp));
@@ -373,20 +454,20 @@ void DirectoryController::onFwdResponse(const Msg& msg) {
     }
     case MsgType::FwdAck: {
       if (msg.hasData) {
-        llc_[msg.line] = msg.data;
+        b.llc[msg.line] = msg.data;
         ++writebacks_;
       }
       Msg resp;
       if (isGetX) {
         d.sharers.clear();
         d.owner = r;
-        resp = Msg{.type = MsgType::DataE, .line = msg.line, .data = llc_[msg.line], .hasData = true};
+        resp = Msg{.type = MsgType::DataE, .line = msg.line, .data = b.llc[msg.line], .hasData = true};
       } else {
         const CoreId prevOwner = d.owner;
         d.owner = kNoCore;
         d.sharers.insert(r);
         if (msg.keptCopy && prevOwner != kNoCore) d.sharers.insert(prevOwner);
-        resp = Msg{.type = MsgType::DataS, .line = msg.line, .data = llc_[msg.line], .hasData = true};
+        resp = Msg{.type = MsgType::DataS, .line = msg.line, .data = b.llc[msg.line], .hasData = true};
       }
       p.acksLeft = 0;
       p.waitUnblock = true;
@@ -399,8 +480,9 @@ void DirectoryController::onFwdResponse(const Msg& msg) {
 }
 
 void DirectoryController::onPutM(const Msg& msg) {
-  if (DirInfo* d = dir_.find(msg.line); d != nullptr && d->owner == msg.from) {
-    llc_[msg.line] = msg.data;
+  Bank& b = bankFor(msg.line);
+  if (DirInfo* d = b.dir.find(msg.line); d != nullptr && d->owner == msg.from) {
+    b.llc[msg.line] = msg.data;
     d->owner = kNoCore;
     ++writebacks_;
   }
@@ -411,13 +493,14 @@ void DirectoryController::onPutM(const Msg& msg) {
 }
 
 void DirectoryController::onSigAdd(const Msg& msg) {
-  hlUnit_.noteOverflow(msg.line, msg.sigIsWrite);
-  if (DirInfo* d = dir_.find(msg.line)) {
+  Bank& b = bankFor(msg.line);
+  b.hl.noteOverflow(msg.line, msg.sigIsWrite);
+  if (DirInfo* d = b.dir.find(msg.line)) {
     if (d->owner == msg.from) d->owner = kNoCore;
     d->sharers.erase(msg.from);
   }
   if (msg.hasData) {
-    llc_[msg.line] = msg.data;
+    b.llc[msg.line] = msg.data;
     ++writebacks_;
     Msg ack{.type = MsgType::PutAck, .line = msg.line};
     sendToL1(msg.from, std::move(ack));
@@ -425,23 +508,30 @@ void DirectoryController::onSigAdd(const Msg& msg) {
 }
 
 void DirectoryController::onSigClear(const Msg& msg) {
-  for (const auto& w : hlUnit_.clearAndDrain()) {
-    Msg wake{.type = MsgType::Wakeup, .line = w.line};
-    sendToL1(w.core, std::move(wake));
+  // hlend arrives at the home bank (SigClear carries line 0). The home bank
+  // clears locally right away; remote banks clear when BankLockClear reaches
+  // them, and the arbiter slot is only released once every bank acked — a
+  // successor's spills must never race a stale clear.
+  assert(lockAcksLeft_ == 0 && clearAcksLeft_ == 0 &&
+         "overlapping HTMLock hand-offs");
+  clearBankAndWake(0);
+  if (banks_.size() == 1) {
+    finishRelease(msg.from);
+    return;
   }
-  if (auto next = arbiter_.release(msg.from)) {
-    Msg grant{.type = MsgType::HlaGrant, .line = 0};
-    sendToL1(*next, std::move(grant));
+  clearingCore_ = msg.from;
+  clearAcksLeft_ = static_cast<unsigned>(banks_.size()) - 1;
+  for (unsigned b = 1; b < banks_.size(); ++b) {
+    Msg clear{.type = MsgType::BankLockClear, .from = msg.from, .bank = b};
+    sendBankToBank(0, b, std::move(clear));
   }
 }
 
 void DirectoryController::onHlaReq(const Msg& msg) {
   switch (arbiter_.request(msg.from, msg.hlaMode)) {
-    case core::SwitchArbiter::Verdict::Grant: {
-      Msg grant{.type = MsgType::HlaGrant, .line = 0};
-      sendToL1(msg.from, std::move(grant));
+    case core::SwitchArbiter::Verdict::Grant:
+      beginLockBroadcast(msg.from, msg.hlaMode);
       return;
-    }
     case core::SwitchArbiter::Verdict::Deny: {
       Msg deny{.type = MsgType::HlaDeny, .line = 0};
       sendToL1(msg.from, std::move(deny));
@@ -452,19 +542,85 @@ void DirectoryController::onHlaReq(const Msg& msg) {
   }
 }
 
+void DirectoryController::beginLockBroadcast(CoreId core, TxMode mode) {
+  banks_[0].hl.setLock(core, mode);  // home mirror updates synchronously
+  if (banks_.size() == 1) {
+    Msg grant{.type = MsgType::HlaGrant, .line = 0};
+    sendToL1(core, std::move(grant));
+    return;
+  }
+  lockGrantee_ = core;
+  lockGranteeMode_ = mode;
+  lockAcksLeft_ = static_cast<unsigned>(banks_.size()) - 1;
+  for (unsigned b = 1; b < banks_.size(); ++b) {
+    Msg set{.type = MsgType::BankLockSet, .from = core, .bank = b, .hlaMode = mode};
+    sendBankToBank(0, b, std::move(set));
+  }
+}
+
+void DirectoryController::finishRelease(CoreId core) {
+  banks_[0].hl.clearLock();
+  if (auto next = arbiter_.release(core)) {
+    beginLockBroadcast(*next, TxMode::TL);
+  }
+}
+
+void DirectoryController::clearBankAndWake(unsigned bank) {
+  for (const auto& w : banks_[bank].hl.clearAndDrain()) {
+    Msg wake{.type = MsgType::Wakeup, .line = w.line};
+    sendToL1(w.core, std::move(wake));
+  }
+  if (bank != 0) banks_[bank].hl.clearLock();
+  // Bank 0's mirror is cleared in finishRelease: the home bank keeps
+  // rejecting on the holder's behalf until the slot actually changes hands.
+}
+
+void DirectoryController::onBankLockSet(const Msg& msg) {
+  banks_.at(msg.bank).hl.setLock(msg.from, msg.hlaMode);
+  Msg ack{.type = MsgType::BankLockAck, .from = msg.from, .bank = msg.bank};
+  sendBankToBank(msg.bank, 0, std::move(ack));
+}
+
+void DirectoryController::onBankLockAck(const Msg& msg) {
+  (void)msg;
+  assert(lockAcksLeft_ > 0);
+  if (--lockAcksLeft_ > 0) return;
+  Msg grant{.type = MsgType::HlaGrant, .line = 0};
+  const CoreId grantee = lockGrantee_;
+  lockGrantee_ = kNoCore;
+  lockGranteeMode_ = TxMode::None;
+  sendToL1(grantee, std::move(grant));
+}
+
+void DirectoryController::onBankLockClear(const Msg& msg) {
+  clearBankAndWake(msg.bank);
+  Msg ack{.type = MsgType::BankClearAck, .from = msg.from, .bank = msg.bank};
+  sendBankToBank(msg.bank, 0, std::move(ack));
+}
+
+void DirectoryController::onBankClearAck(const Msg& msg) {
+  (void)msg;
+  assert(clearAcksLeft_ > 0);
+  if (--clearAcksLeft_ > 0) return;
+  const CoreId releasing = clearingCore_;
+  clearingCore_ = kNoCore;
+  finishRelease(releasing);
+}
+
 void DirectoryController::finishPending(LineAddr line) {
   sim::traceInstant(ctx_, TraceCat::Directory, "dir_done", kDirectoryLane,
                     {"line", line});
-  pending_.erase(line);
-  std::deque<Msg>* q = waitq_.find(line);
+  Bank& b = bankFor(line);
+  b.pending.erase(line);
+  std::deque<Msg>* q = b.waitq.find(line);
   if (q == nullptr) return;  // common case: nobody queued behind this line
   if (q->empty()) {
-    waitq_.erase(line);
+    b.waitq.erase(line);
     return;
   }
   Msg next = q->front();
   q->pop_front();
-  if (q->empty()) waitq_.erase(line);
+  if (q->empty()) b.waitq.erase(line);
   startRequest(next);
 }
 

@@ -7,6 +7,19 @@
 // communicate through their subordinate), which centralizes the recovery
 // mechanism's reject aggregation and the HTMLock signature checks.
 //
+// Banking: the logical directory is sharded into numBanks address-interleaved
+// banks (bank = line mod numBanks, numBanks a power of two). Each bank owns
+// its own line tables, pending queue, wait queues, and HTMLock signature
+// pair. The SwitchArbiter slot stays globally unique and lives at the *home
+// bank* (bank 0, where HlaReq/SigClear arrive), but its decisions now travel
+// to the other banks as explicit NoC messages: a grant broadcasts
+// BankLockSet and is only delivered to the requester once every bank has
+// acked its lock mirror, and hlend broadcasts BankLockClear — each bank
+// clears its signatures, drains its own waiters, and acks — before the slot
+// is released to the next queued TL core. With numBanks == 1 every broadcast
+// degenerates to a synchronous local update and the controller is
+// message-for-message identical to the pre-banking monolith.
+//
 // Capacity note (documented in DESIGN.md): the LLC data store is sparse and
 // effectively unbounded; LLC capacity effects are second-order for the
 // paper's experiments (its sensitivity axis is the L1), while cold misses do
@@ -33,9 +46,11 @@ namespace lktm::coh {
 
 class DirectoryController final : public MsgSink {
  public:
+  /// Throws std::invalid_argument when numBanks is 0, not a power of two, or
+  /// exceeds numCores (each bank needs a distinct home node on the NoC).
   DirectoryController(sim::SimContext& ctx, noc::Network& net,
                       mem::MainMemory& memory, ProtocolParams params,
-                      unsigned numCores,
+                      unsigned numCores, unsigned numBanks = 1,
                       core::HtmLockUnitParams sigParams = {});
 
   void connectL1(CoreId core, MsgSink* sink);
@@ -55,25 +70,40 @@ class DirectoryController final : public MsgSink {
   };
   DirSnapshot snapshot(LineAddr line) const;
 
-  bool llcHas(LineAddr line) const { return llc_.contains(line); }
+  bool llcHas(LineAddr line) const { return bankFor(line).llc.contains(line); }
   mem::LineData llcData(LineAddr line) const;
 
+  unsigned numBanks() const { return static_cast<unsigned>(banks_.size()); }
+  unsigned bankOfLine(LineAddr line) const {
+    return static_cast<unsigned>(line) & bankMask_;
+  }
+
   const core::SwitchArbiter& arbiter() const { return arbiter_; }
-  const core::HtmLockUnit& htmlockUnit() const { return hlUnit_; }
+  /// Per-bank signature/waiter state; the no-argument overload is the home
+  /// bank (compatible with single-bank callers).
+  const core::HtmLockUnit& htmlockUnit(unsigned bank = 0) const {
+    return banks_.at(bank).hl;
+  }
+  /// Any bank holding overflow signature bits (lock evidence for invariants).
+  bool anyOverflow() const;
+  /// Outstanding inter-bank lock-mirror broadcast acks (0 when the TL/STL
+  /// protocol is quiescent; always 0 with a single bank).
+  unsigned interBankAcksPending() const { return lockAcksLeft_ + clearAcksLeft_; }
+
   std::uint64_t llcHits() const { return llcHits_.value(); }
   std::uint64_t llcMisses() const { return llcMisses_.value(); }
   std::uint64_t writebacks() const { return writebacks_.value(); }
   std::uint64_t sigRejects() const { return sigRejects_.value(); }
 
   /// Pending per-line transactions (0 when the protocol is quiescent).
-  std::size_t busyLines() const { return pending_.size(); }
+  std::size_t busyLines() const;
 
   /// Requester descriptor of the in-flight transaction on `line`, or nullptr
   /// when the line is not busy. The model checker's reject-priority invariant
   /// reads the requester's carried priority snapshot from here at the moment
   /// a responder sends a reject.
   const core::ReqSide* pendingReq(LineAddr line) const {
-    const Pending* p = pending_.find(line);
+    const Pending* p = bankFor(line).pending.find(line);
     return p == nullptr ? nullptr : &p->req.req;
   }
 
@@ -91,9 +121,10 @@ class DirectoryController final : public MsgSink {
   };
   void injectBug(InjectedBug bug) { bug_ = bug; }
 
-  /// Fold the directory's behaviour-relevant state — LLC lines, dir entries,
-  /// pending transactions, wait queues, HTMLock arbiter + signatures, LLC
-  /// waiter table — into a model-checker fingerprint. Stats are excluded.
+  /// Fold the directory's behaviour-relevant state — per-bank LLC lines, dir
+  /// entries, pending transactions, wait queues, HTMLock arbiter + mirrors +
+  /// signatures + waiter tables, and in-flight broadcast bookkeeping — into a
+  /// model-checker fingerprint. Stats are excluded.
   void hashState(sim::StateHasher& h) const;
 
  private:
@@ -123,41 +154,77 @@ class DirectoryController final : public MsgSink {
     bool waitUnblock = false;
   };
 
+  /// One address-interleaved directory shard: independent line tables plus
+  /// its own HTMLock signature pair, waiter table and lock mirror.
+  struct Bank {
+    explicit Bank(core::HtmLockUnitParams sigParams) : hl(sigParams) {}
+
+    sim::FlatLineTable<mem::LineData> llc;
+    sim::FlatLineTable<DirInfo> dir;
+    sim::FlatLineTable<Pending> pending;        // busy lines
+    sim::FlatLineTable<std::deque<Msg>> waitq;  // queued requests per line
+    core::HtmLockUnit hl;
+  };
+
   sim::SimContext& ctx_;
   sim::Engine& engine_;
   noc::Network& net_;
   mem::MainMemory& memory_;
   ProtocolParams params_;
   unsigned numCores_;
+  unsigned bankMask_;
 
   std::vector<MsgSink*> l1s_;
-  sim::FlatLineTable<mem::LineData> llc_;
-  sim::FlatLineTable<DirInfo> dir_;
-  sim::FlatLineTable<Pending> pending_;          // busy lines
-  sim::FlatLineTable<std::deque<Msg>> waitq_;    // queued requests per line
+  std::vector<Bank> banks_;
 
-  core::SwitchArbiter arbiter_;
-  core::HtmLockUnit hlUnit_;
+  core::SwitchArbiter arbiter_;  // global slot, owned by the home bank
+
+  // Home-bank broadcast bookkeeping. A grant is withheld until every bank
+  // mirrors the new holder; a release is withheld until every bank has wiped
+  // its signatures (otherwise a freshly granted holder could spill into a
+  // bank that a late BankLockClear then erases).
+  unsigned lockAcksLeft_ = 0;
+  CoreId lockGrantee_ = kNoCore;
+  TxMode lockGranteeMode_ = TxMode::None;
+  unsigned clearAcksLeft_ = 0;
+  CoreId clearingCore_ = kNoCore;
+
   stats::Counter& llcHits_;
   stats::Counter& llcMisses_;
   stats::Counter& writebacks_;
   stats::Counter& sigRejects_;
+  stats::Counter& interBankMsgs_;
   stats::Distribution& waitqDepth_;
+  std::vector<stats::Counter*> bankReqs_;
   InjectedBug bug_ = InjectedBug::None;
 
   // --- helpers ---
-  unsigned bankOf(LineAddr line) const { return static_cast<unsigned>(line % numCores_); }
-  noc::NodeId bankNode(LineAddr line) const { return static_cast<noc::NodeId>(numCores_ + bankOf(line)); }
+  Bank& bankFor(LineAddr line) { return banks_[bankOfLine(line)]; }
+  const Bank& bankFor(LineAddr line) const { return banks_[bankOfLine(line)]; }
+
+  /// NoC node serving `line` (network-level striping over all numCores LLC
+  /// slices; unchanged by logical banking so single-bank timing is stable).
+  unsigned nodeSliceOf(LineAddr line) const {
+    return static_cast<unsigned>(line % numCores_);
+  }
+  noc::NodeId lineNode(LineAddr line) const {
+    return static_cast<noc::NodeId>(numCores_ + nodeSliceOf(line));
+  }
+  /// NoC node carrying bank b's control traffic (bank home tile).
+  noc::NodeId bankCtrlNode(unsigned bank) const {
+    return static_cast<noc::NodeId>(numCores_ + (bank % numCores_));
+  }
 
   void sendToL1(CoreId core, Msg msg);
-  mem::LineData& llcFetch(LineAddr line, bool& cold);
+  void sendBankToBank(unsigned srcBank, unsigned dstBank, Msg msg);
+  mem::LineData& llcFetch(Bank& b, LineAddr line, bool& cold);
 
   void startRequest(const Msg& msg);
   void handleRequest(LineAddr line);
   void finishPending(LineAddr line);
 
-  void handleGetS(Pending& p, DirInfo& d);
-  void handleGetX(Pending& p, DirInfo& d);
+  void handleGetS(Bank& b, Pending& p, DirInfo& d);
+  void handleGetX(Bank& b, Pending& p, DirInfo& d);
   void sendReject(const PendingReq& req, AbortCause hint);
 
   void onInvResponse(const Msg& msg, bool rejected);
@@ -166,6 +233,15 @@ class DirectoryController final : public MsgSink {
   void onSigAdd(const Msg& msg);
   void onSigClear(const Msg& msg);
   void onHlaReq(const Msg& msg);
+
+  // inter-bank TL/STL protocol
+  void beginLockBroadcast(CoreId core, TxMode mode);
+  void finishRelease(CoreId core);
+  void clearBankAndWake(unsigned bank);
+  void onBankLockSet(const Msg& msg);
+  void onBankLockAck(const Msg& msg);
+  void onBankLockClear(const Msg& msg);
+  void onBankClearAck(const Msg& msg);
 };
 
 }  // namespace lktm::coh

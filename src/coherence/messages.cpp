@@ -42,6 +42,7 @@ std::uint64_t msgFingerprint(const Msg& msg) {
     for (std::uint64_t word : msg.data) h.put(word);
   }
   h.put((msg.keptCopy ? 1u : 0u) | (msg.sigIsWrite ? 2u : 0u));
+  h.put(msg.bank);
   h.put(static_cast<std::uint64_t>(msg.hlaMode));
   h.put(static_cast<std::uint64_t>(msg.rejectHint));
   return h.digest();
@@ -74,6 +75,10 @@ const char* toString(MsgType t) {
     case MsgType::FwdAckTxInv: return "FwdAckTxInv";
     case MsgType::FwdReject: return "FwdReject";
     case MsgType::Wakeup: return "Wakeup";
+    case MsgType::BankLockSet: return "BankLockSet";
+    case MsgType::BankLockAck: return "BankLockAck";
+    case MsgType::BankLockClear: return "BankLockClear";
+    case MsgType::BankClearAck: return "BankClearAck";
   }
   return "?";
 }

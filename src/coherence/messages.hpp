@@ -53,6 +53,12 @@ enum class MsgType : std::uint8_t {
 
   // --- L1 -> L1 ---
   Wakeup,      ///< retry your previously rejected request for this line
+
+  // --- directory bank -> directory bank (banked LLC only) ---
+  BankLockSet,   ///< home bank installs the HTMLock holder mirror on a bank
+  BankLockAck,   ///< bank confirms the mirror; grant waits for all acks
+  BankLockClear, ///< hlend: clear your signatures + mirror, drain waiters
+  BankClearAck,  ///< bank finished clearing; release waits for all acks
 };
 
 const char* toString(MsgType t);
@@ -70,7 +76,8 @@ struct Msg {
   bool hasData = false;
   bool keptCopy = false;     ///< FwdAck: responder retains an S copy
   bool sigIsWrite = false;   ///< SigAdd: write-set vs read-set overflow
-  TxMode hlaMode = TxMode::None;       ///< HlaReq: TL or STL
+  unsigned bank = 0;         ///< Bank*: target bank (Set/Clear) or acking bank
+  TxMode hlaMode = TxMode::None;       ///< HlaReq: TL or STL; BankLockSet: mode
   AbortCause rejectHint = AbortCause::None;  ///< RejectResp: who beat us
 
   std::string str() const;

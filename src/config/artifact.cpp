@@ -57,6 +57,8 @@ void writeRun(stats::json::Writer& w, const RunResult& r) {
   w.field("workload", r.workload);
   w.field("machine", r.machine);
   w.field("threads", r.threads);
+  w.field("cores", r.cores);
+  w.field("banks", r.banks);
   w.field("seed", r.seed);
   w.field("cycles", r.cycles);
   w.field("ok", r.ok());
@@ -171,6 +173,8 @@ RunResult runResultFromJson(const Value& run) {
   r.workload = need(run, "workload").text;
   r.machine = need(run, "machine").text;
   r.threads = static_cast<unsigned>(asU64(need(run, "threads")));
+  r.cores = static_cast<unsigned>(asU64(need(run, "cores")));
+  r.banks = static_cast<unsigned>(asU64(need(run, "banks")));
   r.seed = asU64(need(run, "seed"));
   r.cycles = asU64(need(run, "cycles"));
   if (!runStatusFromString(need(run, "status").text, r.status)) {

@@ -1,7 +1,10 @@
 #include "config/machine.hpp"
 
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
+
+#include "sim/core_mask.hpp"
 
 namespace lktm::cfg {
 
@@ -25,9 +28,51 @@ MachineParams MachineParams::largeCache() {
   return m;
 }
 
+void MachineParams::validate() const {
+  if (numCores == 0) {
+    throw std::invalid_argument("machine '" + name + "': core count must be >= 1");
+  }
+  if (numCores > sim::CoreMask::kMaxCores) {
+    throw std::invalid_argument(
+        "machine '" + name + "': " + std::to_string(numCores) +
+        " cores exceed this build's CoreMask cap of " +
+        std::to_string(sim::CoreMask::kMaxCores) +
+        " (reconfigure with -DLKTM_MAX_CORES=" +
+        std::to_string(numCores <= 128 ? 128 : (numCores <= 256 ? 256 : 512)) +
+        " or use the 'bigcores' preset)");
+  }
+  if (numBanks == 0 || (numBanks & (numBanks - 1)) != 0) {
+    throw std::invalid_argument("machine '" + name + "': bank count must be a power of two, got " +
+                                std::to_string(numBanks));
+  }
+  if (numBanks > numCores) {
+    throw std::invalid_argument(
+        "machine '" + name + "': " + std::to_string(numBanks) +
+        " banks exceed the core count (" + std::to_string(numCores) +
+        "); each bank needs a distinct home node");
+  }
+  if (!idealNetwork) {
+    if (mesh.cols == 0 || mesh.rows == 0) {
+      throw std::invalid_argument("machine '" + name + "': mesh must be at least 1x1, got " +
+                                  std::to_string(mesh.cols) + "x" + std::to_string(mesh.rows));
+    }
+    if (mesh.cols * mesh.rows < numCores) {
+      throw std::invalid_argument(
+          "machine '" + name + "': mesh " + std::to_string(mesh.cols) + "x" +
+          std::to_string(mesh.rows) + " has " + std::to_string(mesh.cols * mesh.rows) +
+          " tiles, fewer than " + std::to_string(numCores) +
+          " cores (need cols*rows >= cores; try --mesh " +
+          std::to_string(noc::MeshParams::forTiles(numCores).cols) + "x" +
+          std::to_string(noc::MeshParams::forTiles(numCores).rows) + ")");
+    }
+  }
+}
+
 std::string MachineParams::describe() const {
   std::ostringstream oss;
-  oss << name << ": " << numCores << " cores, L1 " << l1.sizeBytes / 1024 << "KB/"
+  oss << name << ": " << numCores << " cores, ";
+  if (numBanks > 1) oss << numBanks << " LLC banks, ";
+  oss << "L1 " << l1.sizeBytes / 1024 << "KB/"
       << l1.assoc << "-way (" << protocol.l1HitLatency << "cyc), LLC "
       << llcBytes / (1024 * 1024) << "MB (" << protocol.llcLatency
       << "cyc), mem " << protocol.memLatency << "cyc, ";
@@ -39,11 +84,84 @@ std::string MachineParams::describe() const {
   return oss.str();
 }
 
+void applyMachineOverrides(MachineParams& m, const MachineOverrides& ov) {
+  if (ov.cores != 0) {
+    m.numCores = ov.cores;
+    m.name += "-c" + std::to_string(ov.cores);
+    if (ov.meshCols == 0) {
+      // Derive a near-square grid for the new core count; keep the preset's
+      // link/router latencies.
+      const noc::MeshParams derived = noc::MeshParams::forTiles(ov.cores);
+      m.mesh.cols = derived.cols;
+      m.mesh.rows = derived.rows;
+    }
+  }
+  if (ov.banks != 0) {
+    m.numBanks = ov.banks;
+    m.name += "-b" + std::to_string(ov.banks);
+  }
+  if (ov.meshCols != 0) {
+    m.mesh.cols = ov.meshCols;
+    m.mesh.rows = ov.meshRows;
+    m.name += "-m" + std::to_string(ov.meshCols) + "x" + std::to_string(ov.meshRows);
+  }
+}
+
+namespace {
+
+/// Match one "-cN" / "-bN" / "-mWxH" suffix token into `ov`; returns the
+/// token's length (including the dash) or 0 when `name` ends in no such
+/// token. Tokens are parsed right-to-left so preset names containing dashes
+/// ("small-cache") stay intact.
+std::size_t parseSuffixToken(const std::string& name, MachineOverrides& ov) {
+  const std::size_t dash = name.rfind('-');
+  if (dash == std::string::npos) return 0;
+  const std::string tok = name.substr(dash + 1);
+  if (tok.size() < 2) return 0;
+  unsigned a = 0;
+  unsigned b = 0;
+  char tail = 0;
+  if (std::sscanf(tok.c_str(), "c%u%c", &a, &tail) == 1 && a != 0) {
+    ov.cores = a;
+    return tok.size() + 1;
+  }
+  if (std::sscanf(tok.c_str(), "b%u%c", &a, &tail) == 1 && a != 0) {
+    ov.banks = a;
+    return tok.size() + 1;
+  }
+  if (std::sscanf(tok.c_str(), "m%ux%u%c", &a, &b, &tail) == 2 && a != 0 && b != 0) {
+    ov.meshCols = a;
+    ov.meshRows = b;
+    return tok.size() + 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
 MachineParams machineByName(const std::string& name) {
-  if (name == "typical") return MachineParams::typical();
-  if (name == "small-cache" || name == "small") return MachineParams::smallCache();
-  if (name == "large-cache" || name == "large") return MachineParams::largeCache();
-  throw std::invalid_argument("unknown machine: " + name);
+  // Strip scale suffixes right-to-left, then look up the base preset and
+  // re-apply the overrides in canonical order (so the resulting name
+  // round-trips byte-identically through applyMachineOverrides).
+  std::string base = name;
+  MachineOverrides ov;
+  for (std::size_t n = parseSuffixToken(base, ov); n != 0;
+       n = parseSuffixToken(base, ov)) {
+    base.resize(base.size() - n);
+  }
+
+  MachineParams m;
+  if (base == "typical") {
+    m = MachineParams::typical();
+  } else if (base == "small-cache" || base == "small") {
+    m = MachineParams::smallCache();
+  } else if (base == "large-cache" || base == "large") {
+    m = MachineParams::largeCache();
+  } else {
+    throw std::invalid_argument("unknown machine: " + name);
+  }
+  applyMachineOverrides(m, ov);
+  return m;
 }
 
 }  // namespace lktm::cfg

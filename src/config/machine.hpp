@@ -1,5 +1,12 @@
 // Machine configurations: Table I (typical) plus the Fig 13 sensitivity
 // configurations (small: 8KB L1 / 1MB LLC, large: 128KB L1 / 32MB LLC).
+//
+// Large-core scaling: every preset can be scaled past its stock geometry with
+// MachineOverrides (core count, LLC bank count, mesh shape). Overrides are
+// recorded in the machine *name* as "-cN" / "-bN" / "-mWxH" suffixes, and
+// machineByName parses those suffixes back — so a sweep manifest entry like
+// "typical-c128-b8" round-trips through the orchestrator with no schema
+// change and no code edits.
 #pragma once
 
 #include <string>
@@ -14,6 +21,7 @@ namespace lktm::cfg {
 struct MachineParams {
   std::string name = "typical";
   unsigned numCores = 32;               ///< tiles on the mesh
+  unsigned numBanks = 1;                ///< address-interleaved LLC directory banks
   mem::CacheGeometry l1{32 * 1024, 4};  ///< private, 4-way, 64B lines
   std::uint64_t llcBytes = 8ull * 1024 * 1024;  ///< shared L2 (latency model)
   coh::ProtocolParams protocol{};
@@ -32,12 +40,36 @@ struct MachineParams {
   /// Fig 13 "large cache": 128 KB L1, 32 MB LLC.
   static MachineParams largeCache();
 
+  /// Reject inconsistent configurations with a diagnostic instead of letting
+  /// an assert fire deep in the simulator: core count within the compiled
+  /// CoreMask cap (with a rebuild hint), bank count a power of two within
+  /// [1, numCores], and mesh tiles >= numCores so every core gets a tile.
+  /// Throws std::invalid_argument.
+  void validate() const;
+
   std::string describe() const;
 };
 
-/// Look up a machine preset by name: "typical", "small-cache" (alias
-/// "small"), "large-cache" (alias "large"). Throws std::invalid_argument on
-/// an unknown name. The sweep manifest stores machines by these names.
+/// Scale overrides applied on top of a named preset; 0 means "keep the
+/// preset's value". Overriding cores without a mesh derives a near-square
+/// mesh for the new core count automatically.
+struct MachineOverrides {
+  unsigned cores = 0;
+  unsigned banks = 0;
+  unsigned meshCols = 0;
+  unsigned meshRows = 0;
+};
+
+/// Apply `ov` to `m`, suffixing the machine name ("-cN", "-bN", "-mWxH") so
+/// artifacts and manifests record the scaled configuration. Does not
+/// validate; call m.validate() when the configuration is final.
+void applyMachineOverrides(MachineParams& m, const MachineOverrides& ov);
+
+/// Look up a machine by name: the presets "typical", "small-cache" (alias
+/// "small"), "large-cache" (alias "large"), optionally scaled by suffixes as
+/// produced by applyMachineOverrides — e.g. "typical-c128-b8" or
+/// "large-cache-c256-b16-m16x16". Throws std::invalid_argument on an unknown
+/// name (the sweep manifest stores machines by these names).
 MachineParams machineByName(const std::string& name);
 
 }  // namespace lktm::cfg

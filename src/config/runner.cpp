@@ -4,6 +4,7 @@
 #include <chrono>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "coherence/checker.hpp"
 #include "coherence/directory.hpp"
@@ -93,10 +94,21 @@ std::string RunResult::str() const {
 
 RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkload,
                         sim::SimContext* ctx) {
+  cfg.machine.validate();
+  if (cfg.threads > cfg.machine.numCores) {
+    throw std::invalid_argument(
+        "run config: " + std::to_string(cfg.threads) + " threads exceed the " +
+        std::to_string(cfg.machine.numCores) + " cores of machine '" +
+        cfg.machine.name + "' (one thread per core; scale the machine with "
+        "--cores or a -cN name suffix)");
+  }
+
   RunResult res;
   res.system = cfg.system.name;
   res.machine = cfg.machine.name;
   res.threads = cfg.threads;
+  res.cores = cfg.machine.numCores;
+  res.banks = cfg.machine.numBanks;
   res.seed = cfg.rngSeed;
 
   std::unique_ptr<sim::SimContext> localCtx;
@@ -119,7 +131,7 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
   noc::Network& net = *netPtr;
 
   coh::DirectoryController dir(simCtx, net, memory, cfg.machine.protocol,
-                               cfg.machine.numCores,
+                               cfg.machine.numCores, cfg.machine.numBanks,
                                core::HtmLockUnitParams{cfg.machine.signatureBits, 4});
 
   const unsigned n = cfg.threads;

@@ -50,6 +50,8 @@ struct RunResult {
   std::string workload;
   std::string machine;
   unsigned threads = 0;
+  unsigned cores = 0;      ///< machine core count the run executed with
+  unsigned banks = 1;      ///< LLC directory bank count
   std::uint64_t seed = 0;  ///< RNG seed the run executed with (job identity)
 
   Cycle cycles = 0;  ///< wall-clock of the run (last thread's halt)

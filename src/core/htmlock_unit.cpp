@@ -2,9 +2,8 @@
 
 namespace lktm::core {
 
-HtmLockUnit::HtmLockUnit(const SwitchArbiter& arbiter, HtmLockUnitParams params)
-    : arbiter_(arbiter),
-      rd_(params.signatureBits, params.signatureHashes),
+HtmLockUnit::HtmLockUnit(HtmLockUnitParams params)
+    : rd_(params.signatureBits, params.signatureHashes),
       wr_(params.signatureBits, params.signatureHashes) {}
 
 void HtmLockUnit::noteOverflow(LineAddr line, bool isWrite) {
@@ -13,7 +12,7 @@ void HtmLockUnit::noteOverflow(LineAddr line, bool isWrite) {
 
 bool HtmLockUnit::shouldReject(LineAddr line, bool wantsExclusive,
                                bool otherCopiesExist, CoreId requester) const {
-  if (!arbiter_.active() || requester == arbiter_.holder()) return false;
+  if (lockHolder_ == kNoCore || requester == lockHolder_) return false;
   if (wr_.mayContain(line)) return true;
   if (!rd_.mayContain(line)) return false;
   // OfRdSig hit: writers always conflict; readers only if they would receive

@@ -2,9 +2,14 @@
 // (OfRdSig / OfWrSig, Fig 5) recording the lock transaction's read/write set
 // that spilled out of its L1, plus the waiter bookkeeping for requests the
 // signatures reject.
+//
+// With a banked directory there is one HtmLockUnit per bank; each unit holds
+// a *mirror* of the global SwitchArbiter's lock state (holder + mode),
+// maintained by the home bank's inter-bank BankLockSet / BankLockClear
+// broadcast. The signature filter consults only the local mirror, so a bank
+// never has to reach across the chip to decide a reject.
 #pragma once
 
-#include "core/switch_arbiter.hpp"
 #include "core/wakeup_table.hpp"
 #include "mem/signature.hpp"
 #include "sim/types.hpp"
@@ -18,7 +23,20 @@ struct HtmLockUnitParams {
 
 class HtmLockUnit {
  public:
-  HtmLockUnit(const SwitchArbiter& arbiter, HtmLockUnitParams params = {});
+  explicit HtmLockUnit(HtmLockUnitParams params = {});
+
+  /// Inter-bank lock mirror: the home bank installs the active HTMLock
+  /// holder on every bank at grant time and clears it after hlend.
+  void setLock(CoreId holder, TxMode mode) {
+    lockHolder_ = holder;
+    lockMode_ = mode;
+  }
+  void clearLock() {
+    lockHolder_ = kNoCore;
+    lockMode_ = TxMode::None;
+  }
+  CoreId lockHolder() const { return lockHolder_; }
+  TxMode lockMode() const { return lockMode_; }
 
   /// The lock transaction spilled `line` from its L1 (eviction in TL/STL
   /// mode). Recorded conservatively in the corresponding signature.
@@ -36,7 +54,9 @@ class HtmLockUnit {
   void recordWaiter(LineAddr line, CoreId core) { waiters_.record(line, core); }
 
   /// Lock transaction finished (hlend): clear both signatures and return the
-  /// cores to wake.
+  /// cores to wake. Leaves the lock mirror untouched — clearing that is the
+  /// broadcast protocol's job (clearLock), because a bank must keep rejecting
+  /// on behalf of the holder until its signatures are wiped.
   std::vector<WakeupTable::Entry> clearAndDrain();
 
   bool anyOverflow() const { return !rd_.empty() || !wr_.empty(); }
@@ -45,7 +65,8 @@ class HtmLockUnit {
   const WakeupTable& waiters() const { return waiters_; }
 
  private:
-  const SwitchArbiter& arbiter_;
+  CoreId lockHolder_ = kNoCore;
+  TxMode lockMode_ = TxMode::None;
   mem::BloomSignature rd_;
   mem::BloomSignature wr_;
   WakeupTable waiters_;

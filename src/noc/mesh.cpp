@@ -2,12 +2,28 @@
 
 #include <cassert>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace lktm::noc {
 
 namespace {
 enum Dir : unsigned { E = 0, W = 1, N = 2, S = 3 };
+}
+
+MeshParams MeshParams::forTiles(unsigned tiles) {
+  MeshParams p;
+  if (tiles == 0) {
+    throw std::invalid_argument("mesh geometry needs at least one tile");
+  }
+  unsigned rows = 1;
+  for (unsigned r = 1; r * r <= tiles; ++r) {
+    if (tiles % r == 0) rows = r;
+  }
+  p.rows = rows;
+  p.cols = tiles / rows;
+  return p;
 }
 
 MeshNetwork::MeshNetwork(sim::SimContext& ctx, MeshParams params)
@@ -17,7 +33,13 @@ MeshNetwork::MeshNetwork(sim::SimContext& ctx, MeshParams params)
       params_(params),
       linkFree_(numTiles()),
       hopsHist_(ctx.stats().histogram("noc.hops",
-                                      "mesh hop count per message (log2 buckets)")) {}
+                                      "mesh hop count per message (log2 buckets)")) {
+  if (params_.cols == 0 || params_.rows == 0) {
+    throw std::invalid_argument(
+        "mesh geometry must have at least one column and one row, got " +
+        std::to_string(params_.cols) + "x" + std::to_string(params_.rows));
+  }
+}
 
 unsigned MeshNetwork::hops(NodeId src, NodeId dst) const {
   const Pos a = posOf(tileOf(src));

@@ -1,6 +1,7 @@
 // 2-D mesh with dimension-ordered (X-Y) routing and store-and-forward link
-// occupancy tracking. Matches Table I: 4x8 mesh, 1-cycle links, 1 flit/cycle
-// bandwidth, 16-byte flits.
+// occupancy tracking. The default matches Table I: 4x8 mesh, 1-cycle links,
+// 1 flit/cycle bandwidth, 16-byte flits; any cols x rows geometry is
+// accepted (large-core configs derive a near-square grid via forTiles).
 //
 // Each in-flight message is one pooled MeshPacket that carries the delivery
 // action once; per-hop events capture only {this, packet}, so routing a
@@ -19,6 +20,11 @@ struct MeshParams {
   unsigned rows = 4;
   Cycle routerLatency = 1;
   Cycle linkLatency = 1;
+
+  /// Near-square geometry with cols * rows == tiles (rows is the largest
+  /// divisor of tiles not exceeding its square root): 32 -> 4x8 (the Table I
+  /// grid), 128 -> 8x16, 256 -> 16x16. Latencies keep their defaults.
+  static MeshParams forTiles(unsigned tiles);
 };
 
 /// In-flight message state, recycled through the SimContext packet pool.

@@ -1,23 +1,160 @@
-// Fixed 64-bit bitmask over core ids, replacing std::set<CoreId> in the
+// Fixed-width bitmask over core ids, replacing std::set<CoreId> in the
 // directory sharer lists, wakeup tables, and checker. Iteration is ascending
 // via countr_zero, which matches std::set's order exactly, so every drain /
-// fan-out that used to walk a set stays bit-deterministic. The paper's
-// largest configuration is 32 cores; 64 is a hard cap enforced by assert.
+// fan-out that used to walk a set stays bit-deterministic.
+//
+// CoreMaskT<Words> holds Words * 64 cores; the project-wide CoreMask alias is
+// selected by the compile-time LKTM_MAX_CORES cap (64/128/256/512, CMake
+// cache variable of the same name). The default 64-core build uses the
+// single-word CoreMaskT<1> specialization below, whose code is identical to
+// the pre-template u64 mask — the multi-word generalization costs the small
+// configurations nothing. The cap is a build-time ceiling, not a hard
+// architectural limit: exceeding it is a configuration error reported by the
+// checked() assert (and by cfg::MachineParams::validate() with a rebuild
+// hint, before any assert can fire).
 #pragma once
 
+#include <array>
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
 
 #include "sim/types.hpp"
 
+#ifndef LKTM_MAX_CORES
+#define LKTM_MAX_CORES 64
+#endif
+
 namespace lktm::sim {
 
-class CoreMask {
+namespace detail {
+/// Range check shared by every CoreMaskT instantiation. On violation it
+/// reports the configured cap and the offending id (a bare assert cannot
+/// format runtime values) before asserting.
+inline unsigned checkedCoreId(CoreId c, unsigned maxCores) {
+#ifndef NDEBUG
+  if (c < 0 || static_cast<unsigned>(c) >= maxCores) {
+    std::fprintf(stderr,
+                 "CoreMask: core id %d out of range for this build's "
+                 "kMaxCores=%u (rebuild with a larger -DLKTM_MAX_CORES)\n",
+                 c, maxCores);
+    assert(false && "core id exceeds the CoreMask build cap");
+  }
+#endif
+  return static_cast<unsigned>(c);
+}
+}  // namespace detail
+
+template <unsigned Words>
+class CoreMaskT {
+  static_assert(Words >= 1, "CoreMaskT needs at least one word");
+
+ public:
+  static constexpr unsigned kMaxCores = Words * 64;
+  static constexpr unsigned kWords = Words;
+
+  constexpr CoreMaskT() = default;
+
+  void insert(CoreId c) {
+    const unsigned i = checked(c);
+    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  void erase(CoreId c) {
+    const unsigned i = checked(c);
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+  void clear() { words_.fill(0); }
+
+  /// std::set-compatible membership test: 0 or 1.
+  std::size_t count(CoreId c) const {
+    const unsigned i = checked(c);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+  bool contains(CoreId c) const { return count(c) != 0; }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+  bool empty() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Raw storage words, lowest cores first. Callers folding a mask into a
+  /// hash or a fingerprint must consume every word — the old single-word
+  /// raw() accessor is gone precisely so no caller can silently truncate a
+  /// >64-core mask to its first word.
+  const std::array<std::uint64_t, Words>& rawWords() const { return words_; }
+
+  /// Visit members in ascending core order (== std::set<CoreId> order).
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (unsigned w = 0; w < Words; ++w) {
+      for (std::uint64_t rest = words_[w]; rest != 0; rest &= rest - 1) {
+        fn(static_cast<CoreId>(w * 64 + static_cast<unsigned>(std::countr_zero(rest))));
+      }
+    }
+  }
+
+  /// Minimal forward iterator so range-for and set-style loops keep working.
+  /// Skips empty words eagerly, so end() is simply {mask, Words, 0}.
+  class iterator {
+   public:
+    iterator(const CoreMaskT* m, unsigned word, std::uint64_t rest)
+        : mask_(m), word_(word), rest_(rest) {
+      advancePastEmpty();
+    }
+    CoreId operator*() const {
+      return static_cast<CoreId>(word_ * 64 +
+                                 static_cast<unsigned>(std::countr_zero(rest_)));
+    }
+    iterator& operator++() {
+      rest_ &= rest_ - 1;
+      advancePastEmpty();
+      return *this;
+    }
+    bool operator==(const iterator& o) const {
+      return word_ == o.word_ && rest_ == o.rest_;
+    }
+    bool operator!=(const iterator& o) const { return !(*this == o); }
+
+   private:
+    void advancePastEmpty() {
+      while (rest_ == 0 && word_ < Words) {
+        ++word_;
+        rest_ = word_ < Words ? mask_->words_[word_] : 0;
+      }
+    }
+    const CoreMaskT* mask_;
+    unsigned word_;
+    std::uint64_t rest_;
+  };
+  iterator begin() const { return iterator(this, 0, words_[0]); }
+  iterator end() const { return iterator(this, Words, 0); }
+
+  bool operator==(const CoreMaskT& o) const { return words_ == o.words_; }
+
+ private:
+  static unsigned checked(CoreId c) { return detail::checkedCoreId(c, kMaxCores); }
+
+  std::array<std::uint64_t, Words> words_{};
+};
+
+/// Single-word fast path: the exact pre-template u64 mask. Every hot loop
+/// (sharer fan-out, wakeup drains, checker walks) compiles to the same
+/// branch-free countr_zero/popcount code as before the multi-word refactor.
+template <>
+class CoreMaskT<1> {
  public:
   static constexpr unsigned kMaxCores = 64;
+  static constexpr unsigned kWords = 1;
 
-  constexpr CoreMask() = default;
+  constexpr CoreMaskT() = default;
 
   void insert(CoreId c) { bits_ |= bitFor(c); }
   void erase(CoreId c) { bits_ &= ~bitFor(c); }
@@ -30,7 +167,8 @@ class CoreMask {
   std::size_t size() const { return static_cast<std::size_t>(std::popcount(bits_)); }
   bool empty() const { return bits_ == 0; }
 
-  std::uint64_t raw() const { return bits_; }
+  /// See the primary template: hash/fingerprint callers consume every word.
+  std::array<std::uint64_t, 1> rawWords() const { return {bits_}; }
 
   /// Visit members in ascending core order (== std::set<CoreId> order).
   template <typename Fn>
@@ -58,16 +196,19 @@ class CoreMask {
   iterator begin() const { return iterator(bits_); }
   iterator end() const { return iterator(0); }
 
-  bool operator==(const CoreMask& o) const { return bits_ == o.bits_; }
+  bool operator==(const CoreMaskT& o) const { return bits_ == o.bits_; }
 
  private:
-  static unsigned checked(CoreId c) {
-    assert(c >= 0 && static_cast<unsigned>(c) < kMaxCores);
-    return static_cast<unsigned>(c);
-  }
+  static unsigned checked(CoreId c) { return detail::checkedCoreId(c, kMaxCores); }
   static std::uint64_t bitFor(CoreId c) { return std::uint64_t{1} << checked(c); }
 
   std::uint64_t bits_ = 0;
 };
+
+static_assert(LKTM_MAX_CORES % 64 == 0 && LKTM_MAX_CORES >= 64 &&
+                  LKTM_MAX_CORES <= 512,
+              "LKTM_MAX_CORES must be one of 64, 128, 256, 512");
+
+using CoreMask = CoreMaskT<LKTM_MAX_CORES / 64>;
 
 }  // namespace lktm::sim

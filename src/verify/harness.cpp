@@ -96,6 +96,36 @@ std::optional<ModelConfig> namedConfig(const std::string& name) {
     };
     return cfg;
   }
+  if (name == "2c2l-cycle-2b") {
+    // The deadlock-shaped two-line config with the directory split into two
+    // banks: line 1 homes on bank 1, line 2 on bank 0, so the conflicting
+    // stores (and their rejects/wakeups) cross bank boundaries.
+    ModelConfig base = *namedConfig("2c2l-cycle");
+    base.name = name;
+    base.banks = 2;
+    return base;
+  }
+  if (name == "3c2l-2b") {
+    // The mixed reader/writer soak config over two banks. This is the 2-bank
+    // bug-detection canary: a reader shares line 1 while writers upgrade it,
+    // so --inject-bug swmr-skip-inv is caught here even with the lines homed
+    // on different banks.
+    ModelConfig base = *namedConfig("3c2l");
+    base.name = name;
+    base.banks = 2;
+    return base;
+  }
+  if (name == "tl-overflow-2b") {
+    // TL overflow over a banked directory: the spill set {1, 3} homes on
+    // bank 1 while line 2 homes on bank 0, so a single TL acquisition must
+    // set signatures via BankLockSet broadcast and the release must clear
+    // and drain waiters in both banks (BankLockClear/BankClearAck) without
+    // losing a wakeup.
+    ModelConfig base = *namedConfig("tl-overflow");
+    base.name = name;
+    base.banks = 2;
+    return base;
+  }
   if (name == "tl-overflow") {
     // A TL lock transaction overflows a 2-line direct-mapped L1 (lines 1 and
     // 3 collide) while a peer HTM transaction keeps poking the spilled line:
@@ -117,13 +147,15 @@ std::optional<ModelConfig> namedConfig(const std::string& name) {
 }
 
 std::vector<std::string> configNames() {
-  return {"2c1l", "2c2l-cycle", "3c1l", "3c2l", "tl-overflow"};
+  return {"2c1l",          "2c2l-cycle", "3c1l",   "3c2l",
+          "tl-overflow",   "2c2l-cycle-2b", "3c2l-2b",
+          "tl-overflow-2b"};
 }
 
 ModelHarness::ModelHarness(const ModelConfig& cfg)
     : cfg_(cfg),
       net_(ctx_, /*latency=*/1),
-      dir_(ctx_, net_, memory_, cfg.protocol, cfg.cores),
+      dir_(ctx_, net_, memory_, cfg.protocol, cfg.cores, cfg.banks),
       drivers_(cfg.cores) {
   if (cfg_.programs.size() != cfg_.cores) {
     throw std::invalid_argument("ModelConfig: one program per core required");

@@ -41,6 +41,7 @@ struct ProgOp {
 struct ModelConfig {
   std::string name;
   unsigned cores = 2;
+  unsigned banks = 1;  ///< LLC directory banks (lines interleave line & (banks-1))
   mem::CacheGeometry l1{4 * kLineBytes, 2};
   coh::ProtocolParams protocol;
   core::TmPolicy policy;
@@ -51,7 +52,10 @@ struct ModelConfig {
 };
 
 /// The built-in small configurations lktm_check exposes (2c1l, 2c2l-cycle,
-/// 3c1l, 3c2l, tl-overflow). Returns nullopt for unknown names.
+/// 3c1l, 3c2l, tl-overflow, plus the 2-bank variants 2c2l-cycle-2b, 3c2l-2b
+/// and tl-overflow-2b that split the line universe across directory banks —
+/// tl-overflow-2b drives the inter-bank lock/clear broadcasts). Returns
+/// nullopt for unknown names.
 std::optional<ModelConfig> namedConfig(const std::string& name);
 std::vector<std::string> configNames();
 

@@ -52,6 +52,21 @@ void checkLockHighest(const SystemView& v, std::vector<Violation>& out) {
                             "c" + std::to_string(locker) + " is in lock mode but the LLC "
                                 "arbiter granted c" + std::to_string(arb.holder())});
   }
+  // Every bank's lock mirror trails the arbiter through the set/clear
+  // broadcasts, but must never name a *different* holder: mirrors are only
+  // set after the arbiter granted and cleared before it releases.
+  for (unsigned b = 0; b < v.dir->numBanks(); ++b) {
+    const CoreId mirrored = v.dir->htmlockUnit(b).lockHolder();
+    if (mirrored == kNoCore) continue;
+    if (!arb.active() || mirrored != arb.holder()) {
+      out.push_back(Violation{
+          "lock-highest",
+          "bank " + std::to_string(b) + " mirrors lock holder c" +
+              std::to_string(mirrored) + " but the arbiter " +
+              (arb.active() ? "granted c" + std::to_string(arb.holder())
+                            : std::string("is idle"))});
+    }
+  }
   if (locker != kNoCore) {
     // The lock transaction outranks everything, so its requests are never
     // held: every MSHR entry it owns must still be in Issued state.
@@ -78,9 +93,11 @@ void checkNoLostWakeup(const SystemView& v, std::vector<Violation>& out) {
           if (line == m.line && waiter == core) covered = true;
         });
       }
-      v.dir->htmlockUnit().waiters().forEach([&](LineAddr line, CoreId waiter) {
-        if (line == m.line && waiter == core) covered = true;
-      });
+      for (unsigned b = 0; b < v.dir->numBanks(); ++b) {
+        v.dir->htmlockUnit(b).waiters().forEach([&](LineAddr line, CoreId waiter) {
+          if (line == m.line && waiter == core) covered = true;
+        });
+      }
       if (!covered && v.msgs != nullptr) {
         // L1 node ids equal core ids.
         covered = v.msgs->anyInFlightTo(core, coh::MsgType::Wakeup, m.line);
@@ -131,7 +148,7 @@ std::optional<Violation> InvariantPack::checkReject(const SystemView& v,
       msg.rejectHint == AbortCause::LockConflict) {
     // A lock-attributed reject from the directory needs lock evidence: an
     // active arbiter slot, overflow signatures, or a core in lock mode.
-    bool lockerExists = v.dir->arbiter().active() || v.dir->htmlockUnit().anyOverflow();
+    bool lockerExists = v.dir->arbiter().active() || v.dir->anyOverflow();
     for (const coh::L1Controller* l1 : v.l1s) lockerExists |= isLockMode(l1->mode());
     if (!lockerExists) {
       return Violation{"reject-priority",
@@ -147,6 +164,11 @@ std::vector<Violation> InvariantPack::checkQuiescent(const SystemView& v) {
   if (v.dir->busyLines() != 0) {
     out.push_back(Violation{"quiescence", std::to_string(v.dir->busyLines()) +
                                               " directory line(s) still busy at drain"});
+  }
+  if (v.dir->interBankAcksPending() != 0) {
+    out.push_back(Violation{"quiescence",
+                            std::to_string(v.dir->interBankAcksPending()) +
+                                " inter-bank lock/clear ack(s) outstanding at drain"});
   }
   for (std::size_t c = 0; c < v.l1s.size(); ++c) {
     const coh::L1Controller* l1 = v.l1s[c];

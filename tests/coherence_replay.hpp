@@ -70,14 +70,19 @@ struct ReplayL1 final : coh::MsgSink {
 /// open-addressed table: the addresses collide modulo every power-of-two
 /// bucket count up to 64, forcing long probe chains and backward-shift
 /// deletions while the golden trace pins the externally visible order.
-inline std::string directoryReplayTrace() {
+///
+/// With `banks` > 1 the same script runs against an interleaved directory:
+/// the odd lines (and the HTMLock spill set) home on bank 1 while the HlaReq
+/// / SigClear control line 0 homes on bank 0, so the lock set/clear
+/// broadcasts and the cross-bank wakeup drain are all on the recorded path.
+inline std::string directoryReplayTrace(unsigned banks = 1) {
   constexpr std::array<LineAddr, 6> kLines{5, 69, 133, 4101, 1, 2};
   std::string trace;
   sim::SimContext ctx;
   noc::IdealNetwork net(ctx, 1);
   mem::MainMemory memory;
   for (LineAddr l : kLines) memory.writeWord(byteOf(l), 1000 + l);
-  coh::DirectoryController dir(ctx, net, memory, coh::ProtocolParams{}, 4);
+  coh::DirectoryController dir(ctx, net, memory, coh::ProtocolParams{}, 4, banks);
   std::array<ReplayL1, 4> l1s;
   for (CoreId c = 0; c < 4; ++c) {
     auto& l1 = l1s[static_cast<std::size_t>(c)];

@@ -83,4 +83,14 @@ Baseline/counter/t4 cycles=22474 commits=116/12/0 aborts=214 rejects=0 wakeups=0
 LockillerTM/vacation+/t8 cycles=62574 commits=384/0/0 aborts=44 rejects=50 wakeups=50 sig=0 llc=5806/0 wb=941 msgs=25288 ok=1
 )GOLD";
 
+// The 2-bank replay golden is BY DESIGN the same byte string as the 1-bank
+// trace: splitting the directory into address-interleaved banks adds
+// bank-to-bank BankLockSet/Ack/Clear/ClearAck messages (visible in the
+// "dir.interbank.msgs" counter), but must not change one byte of what the
+// L1 endpoints observe in this scenario — the script drains the event queue
+// between steps, so the broadcast acks complete inside each drain window.
+// If the 2-bank replay ever diverges from the 1-bank golden, the banking
+// layer has leaked into the protocol's observable behaviour.
+inline constexpr const char* kGoldenDirectoryTrace2B = kGoldenDirectoryTrace;
+
 }  // namespace lktm::test

@@ -36,6 +36,41 @@ TEST(CoherenceReplay, FullSimFingerprintMatchesGolden) {
   EXPECT_EQ(fullSimFingerprint(), kGoldenFullSimFingerprint);
 }
 
+// ----------------------------------------------------- banked directory
+
+TEST(CoherenceReplay, TwoBankDirectoryTraceMatchesGolden) {
+  EXPECT_EQ(directoryReplayTrace(2), kGoldenDirectoryTrace2B);
+}
+
+TEST(CoherenceReplay, TwoBankDirectoryTraceIsStableAcrossRuns) {
+  EXPECT_EQ(directoryReplayTrace(2), directoryReplayTrace(2));
+}
+
+// Pure coherence traffic never crosses bank boundaries (only the HTMLock
+// set/clear broadcasts do), so a workload that stays out of the fallback
+// lock must produce *identical* results no matter how many banks the
+// directory is split into — same commits, same aborts, same cycle count.
+TEST(CoherenceReplay, BankCountInvariantForLockFreeWorkload) {
+  auto fingerprint = [](unsigned banks) {
+    cfg::RunConfig rc;
+    rc.system = cfg::systemByName("LockillerTM");
+    rc.threads = 4;
+    rc.machine.numBanks = banks;
+    const auto r = cfg::runSimulation(
+        rc, [] { return wl::makeCounter(64, 2, 128); });
+    std::ostringstream oss;
+    oss << "cycles=" << r.cycles << " commits=" << r.htmCommits() << "/"
+        << r.lockCommits() << "/" << r.stlCommits() << " aborts=" << r.aborts()
+        << " rejects=" << r.rejectsSent() << " wakeups=" << r.wakeupsSent()
+        << " msgs=" << r.messages() << " ok=" << (r.ok() ? 1 : 0);
+    return oss.str();
+  };
+  const std::string oneBank = fingerprint(1);
+  EXPECT_EQ(oneBank, fingerprint(2));
+  EXPECT_EQ(oneBank, fingerprint(4));
+  EXPECT_EQ(oneBank, fingerprint(32));
+}
+
 // ----------------------------------------------------- flat table vs map
 
 TEST(FlatLineTable, MatchesMapReferenceUnderChurn) {
@@ -170,6 +205,78 @@ TEST(CoreMask, MatchesSetReference) {
   std::vector<CoreId> expect(ref.begin(), ref.end());
   EXPECT_EQ(ranged, expect);
   EXPECT_EQ(visited, expect);
+}
+
+// Multi-word masks are exercised explicitly regardless of this build's
+// LKTM_MAX_CORES: word-boundary ids and set-parity must hold for every
+// instantiation the build system can select.
+template <unsigned Words>
+void coreMaskMatchesSet(std::uint64_t rngSeed) {
+  sim::CoreMaskT<Words> m;
+  std::set<CoreId> ref;
+  sim::Rng rng(rngSeed);
+  for (int step = 0; step < 5000; ++step) {
+    const CoreId c = static_cast<CoreId>(rng.next() % (Words * 64));
+    if (rng.next() % 3 == 0) {
+      m.erase(c);
+      ref.erase(c);
+    } else {
+      m.insert(c);
+      ref.insert(c);
+    }
+    ASSERT_EQ(m.size(), ref.size());
+    ASSERT_EQ(m.count(c), ref.count(c));
+    ASSERT_EQ(m.empty(), ref.empty());
+  }
+  std::vector<CoreId> ranged;
+  for (CoreId c : m) ranged.push_back(c);
+  std::vector<CoreId> visited;
+  m.forEach([&](CoreId c) { visited.push_back(c); });
+  std::vector<CoreId> expect(ref.begin(), ref.end());
+  EXPECT_EQ(ranged, expect);
+  EXPECT_EQ(visited, expect);
+}
+
+TEST(CoreMask, TwoWordMatchesSetReference) { coreMaskMatchesSet<2>(7); }
+TEST(CoreMask, FourWordMatchesSetReference) { coreMaskMatchesSet<4>(13); }
+TEST(CoreMask, EightWordMatchesSetReference) { coreMaskMatchesSet<8>(29); }
+
+TEST(CoreMask, WordBoundaryIds) {
+  // Cores 63/64/65 straddle the first word boundary, 127/128 the second.
+  sim::CoreMaskT<4> m;
+  for (CoreId c : {63, 64, 65, 127, 128}) {
+    EXPECT_EQ(m.count(static_cast<CoreId>(c)), 0u);
+    m.insert(static_cast<CoreId>(c));
+    EXPECT_EQ(m.count(static_cast<CoreId>(c)), 1u);
+  }
+  EXPECT_EQ(m.size(), 5u);
+  std::vector<CoreId> walked;
+  m.forEach([&](CoreId c) { walked.push_back(c); });
+  EXPECT_EQ(walked, (std::vector<CoreId>{63, 64, 65, 127, 128}));
+
+  // Erasing an id in one word must not disturb its neighbours.
+  m.erase(64);
+  EXPECT_EQ(m.count(63), 1u);
+  EXPECT_EQ(m.count(64), 0u);
+  EXPECT_EQ(m.count(65), 1u);
+  EXPECT_EQ(m.size(), 4u);
+
+  // rawWords() exposes every word: ids >= 64 must not be truncated into
+  // word 0 (the old single-u64 raw() trap).
+  const auto words = m.rawWords();
+  EXPECT_EQ(words[0], std::uint64_t{1} << 63);                         // core 63
+  EXPECT_EQ(words[1], (std::uint64_t{1} << 1) | (std::uint64_t{1} << 63));  // 65, 127
+  EXPECT_EQ(words[2], std::uint64_t{1});                               // core 128
+  EXPECT_EQ(words[3], std::uint64_t{0});
+}
+
+TEST(CoreMask, SingleWordSpecializationKeepsRawWordsShape) {
+  sim::CoreMaskT<1> m;
+  m.insert(0);
+  m.insert(63);
+  const auto words = m.rawWords();
+  EXPECT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0], (std::uint64_t{1} << 63) | std::uint64_t{1});
 }
 
 // ----------------------------------------------------- wakeup table order

@@ -241,31 +241,30 @@ TEST(SwitchArbiter, WithdrawRemovesFromQueue) {
 
 class HtmLockUnitTest : public ::testing::Test {
  protected:
-  SwitchArbiter arbiter;
-  HtmLockUnit unit{arbiter};
+  HtmLockUnit unit;
 };
 
 TEST_F(HtmLockUnitTest, InactiveUnitNeverRejects) {
   unit.noteOverflow(10, true);
-  EXPECT_FALSE(unit.shouldReject(10, true, false, 1));  // arbiter inactive
+  EXPECT_FALSE(unit.shouldReject(10, true, false, 1));  // no lock mirrored
 }
 
 TEST_F(HtmLockUnitTest, HolderBypassesItsOwnSignatures) {
-  arbiter.request(0, TxMode::TL);
+  unit.setLock(0, TxMode::TL);
   unit.noteOverflow(10, true);
   EXPECT_FALSE(unit.shouldReject(10, true, false, 0));
   EXPECT_TRUE(unit.shouldReject(10, true, false, 1));
 }
 
 TEST_F(HtmLockUnitTest, WriteSignatureRejectsEverything) {
-  arbiter.request(0, TxMode::TL);
+  unit.setLock(0, TxMode::TL);
   unit.noteOverflow(10, /*isWrite=*/true);
   EXPECT_TRUE(unit.shouldReject(10, /*wantsExclusive=*/false, /*otherCopies=*/true, 1));
   EXPECT_TRUE(unit.shouldReject(10, true, true, 1));
 }
 
 TEST_F(HtmLockUnitTest, ReadSignatureRejectsExclusiveGrants) {
-  arbiter.request(0, TxMode::TL);
+  unit.setLock(0, TxMode::TL);
   unit.noteOverflow(10, /*isWrite=*/false);
   // GetX: reject.
   EXPECT_TRUE(unit.shouldReject(10, true, true, 1));
@@ -276,19 +275,29 @@ TEST_F(HtmLockUnitTest, ReadSignatureRejectsExclusiveGrants) {
 }
 
 TEST_F(HtmLockUnitTest, UnrelatedLinesPass) {
-  arbiter.request(0, TxMode::TL);
+  unit.setLock(0, TxMode::TL);
   unit.noteOverflow(10, true);
   EXPECT_FALSE(unit.shouldReject(11, true, false, 1));
 }
 
 TEST_F(HtmLockUnitTest, ClearAndDrainReturnsWaiters) {
-  arbiter.request(0, TxMode::TL);
+  unit.setLock(0, TxMode::TL);
   unit.noteOverflow(10, true);
   unit.recordWaiter(10, 1);
   unit.recordWaiter(10, 2);
   const auto waiters = unit.clearAndDrain();
   EXPECT_EQ(waiters.size(), 2u);
   EXPECT_FALSE(unit.anyOverflow());
+  EXPECT_FALSE(unit.shouldReject(10, true, false, 1));
+}
+
+TEST_F(HtmLockUnitTest, ClearLockResetsMirror) {
+  unit.setLock(3, TxMode::STL);
+  EXPECT_EQ(unit.lockHolder(), 3);
+  EXPECT_EQ(unit.lockMode(), TxMode::STL);
+  unit.clearLock();
+  EXPECT_EQ(unit.lockHolder(), kNoCore);
+  unit.noteOverflow(10, true);
   EXPECT_FALSE(unit.shouldReject(10, true, false, 1));
 }
 

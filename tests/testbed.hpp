@@ -19,7 +19,8 @@ namespace lktm::test {
 
 struct TestSystemOptions {
   unsigned cores = 2;
-  unsigned tiles = 32;  // directory banking / mesh size
+  unsigned tiles = 32;   // network striping / mesh size
+  unsigned banks = 1;    // LLC directory bank count (power of two)
   mem::CacheGeometry l1{32 * 1024, 4};
   coh::ProtocolParams protocol{};
   core::TmPolicy policy{};
@@ -31,7 +32,7 @@ class TestSystem {
   explicit TestSystem(TestSystemOptions opt = {})
       : opt_(opt),
         net_(ctx_, noc::MeshParams{}),
-        dir_(ctx_, net_, memory_, opt.protocol, opt.tiles, opt.sig) {
+        dir_(ctx_, net_, memory_, opt.protocol, opt.tiles, opt.banks, opt.sig) {
     prio_.resize(opt.cores, 0);
     aborts_.resize(opt.cores);
     switched_.resize(opt.cores, 0);

@@ -14,6 +14,7 @@
 #include "config/artifact.hpp"
 #include "config/runner.hpp"
 #include "config/systems.hpp"
+#include "sim/core_mask.hpp"
 #include "sim/trace.hpp"
 #include "stats/report.hpp"
 #include "workloads/micro.hpp"
@@ -30,8 +31,15 @@ void usage() {
       "  --system NAME          Table II system (default LockillerTM)\n"
       "  --workload NAME        STAMP analog or counter/bank/linkedlist\n"
       "                         (default vacation+)\n"
-      "  --threads N            1..32 (default 8)\n"
-      "  --machine M            typical | small | large (default typical)\n"
+      "  --threads N            1..numCores (default 8)\n"
+      "  --machine M            typical | small | large, optionally with\n"
+      "                         scale suffixes, e.g. typical-c128-b8\n"
+      "                         (default typical)\n"
+      "  --cores N              scale the machine to N cores (needs a build\n"
+      "                         with -DLKTM_MAX_CORES >= N; derives a\n"
+      "                         near-square mesh unless --mesh is given)\n"
+      "  --banks N              LLC directory banks (power of two <= cores)\n"
+      "  --mesh WxH             mesh geometry, e.g. --mesh 16x8\n"
       "  --seed N               workload generation seed (default 11)\n"
       "  --breakdown            print the per-category time breakdown\n"
       "  --stats-json PATH      write the lktm.stats.v1 artifact to PATH\n"
@@ -56,6 +64,7 @@ int main(int argc, char** argv) {
   std::string system = "LockillerTM";
   std::string workload = "vacation+";
   std::string machineName = "typical";
+  cfg::MachineOverrides overrides;
   unsigned threads = 8;
   std::uint64_t seed = 11;
   bool breakdown = false;
@@ -81,7 +90,11 @@ int main(int argc, char** argv) {
       }
       std::printf("workloads:\n ");
       for (const auto& w : wl::stampNames()) std::printf(" %s", w.c_str());
-      std::printf(" counter bank linkedlist\nmachines: typical small large\n");
+      std::printf(
+          " counter bank linkedlist\n"
+          "machines: typical small large (suffixable: typical-c128-b8-m16x8)\n"
+          "          this build supports up to %u cores (LKTM_MAX_CORES)\n",
+          sim::CoreMask::kMaxCores);
       return 0;
     } else if (a == "--system") {
       system = next();
@@ -91,6 +104,24 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(std::atoi(next()));
     } else if (a == "--machine") {
       machineName = next();
+    } else if (a == "--cores") {
+      overrides.cores = static_cast<unsigned>(std::atoi(next()));
+      if (overrides.cores == 0) {
+        std::fprintf(stderr, "--cores needs a positive core count\n");
+        return 2;
+      }
+    } else if (a == "--banks") {
+      overrides.banks = static_cast<unsigned>(std::atoi(next()));
+      if (overrides.banks == 0) {
+        std::fprintf(stderr, "--banks needs a positive bank count\n");
+        return 2;
+      }
+    } else if (a == "--mesh") {
+      if (std::sscanf(next(), "%ux%u", &overrides.meshCols, &overrides.meshRows) != 2 ||
+          overrides.meshCols == 0 || overrides.meshRows == 0) {
+        std::fprintf(stderr, "--mesh wants WxH, e.g. --mesh 16x8\n");
+        return 2;
+      }
     } else if (a == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (a == "--breakdown") {
@@ -112,17 +143,15 @@ int main(int argc, char** argv) {
   }
 
   cfg::RunConfig rc;
-  if (machineName == "small") {
-    rc.machine = cfg::MachineParams::smallCache();
-  } else if (machineName == "large") {
-    rc.machine = cfg::MachineParams::largeCache();
-  } else if (machineName == "typical") {
-    rc.machine = cfg::MachineParams::typical();
-  } else {
-    std::fprintf(stderr, "unknown machine '%s'\n", machineName.c_str());
+  try {
+    rc.machine = cfg::machineByName(machineName);
+    cfg::applyMachineOverrides(rc.machine, overrides);
+    rc.machine.idealNetwork = idealNet;
+    rc.machine.validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
-  rc.machine.idealNetwork = idealNet;
   try {
     rc.system = cfg::systemByName(system);
   } catch (const std::exception& e) {

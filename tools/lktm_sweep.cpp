@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "config/machine.hpp"
 #include "config/orchestrator.hpp"
 #include "config/systems.hpp"
 #include "workloads/workload.hpp"
@@ -32,7 +33,10 @@ void usage() {
       "  plan    create a job manifest\n"
       "    --manifest PATH      manifest file to write (required)\n"
       "    --artifact-dir DIR   per-job artifact directory (default: <manifest>.d)\n"
-      "    --preset NAME        smoke | figures (default smoke)\n"
+      "    --preset NAME        smoke | figures | bigcores-128 | bigcores-256\n"
+      "                         (default smoke; bigcores-* need a build with\n"
+      "                         -DLKTM_MAX_CORES large enough, e.g. the\n"
+      "                         'bigcores' CMake preset)\n"
       "    --seed N             workload seed (default 11)\n"
       "  run     execute the pending jobs of a manifest (resumable)\n"
       "    --manifest PATH      manifest file (required; updated in place)\n"
@@ -74,7 +78,25 @@ cfg::SweepManifest planPreset(const std::string& preset, const std::string& arti
     }
     return m;
   }
-  throw std::invalid_argument("unknown preset: " + preset);
+  if (preset == "bigcores-128" || preset == "bigcores-256") {
+    // Fig 7/12-style speedup grids past 64 cores: the headline systems
+    // (Baseline, LosaTM-SAFU, LockillerTM) on a banked large-core machine.
+    // Needs a build configured with -DLKTM_MAX_CORES >= the core count (the
+    // 'bigcores' CMake preset); plan-time validation below rejects a
+    // too-small build with a rebuild hint instead of failing mid-sweep.
+    const bool big = preset == "bigcores-256";
+    const std::string machine = big ? "typical-c256-b16" : "typical-c128-b8";
+    const std::vector<unsigned> threads =
+        big ? std::vector<unsigned>{64, 128, 256} : std::vector<unsigned>{32, 64, 128};
+    cfg::machineByName(machine).validate();  // throws the rebuild hint
+    return cfg::makeManifest(artifactDir, machine,
+                             {"Baseline", "LosaTM-SAFU", "LockillerTM"},
+                             {"genome", "ssca2", "kmeans+", "vacation+"}, threads,
+                             seed);
+  }
+  throw std::invalid_argument(
+      "unknown preset: " + preset +
+      " (try smoke | figures | bigcores-128 | bigcores-256)");
 }
 
 }  // namespace

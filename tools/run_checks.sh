@@ -4,7 +4,10 @@
 # determinism tests under ASan+UBSan), run the model-checker suite (ctest -L
 # verify: exhaustive lktm_check sweeps + test_verify) under both presets, run
 # clang-tidy over src/ when the tool is installed, validate a --stats-json
-# artifact against the lktm.stats.v1 schema, smoke the lktm_sweep orchestrator
+# artifact against the lktm.stats.v1 schema, smoke the 128-core banked
+# directory path (or, on a 64-core-capped build, verify its rejection
+# diagnostic), run the bounded 2-bank model-checker configs (clean + the
+# swmr-skip-inv plant must still be caught), smoke the lktm_sweep orchestrator
 # (interrupt + resume must merge bit-identical to an uninterrupted run, under
 # the default and sanitize builds), build + test the trace preset
 # (LKTM_TRACE=ON), grep-gate bench/ against hand-scraped counter structs,
@@ -53,6 +56,52 @@ echo "== stats artifact: emit + validate (lktm.stats.v1) =="
   --stats-json build/stats_check.json >/dev/null
 ./build/tools/validate_stats_json build/stats_check.json
 
+echo "== large-core smoke: 128-core banked directory (needs bigcores build) =="
+run_bigcore_smoke() {
+  # $1 = build dir. A 64-core-capped build must *reject* the 128-core machine
+  # with a clear diagnostic; a bigcores build must run it end to end with the
+  # coherence checker on and produce a valid artifact carrying the new
+  # cores/banks metadata.
+  local bdir="$1" out
+  out="$bdir/bigcore_check.json"
+  if "$bdir/tools/lktm-sim" --list | grep -q "up to 64 cores"; then
+    if "$bdir/tools/lktm-sim" --machine typical-c128-b8 --workload counter \
+        --threads 8 >/dev/null 2>"$bdir/bigcore_reject.txt"; then
+      echo "64-core build accepted a 128-core machine" >&2
+      return 1
+    fi
+    grep -q "LKTM_MAX_CORES" "$bdir/bigcore_reject.txt" || {
+      echo "128-core rejection lacks the rebuild hint" >&2
+      return 1
+    }
+    echo "  (64-core build: verified the clear rejection diagnostic)"
+  else
+    "$bdir/tools/lktm-sim" --machine typical --cores 128 --banks 8 \
+      --system LockillerTM --workload counter --threads 96 \
+      --stats-json "$out" >/dev/null
+    "$bdir/tools/validate_stats_json" "$out"
+    echo "  (128-core banked run completed and validated)"
+  fi
+}
+run_bigcore_smoke build
+
+echo "== model checker: banked directory (2-bank configs, bounded) =="
+run_banked_check() {
+  # $1 = build dir. The 2-bank configs must be exhaustively clean, and the
+  # swmr-skip-inv plant must still be caught across bank boundaries.
+  local bdir="$1"
+  "$bdir/tools/lktm_check" --config tl-overflow-2b --max-states 200000 \
+    | grep -q "CLEAN" || { echo "tl-overflow-2b not clean" >&2; return 1; }
+  "$bdir/tools/lktm_check" --config 3c2l-2b --max-states 200000 \
+    | grep -q "CLEAN" || { echo "3c2l-2b not clean" >&2; return 1; }
+  if "$bdir/tools/lktm_check" --config 3c2l-2b --inject-bug swmr-skip-inv \
+      --max-states 200000 | grep -q "CLEAN"; then
+    echo "3c2l-2b missed the injected swmr bug" >&2
+    return 1
+  fi
+}
+run_banked_check build
+
 echo "== sweep orchestrator: smoke + interrupt/resume + bit-identical merge =="
 run_sweep_smoke() {
   # $1 = build dir. Plan a smoke sweep, run it interrupted (3 jobs), resume,
@@ -74,7 +123,9 @@ run_sweep_smoke() {
 run_sweep_smoke build
 
 echo "== grep gate: bench/ reads the stat registry, not ad-hoc counters =="
-if grep -rnE '\.tx\.|\.protocol\.(messages|flitHops|llc|l1|writebacks)|TxCounters|ProtocolCounters|BreakdownSummary' bench/; then
+# Field names must be spelled out: a bare "llc"/"l1" prefix also matches the
+# legitimate MachineParams::protocol latency knobs (m.protocol.llcLatency).
+if grep -rnE '\.tx\.|\.protocol\.(messages|dataMessages|flitHops|l1Hits|l1Misses|llcHits|llcMisses|writebacks)|TxCounters|ProtocolCounters|BreakdownSummary' bench/; then
   echo "bench/ still scrapes retired counter structs (see matches above)" >&2
   exit 1
 fi
@@ -98,6 +149,10 @@ ctest --preset verify-sanitize
 
 echo "== sweep orchestrator: smoke + resume under ASan/UBSan =="
 run_sweep_smoke build-sanitize
+
+echo "== large-core smoke + banked model checker under ASan/UBSan =="
+run_bigcore_smoke build-sanitize
+run_banked_check build-sanitize
 
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "== configure + build: release (benchmarks) =="

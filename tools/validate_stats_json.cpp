@@ -82,8 +82,22 @@ void checkRun(const Value& run, unsigned idx) {
       fail(where + ": missing or non-string \"" + key + "\"");
     }
   }
-  for (const char* key : {"threads", "seed", "cycles", "wall_seconds"}) {
+  for (const char* key : {"threads", "cores", "banks", "seed", "cycles",
+                          "wall_seconds"}) {
     requireNumber(run, key, where);
+  }
+  // Machine-scale metadata must be self-consistent: a run cannot use more
+  // threads than cores, and the directory always has at least one bank.
+  const Value* threadsV = run.find("threads");
+  const Value* coresV = run.find("cores");
+  const Value* banksV = run.find("banks");
+  if (threadsV != nullptr && coresV != nullptr && threadsV->isNumber() &&
+      coresV->isNumber() && threadsV->number > coresV->number) {
+    fail(where + ": threads (" + threadsV->text + ") exceed cores (" +
+         coresV->text + ")");
+  }
+  if (banksV != nullptr && banksV->isNumber() && banksV->number < 1) {
+    fail(where + ": banks must be >= 1");
   }
   for (const char* key : {"ok", "hang"}) {
     const Value* v = run.find(key);

@@ -1,5 +1,6 @@
 #include "config/artifact.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <locale>
@@ -112,6 +113,67 @@ bool writeStatsJsonFile(const std::string& path, const RunResult& run) {
   }
   writeStatsJson(out, run);
   return static_cast<bool>(out);
+}
+
+bool writeStatsJsonFileAtomic(const std::string& path, const RunResult& run,
+                              const std::string& tmpSuffix) {
+  const std::string tmp = path + tmpSuffix;
+  if (!writeStatsJsonFile(tmp, run)) return false;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::cerr << "error: cannot rename " << tmp << " -> " << path << ": "
+              << ec.message() << "\n";
+    std::error_code ec2;
+    std::filesystem::remove(tmp, ec2);
+    return false;
+  }
+  return true;
+}
+
+void writeSummaryArtifact(const stats::json::Value& statsDoc, std::ostream& os) {
+  using stats::json::Value;
+  const Value* schema = statsDoc.find("schema");
+  if (schema == nullptr || schema->text != kStatsSchema) {
+    throw std::runtime_error(std::string("summary input is not a ") +
+                             kStatsSchema + " document");
+  }
+  const Value* runs = statsDoc.find("runs");
+  if (runs == nullptr || !runs->isArray()) {
+    throw std::runtime_error("summary input has no \"runs\" array");
+  }
+  os.imbue(std::locale::classic());
+  stats::json::Writer w(os, /*pretty=*/true);
+  w.beginObject();
+  w.field("schema", kSummarySchema);
+  w.field("source", kStatsSchema);
+  w.key("runs");
+  w.beginArray();
+  for (const Value& run : *runs->array) {
+    if (!run.isObject()) continue;
+    w.beginObject();
+    // Fixed field order; numeric literals re-emitted raw so the summary is
+    // exactly as byte-deterministic as the merged document it condenses.
+    for (const char* key :
+         {"system", "workload", "machine", "threads", "cores", "banks", "seed",
+          "cycles", "status", "diagnostic"}) {
+      const Value* v = run.find(key);
+      if (v == nullptr) continue;
+      w.key(key);
+      if (v->isNumber()) {
+        w.rawNumber(v->text);
+      } else {
+        w.value(v->text);
+      }
+    }
+    if (const Value* derived = run.find("derived"); derived != nullptr) {
+      w.key("derived");
+      stats::json::writeValue(w, *derived);
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
 }
 
 namespace {

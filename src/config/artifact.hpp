@@ -38,6 +38,11 @@
 namespace lktm::cfg {
 
 inline constexpr const char* kStatsSchema = "lktm.stats.v1";
+/// Compact per-cell companion of a merged lktm.stats.v1 document: identity +
+/// cycles + derived metrics per run, no full stat snapshot. What the repo
+/// commits for big grids (plus the command to regenerate the full artifact)
+/// instead of megabytes of raw counters.
+inline constexpr const char* kSummarySchema = "lktm.summary.v1";
 
 /// Emit one snapshot as the schema's "stats" array (used by the artifact
 /// writer and by trace/counterexample embeddings).
@@ -50,6 +55,20 @@ void writeStatsJson(std::ostream& os, const RunResult& run);
 /// Write the artifact to `path`; returns false (with a message on stderr)
 /// when the file cannot be opened.
 bool writeStatsJsonFile(const std::string& path, const RunResult& run);
+
+/// Atomic variant: write `path + tmpSuffix`, then rename over `path`.
+/// Concurrent writers (distributed sweep workers double-executing a job
+/// after a spurious reclaim) must each use a distinct suffix; readers then
+/// never see a torn file and the last rename wins with identical bytes.
+bool writeStatsJsonFileAtomic(const std::string& path, const RunResult& run,
+                              const std::string& tmpSuffix);
+
+/// Reduce a parsed lktm.stats.v1 document to its lktm.summary.v1 companion:
+/// per run, the identity/scale fields and the "derived" block, re-emitted
+/// through the raw-literal writer so the summary bytes are as deterministic
+/// as the merge they came from. Throws std::runtime_error when `statsDoc` is
+/// not a stats artifact.
+void writeSummaryArtifact(const stats::json::Value& statsDoc, std::ostream& os);
 
 /// Rebuild a RunResult from one parsed "runs" entry — the inverse of the
 /// writer as far as a dump allows (formula stats come back as plain values;

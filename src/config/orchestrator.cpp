@@ -37,7 +37,10 @@ const Value& needField(const Value& obj, const char* key) {
   return *v;
 }
 
-std::string sanitizeForFilename(const std::string& id) {
+}  // namespace
+
+std::string jobFileStem(const JobSpec& spec) {
+  const std::string id = spec.id();
   std::string out;
   out.reserve(id.size());
   for (const char c : id) {
@@ -47,8 +50,6 @@ std::string sanitizeForFilename(const std::string& id) {
   }
   return out;
 }
-
-}  // namespace
 
 const char* toString(JobState s) {
   switch (s) {
@@ -120,11 +121,19 @@ bool SweepManifest::allOk() const {
 SweepManifest SweepManifest::fromJson(const std::string& text) {
   const Value doc = stats::json::parse(text);
   const Value* schema = doc.find("schema");
-  if (schema == nullptr || schema->text != kManifestSchema) {
-    badManifest(std::string("schema is not ") + kManifestSchema);
+  if (schema == nullptr ||
+      (schema->text != kManifestSchema && schema->text != kManifestSchemaV1)) {
+    badManifest(std::string("schema is not ") + kManifestSchema + " (or " +
+                kManifestSchemaV1 + ")");
   }
   SweepManifest m;
   m.artifactDir = needField(doc, "artifact_dir").text;
+  // v1 documents predate sharding; they load as a single shard and save back
+  // as v2.
+  if (const Value* shards = doc.find("shards"); shards != nullptr) {
+    m.shards = stats::json::asU64(*shards);
+    if (m.shards == 0) badManifest("shards must be >= 1");
+  }
   const Value& jobs = needField(doc, "jobs");
   if (!jobs.isArray()) badManifest("jobs is not an array");
   std::vector<std::string> seen;
@@ -168,6 +177,7 @@ std::string SweepManifest::toJson() const {
   w.beginObject();
   w.field("schema", kManifestSchema);
   w.field("artifact_dir", artifactDir);
+  w.field("shards", shards);
   w.key("jobs");
   w.beginArray();
   for (const JobRecord& j : jobs) {
@@ -251,6 +261,58 @@ bool isTransientFailure(const RunResult& r) {
   return false;
 }
 
+namespace detail {
+
+RunResult attemptJobOnce(const JobSpec& spec, const OrchestratorOptions& opts,
+                         const JobRunner& run, sim::SimContext& ctx) {
+  auto crashed = [&](std::string diagnostic) {
+    RunResult r;
+    r.system = spec.system;
+    r.workload = spec.workload;
+    r.machine = spec.machine;
+    r.threads = spec.threads;
+    r.seed = jobRunSeed(spec.seed, spec.system, spec.workload, spec.threads);
+    r.status = RunStatus::Failed;
+    r.diagnostic = std::move(diagnostic);
+    return r;
+  };
+  try {
+    return run(spec, opts, ctx);
+  } catch (const TransientJobError& e) {
+    return crashed(std::string(kTransientPrefix) + e.what());
+  } catch (const std::exception& e) {
+    return crashed(std::string("exception: ") + e.what());
+  } catch (...) {
+    return crashed("non-standard exception (not derived from std::exception)");
+  }
+}
+
+RunResult runJobWithRetries(
+    const JobSpec& spec, const OrchestratorOptions& opts, const JobRunner& run,
+    sim::SimContext& ctx, const std::function<unsigned()>& beginAttempt,
+    const std::function<void(unsigned, const RunResult&)>& onRetry) {
+  const unsigned maxAttempts = std::max(1u, opts.maxAttempts);
+  for (;;) {
+    const unsigned attempt = beginAttempt();
+    RunResult r = attemptJobOnce(spec, opts, run, ctx);
+    if (jobStateOf(r) == JobState::Ok || !isTransientFailure(r) ||
+        attempt >= maxAttempts) {
+      return r;
+    }
+    if (onRetry) onRetry(attempt, r);
+    if (opts.retryBackoffSeconds > 0.0) {
+      // A claim-inherited attempt count can be large; clamp the doubling so
+      // the shift stays defined and the sleep finite.
+      const unsigned exp = std::min(attempt - 1, 20u);
+      const double backoff =
+          opts.retryBackoffSeconds * static_cast<double>(1u << exp);
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+  }
+}
+
+}  // namespace detail
+
 OrchestratorReport runManifest(SweepManifest& manifest, const std::string& manifestPath,
                                const OrchestratorOptions& opts, const JobRunner& runner,
                                std::vector<RunResult>* results) {
@@ -309,64 +371,28 @@ OrchestratorReport runManifest(SweepManifest& manifest, const std::string& manif
 
   const unsigned maxAttempts = std::max(1u, opts.maxAttempts);
 
-  auto attemptOnce = [&](const JobSpec& spec, sim::SimContext& ctx) -> RunResult {
-    auto crashed = [&](std::string diagnostic) {
-      RunResult r;
-      r.system = spec.system;
-      r.workload = spec.workload;
-      r.machine = spec.machine;
-      r.threads = spec.threads;
-      r.seed = jobRunSeed(spec.seed, spec.system, spec.workload, spec.threads);
-      r.status = RunStatus::Failed;
-      r.diagnostic = std::move(diagnostic);
-      return r;
-    };
-    try {
-      return run(spec, opts, ctx);
-    } catch (const TransientJobError& e) {
-      return crashed(std::string(kTransientPrefix) + e.what());
-    } catch (const std::exception& e) {
-      return crashed(std::string("exception: ") + e.what());
-    } catch (...) {
-      return crashed("non-standard exception (not derived from std::exception)");
-    }
-  };
-
   auto runOne = [&](std::size_t i, sim::SimContext& ctx) {
     const JobSpec spec = manifest.jobs[i].spec;
-    RunResult r;
-    for (;;) {
-      unsigned attempt = 0;
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        attempt = ++manifest.jobs[i].attempts;
+    auto beginAttempt = [&]() -> unsigned {
+      std::lock_guard<std::mutex> lock(mu);
+      return ++manifest.jobs[i].attempts;
+    };
+    auto onRetry = [&](unsigned attempt, const RunResult& failed) {
+      std::lock_guard<std::mutex> lock(mu);
+      ++report.retried;
+      if (opts.progress != nullptr) {
+        *opts.progress << "retry " << spec.id() << " (attempt " << (attempt + 1)
+                       << "/" << maxAttempts << "): " << failed.diagnostic << "\n";
       }
-      r = attemptOnce(spec, ctx);
-      if (jobStateOf(r) == JobState::Ok || !isTransientFailure(r) ||
-          attempt >= maxAttempts) {
-        break;
-      }
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        ++report.retried;
-        if (opts.progress != nullptr) {
-          *opts.progress << "retry " << spec.id() << " (attempt " << (attempt + 1)
-                         << "/" << maxAttempts << "): " << r.diagnostic << "\n";
-        }
-      }
-      if (opts.retryBackoffSeconds > 0.0) {
-        const double backoff =
-            opts.retryBackoffSeconds * static_cast<double>(1u << (attempt - 1));
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-      }
-    }
+    };
+    RunResult r = detail::runJobWithRetries(spec, opts, run, ctx, beginAttempt,
+                                            onRetry);
 
     JobState state = jobStateOf(r);
     std::string artifactPath;
     if (state == JobState::Ok && !manifest.artifactDir.empty()) {
-      artifactPath = (fs::path(manifest.artifactDir) /
-                      (sanitizeForFilename(spec.id()) + ".json"))
-                         .string();
+      artifactPath =
+          (fs::path(manifest.artifactDir) / (jobFileStem(spec) + ".json")).string();
       if (!writeStatsJsonFile(artifactPath, r)) {
         state = JobState::Failed;
         r.status = RunStatus::Failed;
@@ -397,14 +423,20 @@ OrchestratorReport runManifest(SweepManifest& manifest, const std::string& manif
       const std::size_t target =
           opts.maxJobs != 0 ? std::min(runnable.size(), opts.maxJobs) : runnable.size();
       const std::size_t left = target > doneThisRun ? target - doneThisRun : 0;
-      const double eta =
-          doneThisRun > 0 ? elapsed / static_cast<double>(doneThisRun) *
-                                static_cast<double>(left)
-                          : 0.0;
+      // No completed jobs or zero measured wall time means there is no rate
+      // to extrapolate from — print "--" rather than a bogus "eta 0s".
+      char etaStr[32];
+      if (doneThisRun > 0 && elapsed > 0.0) {
+        std::snprintf(etaStr, sizeof(etaStr), "%.0fs",
+                      elapsed / static_cast<double>(doneThisRun) *
+                          static_cast<double>(left));
+      } else {
+        std::snprintf(etaStr, sizeof(etaStr), "--");
+      }
       char line[256];
-      std::snprintf(line, sizeof(line), "[%zu/%zu] %s: %s (%.1fs) eta %.0fs\n",
+      std::snprintf(line, sizeof(line), "[%zu/%zu] %s: %s (%.1fs) eta %s\n",
                     terminalTotal, manifest.jobs.size(), spec.id().c_str(),
-                    toString(state), j.wallSeconds, eta);
+                    toString(state), j.wallSeconds, etaStr);
       *opts.progress << line;
     }
   };

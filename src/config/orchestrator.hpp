@@ -31,7 +31,11 @@
 
 namespace lktm::cfg {
 
-inline constexpr const char* kManifestSchema = "lktm.manifest.v1";
+/// Current manifest schema. v2 adds the top-level "shards" count backing the
+/// distributed worker-pull protocol (config/distrib.hpp); v1 documents load
+/// transparently with shards = 1.
+inline constexpr const char* kManifestSchema = "lktm.manifest.v2";
+inline constexpr const char* kManifestSchemaV1 = "lktm.manifest.v1";
 
 /// Throw this from a job runner to mark the failure as transient (worth a
 /// bounded retry): host resource hiccups, injected flakiness in tests, …
@@ -69,6 +73,12 @@ struct JobSpec {
   bool operator==(const JobSpec&) const = default;
 };
 
+/// Filesystem-safe name for everything keyed by one job: its per-job artifact
+/// is "<stem>.json" and its claim/done spool entries are the bare stem. The
+/// sanitized id is shared so the artifact a worker wrote and the claim it
+/// held always agree on the job they describe.
+std::string jobFileStem(const JobSpec& spec);
+
 struct JobRecord {
   JobSpec spec;
   JobState state = JobState::Pending;
@@ -82,6 +92,10 @@ struct JobRecord {
 struct SweepManifest {
   /// Directory per-job artifacts are written into (created on demand).
   std::string artifactDir;
+  /// Shard count for distributed fan-out (>= 1). Purely advisory for the
+  /// single-process runner; `lktm_sweep work` uses it with jobShard() so
+  /// every worker computes the same job -> shard map with no coordination.
+  std::uint64_t shards = 1;
   std::vector<JobRecord> jobs;
 
   JobRecord* find(const std::string& id);
@@ -179,5 +193,27 @@ SweepManifest makeManifest(const std::string& artifactDir,
                            const std::vector<std::string>& workloads,
                            const std::vector<unsigned>& threads,
                            std::uint64_t seed = kDefaultSweepSeed);
+
+namespace detail {
+
+/// One attempt of `run` with every escape hatch closed: TransientJobError,
+/// std::exception and non-standard throws all come back as a Failed result
+/// keyed by the spec (transient throws keep their retryable classification
+/// via the diagnostic prefix isTransientFailure() keys on).
+RunResult attemptJobOnce(const JobSpec& spec, const OrchestratorOptions& opts,
+                         const JobRunner& run, sim::SimContext& ctx);
+
+/// The PR-5 retry contract, shared by the in-process orchestrator and the
+/// distributed worker: run until Ok, a deterministic failure, or the attempt
+/// count reaches opts.maxAttempts; transient failures back off exponentially
+/// between attempts. `beginAttempt` hands out the (cumulative, possibly
+/// claim-inherited) 1-based attempt number under the caller's lock;
+/// `onRetry(attempt, r)` fires before each extra attempt (may be null).
+RunResult runJobWithRetries(
+    const JobSpec& spec, const OrchestratorOptions& opts, const JobRunner& run,
+    sim::SimContext& ctx, const std::function<unsigned()>& beginAttempt,
+    const std::function<void(unsigned, const RunResult&)>& onRetry);
+
+}  // namespace detail
 
 }  // namespace lktm::cfg

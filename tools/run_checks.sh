@@ -9,9 +9,15 @@
 # diagnostic), run the bounded 2-bank model-checker configs (clean + the
 # swmr-skip-inv plant must still be caught), smoke the lktm_sweep orchestrator
 # (interrupt + resume must merge bit-identical to an uninterrupted run, under
-# the default and sanitize builds), build + test the trace preset
-# (LKTM_TRACE=ON), grep-gate bench/ against hand-scraped counter structs,
-# then build the release tree and run the gated kernel microbenchmarks
+# the default and sanitize builds), smoke the distributed fan-out (3 workers
+# on one claim spool, one SIGKILLed mid-job and reclaimed via heartbeat
+# lease, merge must cmp equal to a single-process run — default and sanitize
+# builds), enforce the bench/ artifact size cap, re-run the committed
+# 128-core fig07 grid split across 2 worker processes on the bigcores build
+# (summary must cmp equal to the committed lktm.summary.v1), build + test
+# the trace preset (LKTM_TRACE=ON), grep-gate bench/ against hand-scraped
+# counter structs, then build the release tree and run the gated kernel
+# microbenchmarks
 # (writes BENCH_kernel.json; fails if any gated benchmark regresses below the
 # required speedup against the recorded baseline).
 #
@@ -122,6 +128,70 @@ run_sweep_smoke() {
 }
 run_sweep_smoke build
 
+echo "== distributed sweep: 3 workers, SIGKILL one mid-run, bit-identical merge =="
+run_distrib_smoke() {
+  # $1 = build dir. The tentpole guarantee end to end: a single-process run
+  # is the reference; then 3 'work' processes share one claim spool, one of
+  # them (slowed so it is reliably mid-job) is SIGKILLed, the survivors must
+  # reclaim its job after the heartbeat lease expires, and the merged
+  # artifact must cmp equal to the reference. Validates manifest v2, the
+  # merged document and the lktm.summary.v1 companion.
+  local bdir="$1" d w1 w2 w3
+  d="$bdir/distrib_check"
+  rm -rf "$d" && mkdir -p "$d/single" "$d/multi"
+
+  "$bdir/tools/lktm_sweep" plan --preset smoke --manifest "$d/single/sweep.json" >/dev/null
+  "$bdir/tools/lktm_sweep" run --manifest "$d/single/sweep.json" --quiet >/dev/null
+  "$bdir/tools/lktm_sweep" merge --manifest "$d/single/sweep.json" \
+    --out "$d/single/merged.json" >/dev/null
+
+  "$bdir/tools/lktm_sweep" plan --preset smoke --manifest "$d/multi/sweep.json" \
+    --shards 3 >/dev/null
+  # The victim crawls (1s per job) so the SIGKILL lands while it holds a
+  # claim; the survivors are fast and then wait out the 1s heartbeat lease.
+  LKTM_SWEEP_JOB_DELAY_MS=1000 "$bdir/tools/lktm_sweep" work \
+    --manifest "$d/multi/sweep.json" --worker-id victim --shard 0 \
+    --host-threads 1 --heartbeat 0.1 --lease 1 --poll 0.05 --quiet \
+    >/dev/null 2>&1 &
+  w1=$!
+  LKTM_SWEEP_JOB_DELAY_MS=50 "$bdir/tools/lktm_sweep" work \
+    --manifest "$d/multi/sweep.json" --worker-id surv-a --shard 1 \
+    --host-threads 1 --heartbeat 0.1 --lease 1 --poll 0.05 \
+    >/dev/null 2>"$d/multi/surv-a.log" &
+  w2=$!
+  LKTM_SWEEP_JOB_DELAY_MS=50 "$bdir/tools/lktm_sweep" work \
+    --manifest "$d/multi/sweep.json" --worker-id surv-b --shard 2 \
+    --host-threads 1 --heartbeat 0.1 --lease 1 --poll 0.05 \
+    >/dev/null 2>"$d/multi/surv-b.log" &
+  w3=$!
+  sleep 0.6
+  kill -9 "$w1" 2>/dev/null || true
+  wait "$w1" 2>/dev/null || true
+  wait "$w2"   # survivors must finish the whole sweep, exit 0
+  wait "$w3"
+
+  grep -hq "reclaimed .* from dead worker" "$d/multi/surv-a.log" \
+      "$d/multi/surv-b.log" || {
+    echo "no survivor reclaimed the SIGKILLed worker's job" >&2
+    return 1
+  }
+  "$bdir/tools/lktm_sweep" merge --manifest "$d/multi/sweep.json" \
+    --out "$d/multi/merged.json" --summary "$d/multi/summary.json" >/dev/null
+  cmp "$d/single/merged.json" "$d/multi/merged.json"
+  "$bdir/tools/validate_stats_json" "$d/multi/sweep.json" \
+    "$d/multi/merged.json" "$d/multi/summary.json"
+  echo "  (3-worker sweep with a SIGKILLed+reclaimed worker merged bit-identical)"
+}
+run_distrib_smoke build
+
+echo "== size guard: no bulk artifacts in bench/ (256 KiB per-file cap) =="
+# The raw bigcores grids were 8/16 MB; only their lktm.summary.v1 condensates
+# (a few tens of KB) belong in the tree.
+if find bench -type f -size +262144c | grep .; then
+  echo "bench/ contains files over 256 KiB (see above) — commit summaries, not raw grids" >&2
+  exit 1
+fi
+
 echo "== grep gate: bench/ reads the stat registry, not ad-hoc counters =="
 # Field names must be spelled out: a bare "llc"/"l1" prefix also matches the
 # legitimate MachineParams::protocol latency knobs (m.protocol.llcLatency).
@@ -150,9 +220,46 @@ ctest --preset verify-sanitize
 echo "== sweep orchestrator: smoke + resume under ASan/UBSan =="
 run_sweep_smoke build-sanitize
 
+echo "== distributed sweep: kill/reclaim/merge under ASan/UBSan =="
+run_distrib_smoke build-sanitize
+
 echo "== large-core smoke + banked model checker under ASan/UBSan =="
 run_bigcore_smoke build-sanitize
 run_banked_check build-sanitize
+
+echo "== bigcores grid: 128-core sweep split across 2 worker processes =="
+# Build only the sweep tools of the bigcores preset (LKTM_MAX_CORES=256) and
+# re-run the committed fig07 128-core grid as a 2-worker distributed sweep.
+# Every job must end ok, both workers must have finished jobs, and the
+# regenerated lktm.summary.v1 must cmp equal to the committed artifact —
+# the strongest cross-check that the distributed path reproduces the grid
+# the single-process PR-6 run produced.
+cmake --preset bigcores >/dev/null
+cmake --build build-bigcores -j "$JOBS" --target lktm_sweep validate_stats_json
+d="build-bigcores/bigcores_distrib_check"
+rm -rf "$d" && mkdir -p "$d"
+build-bigcores/tools/lktm_sweep plan --preset bigcores-128 \
+  --manifest "$d/bc.json" --shards 2 >/dev/null
+build-bigcores/tools/lktm_sweep work --manifest "$d/bc.json" \
+  --worker-id grid-a --shard 0 --quiet >/dev/null &
+WA=$!
+build-bigcores/tools/lktm_sweep work --manifest "$d/bc.json" \
+  --worker-id grid-b --shard 1 --quiet >/dev/null &
+WB=$!
+wait "$WA"   # exit 0 iff the whole grid is complete && all ok
+wait "$WB"
+for w in grid-a grid-b; do
+  grep -lq "\"worker\":\"$w\"" "$d/bc.json.claims/done"/* || {
+    echo "bigcores grid was not split: $w finished no jobs" >&2
+    exit 1
+  }
+done
+build-bigcores/tools/lktm_sweep merge --manifest "$d/bc.json" \
+  --out "$d/merged.json" --summary "$d/summary.json" >/dev/null
+cmp "$d/summary.json" bench/bigcores/fig07_bigcores_128_summary.json
+build-bigcores/tools/validate_stats_json "$d/bc.json" "$d/merged.json" \
+  "$d/summary.json"
+echo "  (36-job 128-core grid split 2 ways, all ok, summary matches committed)"
 
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "== configure + build: release (benchmarks) =="

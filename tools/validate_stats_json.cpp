@@ -1,6 +1,7 @@
 // validate_stats_json: check that a versioned JSON artifact conforms to its
-// declared schema — lktm.stats.v1 run artifacts (src/config/artifact.hpp) or
-// lktm.manifest.v1 sweep manifests (src/config/orchestrator.hpp); the file's
+// declared schema — lktm.stats.v1 run artifacts (src/config/artifact.hpp),
+// lktm.manifest.v1/v2 sweep manifests (src/config/orchestrator.hpp) or
+// lktm.summary.v1 condensed grids; the file's
 // own "schema" field picks the checker. Used as a CI stage in
 // tools/run_checks.sh: lktm-sim / lktm_sweep write artifacts, this validates
 // them.
@@ -147,10 +148,65 @@ void checkRun(const Value& run, unsigned idx) {
   }
 }
 
+// Shared across lktm.summary.v1 runs: identity + scale + the derived block,
+// but no full stat snapshot.
+void checkSummaryRun(const Value& run, unsigned idx) {
+  const std::string where = "runs[" + std::to_string(idx) + "]";
+  for (const char* key : {"system", "workload", "machine", "status",
+                          "diagnostic"}) {
+    const Value* v = run.find(key);
+    if (v == nullptr || !v->isString()) {
+      fail(where + ": missing or non-string \"" + key + "\"");
+    }
+  }
+  for (const char* key : {"threads", "cores", "banks", "seed", "cycles"}) {
+    requireNumber(run, key, where);
+  }
+  const Value* status = run.find("status");
+  lktm::cfg::RunStatus parsed;
+  if (status != nullptr && status->isString() &&
+      !lktm::cfg::runStatusFromString(status->text, parsed)) {
+    fail(where + ": unknown status \"" + status->text + "\"");
+  }
+  const Value* derived = run.find("derived");
+  if (derived == nullptr || !derived->isObject()) {
+    fail(where + ": missing \"derived\" object");
+  } else {
+    for (const char* key : {"commit_rate", "total_commits", "htm_commits",
+                            "lock_commits", "stl_commits", "aborts"}) {
+      requireNumber(*derived, key, where + ".derived");
+    }
+  }
+}
+
+void checkSummary(const Value& doc) {
+  const Value* source = doc.find("source");
+  if (source == nullptr || !source->isString() ||
+      source->text != lktm::cfg::kStatsSchema) {
+    fail(std::string("missing or wrong \"source\" (expected \"") +
+         lktm::cfg::kStatsSchema + "\")");
+  }
+  const Value* runs = doc.find("runs");
+  if (runs == nullptr || !runs->isArray()) {
+    fail("missing \"runs\" array");
+    return;
+  }
+  if (runs->array->empty()) fail("\"runs\" is empty");
+  for (unsigned i = 0; i < runs->array->size(); ++i) {
+    checkSummaryRun(runs->array->at(i), i);
+  }
+}
+
 void checkManifest(const Value& doc) {
   const Value* dir = doc.find("artifact_dir");
   if (dir == nullptr || !dir->isString()) {
     fail("missing or non-string \"artifact_dir\"");
+  }
+  // "shards" arrived with lktm.manifest.v2; v1 documents omit it (readers
+  // treat that as a single shard).
+  const Value* shardsV = doc.find("shards");
+  if (shardsV != nullptr && (!shardsV->isNumber() || shardsV->number < 1)) {
+    fail("\"shards\" must be a number >= 1");
   }
   const Value* jobs = doc.find("jobs");
   if (jobs == nullptr || !jobs->isArray()) {
@@ -226,12 +282,17 @@ bool validateFile(const std::string& file) {
           checkRun(runs->array->at(i), i);
         }
       }
-    } else if (schema->text == lktm::cfg::kManifestSchema) {
+    } else if (schema->text == lktm::cfg::kManifestSchema ||
+               schema->text == lktm::cfg::kManifestSchemaV1) {
       schemaName = schema->text;
       checkManifest(doc);
+    } else if (schema->text == lktm::cfg::kSummarySchema) {
+      schemaName = schema->text;
+      checkSummary(doc);
     } else {
       fail("schema is \"" + schema->text + "\", expected \"" +
-           lktm::cfg::kStatsSchema + "\" or \"" + lktm::cfg::kManifestSchema + "\"");
+           lktm::cfg::kStatsSchema + "\", \"" + lktm::cfg::kManifestSchema +
+           "\" (or v1), or \"" + lktm::cfg::kSummarySchema + "\"");
     }
   }
 

@@ -6,6 +6,7 @@
 
 #include "sim/log.hpp"
 #include "sim/trace.hpp"
+#include "stats/path.hpp"
 
 namespace lktm::coh {
 
@@ -51,8 +52,8 @@ DirectoryController::DirectoryController(sim::SimContext& ctx, noc::Network& net
   bankReqs_.reserve(numBanks);
   for (unsigned b = 0; b < numBanks; ++b) {
     banks_.emplace_back(sigParams);
-    bankReqs_.push_back(&ctx.stats().counter(
-        "dir.bank." + std::to_string(b) + ".reqs"));
+    bankReqs_.push_back(
+        &ctx.stats().counter(stats::statPath("dir.bank", b, "reqs")));
   }
 }
 

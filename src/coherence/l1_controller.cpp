@@ -6,6 +6,7 @@
 
 #include "sim/log.hpp"
 #include "sim/trace.hpp"
+#include "stats/path.hpp"
 
 namespace lktm::coh {
 
@@ -24,9 +25,9 @@ L1Controller::L1Controller(sim::SimContext& ctx, noc::Network& net, CoreId id,
       cm_(policy.conflict, policy.rejectAction),
       numCores_(numCores),
       mshr_(params.mshrCapacity),
-      txc_(ctx.stats(), "core." + std::to_string(id)),
-      hits_(ctx.stats().counter("core." + std::to_string(id) + ".l1.hits")),
-      misses_(ctx.stats().counter("core." + std::to_string(id) + ".l1.misses")) {}
+      txc_(ctx.stats(), stats::statPath("core", id)),
+      hits_(ctx.stats().counter(stats::statPath("core", id, "l1.hits"))),
+      misses_(ctx.stats().counter(stats::statPath("core", id, "l1.misses"))) {}
 
 // ---------------------------------------------------------------- messaging
 

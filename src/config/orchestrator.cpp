@@ -22,6 +22,11 @@ namespace {
 namespace fs = std::filesystem;
 using stats::json::Value;
 
+// Wall clock for the operator-facing progress/ETA line only; job scheduling,
+// seeds and artifacts are pure functions of the manifest.
+// lktm-lint: allow(no-wall-clock) -- progress/ETA display only
+using WallClock = std::chrono::steady_clock;
+
 /// Diagnostic prefix marking a TransientJobError capture; isTransientFailure
 /// keys on it so scripted runners returning (not throwing) a transient
 /// failure classify identically.
@@ -352,7 +357,7 @@ OrchestratorReport runManifest(SweepManifest& manifest, const std::string& manif
   std::size_t started = 0;
   std::size_t claimCursor = 0;
   std::size_t doneThisRun = 0;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = WallClock::now();
 
   auto checkpoint = [&] {
     if (!manifestPath.empty()) manifest.save(manifestPath);
@@ -419,7 +424,7 @@ OrchestratorReport runManifest(SweepManifest& manifest, const std::string& manif
     if (opts.progress != nullptr) {
       const std::size_t terminalTotal = report.skipped + doneThisRun;
       const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+          std::chrono::duration<double>(WallClock::now() - t0).count();
       const std::size_t target =
           opts.maxJobs != 0 ? std::min(runnable.size(), opts.maxJobs) : runnable.size();
       const std::size_t left = target > doneThisRun ? target - doneThisRun : 0;

@@ -19,6 +19,15 @@
 
 namespace lktm::cfg {
 
+namespace {
+
+// Host-side wall clock for the run's wall budget and wallSeconds reporting;
+// it never feeds simulated time, which advances only through Engine events.
+// lktm-lint: allow(no-wall-clock) -- wall-budget enforcement and reporting only
+using WallClock = std::chrono::steady_clock;
+
+}  // namespace
+
 const char* toString(RunStatus s) {
   switch (s) {
     case RunStatus::Ok: return "ok";
@@ -177,12 +186,11 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
 
   for (auto& c : cpus) c->start();
 
-  const auto wallStart = std::chrono::steady_clock::now();
+  const auto wallStart = WallClock::now();
   if (cfg.wallBudgetSeconds > 0.0) {
-    engine.setWallDeadline(wallStart + std::chrono::duration_cast<
-                                           std::chrono::steady_clock::duration>(
-                                           std::chrono::duration<double>(
-                                               cfg.wallBudgetSeconds)));
+    engine.setWallDeadline(
+        wallStart + std::chrono::duration_cast<WallClock::duration>(
+                        std::chrono::duration<double>(cfg.wallBudgetSeconds)));
   }
   try {
     engine.run(cfg.machine.maxCycles);
@@ -195,8 +203,7 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
   }
   engine.clearWallDeadline();
   res.wallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart)
-          .count();
+      std::chrono::duration<double>(WallClock::now() - wallStart).count();
 
   for (auto& c : cpus) {
     if (!c->halted()) {

@@ -1,0 +1,274 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace lktm::lint {
+
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool isDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parse a comment's text for a `lktm-lint: allow(a,b) -- reason` directive.
+/// Returns true when the marker is present at all (even malformed), so the
+/// rule engine can police reason-less directives.
+bool parseDirective(const std::string& comment, Suppression& out) {
+  const std::size_t mark = comment.find("lktm-lint:");
+  if (mark == std::string::npos) return false;
+  // Documentation *about* the directive quotes it in backticks; a backtick
+  // anywhere before the marker means this comment documents, not directs.
+  const std::size_t tick = comment.find('`');
+  if (tick != std::string::npos && tick < mark) return false;
+  std::size_t p = comment.find("allow", mark);
+  if (p == std::string::npos) return true;  // marker without allow(): malformed
+  p = comment.find('(', p);
+  if (p == std::string::npos) return true;
+  const std::size_t close = comment.find(')', p);
+  if (close == std::string::npos) return true;
+  std::string rule;
+  for (std::size_t i = p + 1; i <= close; ++i) {
+    const char c = i < close ? comment[i] : ',';
+    if (c == ',' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!rule.empty()) out.rules.push_back(rule);
+      rule.clear();
+    } else {
+      rule += c;
+    }
+  }
+  const std::size_t dash = comment.find("--", close);
+  if (dash != std::string::npos) {
+    // The reason runs to the end of the directive's line; in a block comment
+    // that must not swallow following lines or the closing */.
+    std::string reason = comment.substr(dash + 2);
+    reason = reason.substr(0, reason.find('\n'));
+    const std::size_t closer = reason.find("*/");
+    if (closer != std::string::npos) reason = reason.substr(0, closer);
+    out.reason = trimmed(reason);
+  }
+  return true;
+}
+
+}  // namespace
+
+SourceFile lexFile(const std::string& src) {
+  SourceFile out;
+
+  // Raw source lines for excerpts (before splicing, so excerpts match the
+  // file as the author sees it).
+  {
+    std::string cur;
+    for (const char c : src) {
+      if (c == '\n') {
+        out.lines.push_back(cur);
+        cur.clear();
+      } else if (c != '\r') {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) out.lines.push_back(cur);
+  }
+
+  // Phase 1: line splicing. Backslash-newline joins physical lines into one
+  // logical line (this is what makes `#define A \` continuations and split
+  // comments lex correctly); keep a per-character map back to the original
+  // line number.
+  std::string text;
+  std::vector<unsigned> lineOf;
+  text.reserve(src.size());
+  lineOf.reserve(src.size());
+  {
+    unsigned line = 1;
+    std::size_t i = 0;
+    while (i < src.size()) {
+      if (src[i] == '\\' && i + 1 < src.size() &&
+          (src[i + 1] == '\n' ||
+           (src[i + 1] == '\r' && i + 2 < src.size() && src[i + 2] == '\n'))) {
+        i += src[i + 1] == '\r' ? 3 : 2;
+        ++line;
+        continue;
+      }
+      if (src[i] == '\r') {  // normalize CRLF so '\n' is the only terminator
+        ++i;
+        continue;
+      }
+      text += src[i];
+      lineOf.push_back(line);
+      if (src[i] == '\n') ++line;
+      ++i;
+    }
+  }
+
+  const auto lineAt = [&](std::size_t i) -> unsigned {
+    if (lineOf.empty()) return 1;
+    return lineOf[i < lineOf.size() ? i : lineOf.size() - 1];
+  };
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  bool atLineStart = true;  // only whitespace seen since the last newline
+  bool inPreproc = false;
+
+  const auto push = [&](Tok kind, std::string tokText, std::size_t at) {
+    out.tokens.push_back(Token{kind, std::move(tokText), lineAt(at), inPreproc});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+
+    if (c == '\n') {
+      inPreproc = false;
+      atLineStart = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Line comment: runs to the end of the *logical* line (splices already
+    // joined continuations, matching translation-phase order).
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && text[i] != '\n') ++i;
+      Suppression s;
+      s.firstLine = lineAt(start);
+      s.lastLine = lineAt(i == 0 ? 0 : i - 1);
+      if (parseDirective(text.substr(start, i - start), s)) {
+        out.suppressions.push_back(std::move(s));
+      }
+      continue;
+    }
+
+    // Block comment, possibly spanning lines.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const std::size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) ++i;
+      const std::size_t end = i + 1 < n ? i + 1 : n - 1;
+      i = i + 1 < n ? i + 2 : n;
+      Suppression s;
+      s.firstLine = lineAt(start);
+      s.lastLine = lineAt(end);
+      if (parseDirective(text.substr(start, end - start + 1), s)) {
+        out.suppressions.push_back(std::move(s));
+      }
+      continue;
+    }
+
+    if (c == '#' && atLineStart) {
+      inPreproc = true;
+      push(Tok::Punct, "#", i);
+      ++i;
+      atLineStart = false;
+      continue;
+    }
+    atLineStart = false;
+
+    // Number first: digit separators (1'000) must not open a char literal,
+    // and 1.5e+3 must not shed '+' as punctuation.
+    if (isDigit(c) || (c == '.' && i + 1 < n && isDigit(text[i + 1]))) {
+      const std::size_t start = i;
+      std::string num;
+      while (i < n) {
+        const char d = text[i];
+        if (isIdentChar(d) || d == '.' || d == '\'') {
+          num += d;
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && !num.empty()) {
+          const char prev = num.back();
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            num += d;
+            ++i;
+            continue;
+          }
+        }
+        break;
+      }
+      push(Tok::Number, std::move(num), start);
+      continue;
+    }
+
+    if (isIdentStart(c)) {
+      const std::size_t start = i;
+      std::string ident;
+      while (i < n && isIdentChar(text[i])) ident += text[i++];
+      // Raw string literal? The prefix R / u8R / uR / UR / LR glued to '"'.
+      const bool rawPrefix = ident == "R" || ident == "u8R" || ident == "uR" ||
+                             ident == "UR" || ident == "LR";
+      if (rawPrefix && i < n && text[i] == '"') {
+        ++i;  // consume the quote
+        std::string delim;
+        while (i < n && text[i] != '(' && delim.size() < 16) delim += text[i++];
+        if (i < n) ++i;  // consume '('
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t bodyStart = i;
+        const std::size_t endPos = text.find(closer, i);
+        std::string body;
+        if (endPos == std::string::npos) {
+          body = text.substr(bodyStart);  // unterminated: swallow the rest
+          i = n;
+        } else {
+          body = text.substr(bodyStart, endPos - bodyStart);
+          i = endPos + closer.size();
+        }
+        push(Tok::Str, std::move(body), start);
+        continue;
+      }
+      push(Tok::Ident, std::move(ident), start);
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t start = i;
+      ++i;
+      std::string body;
+      while (i < n && text[i] != quote && text[i] != '\n') {
+        if (text[i] == '\\' && i + 1 < n) {
+          body += text[i];
+          body += text[i + 1];
+          i += 2;
+          continue;
+        }
+        body += text[i++];
+      }
+      if (i < n && text[i] == quote) ++i;  // tolerate unterminated literals
+      push(quote == '"' ? Tok::Str : Tok::CharLit, std::move(body), start);
+      continue;
+    }
+
+    // Punctuation. Only the two operators the rules inspect structurally
+    // ("::" qualification, "->" member access) are fused; everything else is
+    // a single character, so ">>" closing nested templates is just two ">".
+    if (i + 1 < n) {
+      const char d = text[i + 1];
+      if ((c == ':' && d == ':') || (c == '-' && d == '>')) {
+        push(Tok::Punct, std::string{c, d}, i);
+        i += 2;
+        continue;
+      }
+    }
+    push(Tok::Punct, std::string(1, c), i);
+    ++i;
+  }
+
+  return out;
+}
+
+}  // namespace lktm::lint

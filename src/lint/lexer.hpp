@@ -1,0 +1,50 @@
+// A small, dependency-free C++ lexer for lktm_lint. It does not parse C++ —
+// it produces the token stream the determinism rules need, getting right the
+// parts a grep gate cannot: line splices (backslash-newline) anywhere,
+// line and block comments (including block comments spanning lines), string
+// and character literals with escapes, raw string literals R"delim(...)delim"
+// with encoding prefixes, digit separators (1'000'000, which would otherwise
+// open a bogus char literal), and preprocessor directives with continuations
+// (tokens inside a directive are marked so rules can ignore #include lines).
+//
+// Comments are not tokens; they are scanned for `lktm-lint: allow(...)`
+// suppression directives, which are returned alongside the token stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lktm::lint {
+
+enum class Tok : std::uint8_t { Ident, Number, Str, CharLit, Punct, End };
+
+struct Token {
+  Tok kind = Tok::End;
+  /// Identifier/number spelling; punctuation spelling ("::" and "->" are
+  /// single tokens, everything else one character); for Str/CharLit the
+  /// literal's *body* with escapes left unprocessed.
+  std::string text;
+  unsigned line = 0;     ///< 1-based line of the token's first character
+  bool preproc = false;  ///< token sits inside a preprocessor directive
+};
+
+/// One `lktm-lint: allow(rule[,rule]) -- reason` comment directive. A
+/// directive with no reason (or an unparsable rule list) suppresses nothing;
+/// the rule engine turns it into a `suppression-needs-reason` finding.
+struct Suppression {
+  std::vector<std::string> rules;
+  std::string reason;
+  unsigned firstLine = 0;  ///< line the comment starts on
+  unsigned lastLine = 0;   ///< line the comment ends on (== firstLine for //)
+};
+
+struct SourceFile {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  std::vector<std::string> lines;  ///< raw source lines, for finding excerpts
+};
+
+SourceFile lexFile(const std::string& src);
+
+}  // namespace lktm::lint

@@ -33,6 +33,7 @@ class MainMemory {
   std::size_t touchedLines() const { return store_.size(); }
 
  private:
+  // lktm-lint: allow(no-unordered-iteration) -- keyed lookup only, never iterated
   std::unordered_map<LineAddr, LineData> store_;
   stats::Counter* lineReads_ = nullptr;
   stats::Counter* lineWrites_ = nullptr;

@@ -1,0 +1,49 @@
+// statPath(...): the documented builder for StatRegistry paths. The
+// determinism linter's `stat-path-literal` rule requires every registry path
+// to be either a plain string literal or a statPath(...) call, so that the
+// set of stat paths a build can emit stays auditable — ad-hoc string
+// concatenation at registration sites is what let pre-PR-4 stat names drift
+// between producers and the figures that scraped them.
+//
+// Pieces are joined with '.'; integral pieces are rendered in decimal, and a
+// piece may itself contain dots ("l1.hits"), so per-core registrations read
+// as statPath("core", id, "l1.hits") -> "core.3.l1.hits".
+#pragma once
+
+#include <string>
+#include <type_traits>
+
+namespace lktm::stats {
+
+namespace detail {
+
+inline void appendPathPiece(std::string& out, std::string_view piece) {
+  if (!out.empty() && !piece.empty()) out += '.';
+  out += piece;
+}
+
+template <class T>
+void appendPathPiece(std::string& out, T v)
+  requires std::is_integral_v<T>
+{
+  appendPathPiece(out, std::string_view(std::to_string(v)));
+}
+
+inline void appendPathPiece(std::string& out, const std::string& piece) {
+  appendPathPiece(out, std::string_view(piece));
+}
+
+inline void appendPathPiece(std::string& out, const char* piece) {
+  appendPathPiece(out, std::string_view(piece));
+}
+
+}  // namespace detail
+
+template <class... Pieces>
+std::string statPath(const Pieces&... pieces) {
+  std::string out;
+  (detail::appendPathPiece(out, pieces), ...);
+  return out;
+}
+
+}  // namespace lktm::stats

@@ -1,5 +1,7 @@
 #include "stats/tx_stats.hpp"
 
+#include "stats/path.hpp"
+
 namespace lktm::stats {
 
 const char* abortCauseSlug(AbortCause c) {
@@ -44,7 +46,7 @@ std::array<Counter*, TxStats::kCauses> registerCauses(StatRegistry& reg,
   std::array<Counter*, TxStats::kCauses> out{};
   for (std::size_t i = 0; i < TxStats::kCauses; ++i) {
     const auto cause = static_cast<AbortCause>(i);
-    out[i] = &reg.counter(prefix + ".aborts." + abortCauseSlug(cause),
+    out[i] = &reg.counter(statPath(prefix, "aborts", abortCauseSlug(cause)),
                           "aborts attributed to this cause");
   }
   return out;
@@ -53,20 +55,20 @@ std::array<Counter*, TxStats::kCauses> registerCauses(StatRegistry& reg,
 }  // namespace
 
 TxStats::TxStats(StatRegistry& reg, const std::string& prefix)
-    : htmCommits(reg.counter(prefix + ".commits.htm",
+    : htmCommits(reg.counter(statPath(prefix, "commits.htm"),
                              "transactions committed speculatively")),
-      lockCommits(reg.counter(prefix + ".commits.lock",
+      lockCommits(reg.counter(statPath(prefix, "commits.lock"),
                               "critical sections completed in TL mode")),
-      stlCommits(reg.counter(prefix + ".commits.stl",
+      stlCommits(reg.counter(statPath(prefix, "commits.stl"),
                              "transactions that switched (STL) and committed")),
-      aborts(reg.counter(prefix + ".aborts.total",
+      aborts(reg.counter(statPath(prefix, "aborts.total"),
                          "total aborted speculative attempts")),
       abortsByCause(registerCauses(reg, prefix)),
-      switchAttempts(reg.counter(prefix + ".switch.attempts")),
-      switchGrants(reg.counter(prefix + ".switch.grants")),
-      rejectsSent(reg.counter(prefix + ".rejects.sent",
+      switchAttempts(reg.counter(statPath(prefix, "switch.attempts"))),
+      switchGrants(reg.counter(statPath(prefix, "switch.grants"))),
+      rejectsSent(reg.counter(statPath(prefix, "rejects.sent"),
                               "recovery: toxic requests revoked")),
-      rejectsReceived(reg.counter(prefix + ".rejects.received")),
-      wakeupsSent(reg.counter(prefix + ".wakeups.sent")) {}
+      rejectsReceived(reg.counter(statPath(prefix, "rejects.received"))),
+      wakeupsSent(reg.counter(statPath(prefix, "wakeups.sent"))) {}
 
 }  // namespace lktm::stats

@@ -63,6 +63,7 @@ void appendTraceLine(std::string& trace, const coh::Msg& m, noc::NodeId dst,
 
 ModelChecker::PathOutcome ModelChecker::runPath(const ModelConfig& cfg,
                                                 DfsOracle& oracle,
+                                                // lktm-lint: allow(no-unordered-iteration) -- membership test only
                                                 std::unordered_set<std::uint64_t>* visited,
                                                 const CheckOptions& opt,
                                                 std::uint64_t* statesVisited) {
@@ -155,6 +156,7 @@ ModelChecker::PathOutcome ModelChecker::runPath(const ModelConfig& cfg,
 
 CheckResult ModelChecker::run() {
   CheckResult result;
+  // lktm-lint: allow(no-unordered-iteration) -- fingerprint membership set, never iterated
   std::unordered_set<std::uint64_t> visited;
   std::vector<std::size_t> prefix;
 

@@ -117,6 +117,7 @@ class ModelChecker {
   };
 
   static PathOutcome runPath(const ModelConfig& cfg, DfsOracle& oracle,
+                             // lktm-lint: allow(no-unordered-iteration) -- membership test only
                              std::unordered_set<std::uint64_t>* visited,
                              const CheckOptions& opt, std::uint64_t* statesVisited);
 

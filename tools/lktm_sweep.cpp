@@ -342,9 +342,10 @@ int main(int argc, char** argv) {
         // process's private stderr counter.
         const cfg::ClaimStore store(wopts.claimDir, "status");
         const auto claimed = store.listClaimed();
-        const double now = std::chrono::duration<double>(
-                               std::chrono::system_clock::now().time_since_epoch())
-                               .count();
+        // lktm-lint: allow(no-wall-clock) -- heartbeat ages are display-only
+        const auto wallNow = std::chrono::system_clock::now();
+        const double now =
+            std::chrono::duration<double>(wallNow.time_since_epoch()).count();
         for (const auto& h : store.listHeartbeats()) {
           std::size_t held = 0;
           for (const auto& c : claimed) held += c.worker == h.worker ? 1 : 0;

@@ -15,9 +15,12 @@
 # builds), enforce the bench/ artifact size cap, re-run the committed
 # 128-core fig07 grid split across 2 worker processes on the bigcores build
 # (summary must cmp equal to the committed lktm.summary.v1), build + test
-# the trace preset (LKTM_TRACE=ON), grep-gate bench/ against hand-scraped
-# counter structs, then build the release tree and run the gated kernel
-# microbenchmarks
+# the trace preset (LKTM_TRACE=ON), run the lktm_lint determinism linter
+# (self-test must catch every planted violation; src/ and tools/ must be
+# clean; bench/ and examples/ must be free of retired counter structs; the
+# lktm.lint.v1 artifact must validate), build the TSan preset and run the
+# host-parallel sweep tests under ThreadSanitizer, then build the release
+# tree and run the gated kernel microbenchmarks
 # (writes BENCH_kernel.json; fails if any gated benchmark regresses below the
 # required speedup against the recorded baseline).
 #
@@ -47,11 +50,11 @@ ctest --preset default
 echo "== ctest: model checker (default) =="
 ctest --preset verify
 
-echo "== clang-tidy: src/ =="
+echo "== clang-tidy: src/ + tools/ =="
 if command -v clang-tidy >/dev/null 2>&1; then
   # The default preset exports build/compile_commands.json; any warning fails
   # (WarningsAsErrors: '*' in .clang-tidy).
-  find src -name '*.cpp' -print0 \
+  find src tools -name '*.cpp' -print0 \
     | xargs -0 -P "$JOBS" -n 8 clang-tidy -p build --quiet
 else
   echo "clang-tidy not installed; skipping static-analysis stage"
@@ -61,6 +64,15 @@ echo "== stats artifact: emit + validate (lktm.stats.v1) =="
 ./build/tools/lktm-sim --system LockillerTM --workload counter --threads 4 \
   --stats-json build/stats_check.json >/dev/null
 ./build/tools/validate_stats_json build/stats_check.json
+
+echo "== lktm_lint: seeded-violation self-test =="
+# Mirrors lktm_check --inject-bug: every rule's planted violation must be
+# caught and its clean twin must stay quiet.
+./build/tools/lktm_lint --self-test >/dev/null
+
+echo "== lktm_lint: src/ + tools/ must be clean (emit + validate artifact) =="
+./build/tools/lktm_lint --root . --json build/lint_check.json --quiet src tools
+./build/tools/validate_stats_json build/lint_check.json
 
 echo "== large-core smoke: 128-core banked directory (needs bigcores build) =="
 run_bigcore_smoke() {
@@ -192,13 +204,16 @@ if find bench -type f -size +262144c | grep .; then
   exit 1
 fi
 
-echo "== grep gate: bench/ reads the stat registry, not ad-hoc counters =="
-# Field names must be spelled out: a bare "llc"/"l1" prefix also matches the
-# legitimate MachineParams::protocol latency knobs (m.protocol.llcLatency).
-if grep -rnE '\.tx\.|\.protocol\.(messages|dataMessages|flitHops|l1Hits|l1Misses|llcHits|llcMisses|writebacks)|TxCounters|ProtocolCounters|BreakdownSummary' bench/; then
-  echo "bench/ still scrapes retired counter structs (see matches above)" >&2
+echo "== retired-symbol gate: bench/ + examples/ read the stat registry =="
+# Token-level replacement for the old grep gate: lktm_lint lexes the sources,
+# so retired-field mentions in strings/comments cannot trip it, and the
+# legitimate MachineParams::protocol latency knobs (m.protocol.llcLatency)
+# never match.
+./build/tools/lktm_lint --root . --rules no-retired-symbols --quiet \
+  bench examples || {
+  echo "bench//examples/ still scrape retired counter structs" >&2
   exit 1
-fi
+}
 
 echo "== configure + build: trace (LKTM_TRACE=ON) =="
 cmake --preset trace >/dev/null
@@ -206,6 +221,13 @@ cmake --build build-trace -j "$JOBS"
 
 echo "== ctest: trace (full suite with tracing compiled in) =="
 ctest --preset trace
+
+echo "== configure + build: tsan (ThreadSanitizer) =="
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_sweep test_distrib
+
+echo "== ctest: tsan (host-parallel sweep layer under ThreadSanitizer) =="
+ctest --preset tsan
 
 echo "== configure + build: sanitize (ASan + UBSan) =="
 cmake --preset sanitize >/dev/null

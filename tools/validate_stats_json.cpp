@@ -1,10 +1,11 @@
 // validate_stats_json: check that a versioned JSON artifact conforms to its
 // declared schema — lktm.stats.v1 run artifacts (src/config/artifact.hpp),
-// lktm.manifest.v1/v2 sweep manifests (src/config/orchestrator.hpp) or
-// lktm.summary.v1 condensed grids; the file's
+// lktm.manifest.v1/v2 sweep manifests (src/config/orchestrator.hpp),
+// lktm.summary.v1 condensed grids or lktm.lint.v1 findings reports
+// (src/lint/rules.hpp); the file's
 // own "schema" field picks the checker. Used as a CI stage in
-// tools/run_checks.sh: lktm-sim / lktm_sweep write artifacts, this validates
-// them.
+// tools/run_checks.sh: lktm-sim / lktm_sweep / lktm_lint write artifacts,
+// this validates them.
 //
 //   validate_stats_json <artifact.json> [more.json ...]
 //
@@ -19,6 +20,7 @@
 
 #include "config/artifact.hpp"
 #include "config/orchestrator.hpp"
+#include "lint/rules.hpp"
 #include "stats/json.hpp"
 
 namespace {
@@ -250,6 +252,104 @@ void checkManifest(const Value& doc) {
   }
 }
 
+// lktm.lint.v1: the lktm_lint findings artifact (src/lint/rules.hpp). Rule
+// ids must come from the live catalog, the suppressed/unsuppressed counters
+// must agree with the findings array, and a suppressed finding must carry
+// its allow() directive's reason.
+void checkLint(const Value& doc) {
+  const Value* filesV = doc.find("files_scanned");
+  if (filesV == nullptr || !filesV->isNumber() || filesV->number < 0) {
+    fail("missing or invalid \"files_scanned\"");
+  }
+  const Value* rules = doc.find("rules");
+  std::set<std::string> activeRules;
+  if (rules == nullptr || !rules->isArray()) {
+    fail("missing \"rules\" array");
+  } else {
+    std::string prev;
+    for (const Value& r : *rules->array) {
+      if (!r.isString() || !lktm::lint::isRule(r.text)) {
+        fail("rules[]: unknown rule id \"" + r.text + "\"");
+        continue;
+      }
+      if (!prev.empty() && r.text <= prev) fail("rules[] not sorted/unique");
+      prev = r.text;
+      activeRules.insert(r.text);
+    }
+    if (activeRules.empty()) fail("\"rules\" is empty");
+  }
+  for (const char* key : {"unsuppressed", "suppressed"}) {
+    requireNumber(doc, key, "lint report");
+  }
+  const Value* findings = doc.find("findings");
+  if (findings == nullptr || !findings->isArray()) {
+    fail("missing \"findings\" array");
+    return;
+  }
+  std::size_t suppressed = 0;
+  std::string prevKey;
+  for (unsigned i = 0; i < findings->array->size(); ++i) {
+    const Value& f = findings->array->at(i);
+    const std::string where = "findings[" + std::to_string(i) + "]";
+    if (!f.isObject()) {
+      fail(where + ": not an object");
+      continue;
+    }
+    for (const char* key : {"file", "rule", "zone", "reason", "excerpt"}) {
+      const Value* v = f.find(key);
+      if (v == nullptr || !v->isString()) {
+        fail(where + ": missing or non-string \"" + key + "\"");
+      }
+    }
+    const Value* line = f.find("line");
+    if (line == nullptr || !line->isNumber() || line->number < 1) {
+      fail(where + ": \"line\" must be a number >= 1");
+    }
+    const Value* rule = f.find("rule");
+    if (rule != nullptr && rule->isString() && !activeRules.empty() &&
+        activeRules.count(rule->text) == 0) {
+      fail(where + ": rule \"" + rule->text + "\" not in the \"rules\" block");
+    }
+    const Value* zone = f.find("zone");
+    if (zone != nullptr && zone->isString() && zone->text != "deterministic" &&
+        zone->text != "host") {
+      fail(where + ": unknown zone \"" + zone->text + "\"");
+    }
+    const Value* sup = f.find("suppressed");
+    if (sup == nullptr || sup->kind != Value::Kind::Bool) {
+      fail(where + ": missing or non-boolean \"suppressed\"");
+    } else if (sup->boolean) {
+      ++suppressed;
+      const Value* reason = f.find("reason");
+      if (reason == nullptr || !reason->isString() || reason->text.empty()) {
+        fail(where + ": suppressed finding without a reason");
+      }
+    }
+    const Value* file = f.find("file");
+    if (file != nullptr && file->isString() && line != nullptr &&
+        line->isNumber() && rule != nullptr && rule->isString()) {
+      char key[32];
+      std::snprintf(key, sizeof key, "%012.0f", line->number);
+      const std::string sortKey = file->text + "\x01" + key + "\x01" + rule->text;
+      if (!prevKey.empty() && sortKey < prevKey) {
+        fail(where + ": findings not sorted by (file, line, rule)");
+      }
+      prevKey = sortKey;
+    }
+  }
+  const Value* supV = doc.find("suppressed");
+  if (supV != nullptr && supV->isNumber() &&
+      supV->number != static_cast<double>(suppressed)) {
+    fail("\"suppressed\" count disagrees with the findings array");
+  }
+  const Value* unsupV = doc.find("unsuppressed");
+  if (unsupV != nullptr && unsupV->isNumber() &&
+      unsupV->number !=
+          static_cast<double>(findings->array->size() - suppressed)) {
+    fail("\"unsuppressed\" count disagrees with the findings array");
+  }
+}
+
 bool validateFile(const std::string& file) {
   std::ifstream in(file, std::ios::binary);
   if (!in) {
@@ -289,10 +389,14 @@ bool validateFile(const std::string& file) {
     } else if (schema->text == lktm::cfg::kSummarySchema) {
       schemaName = schema->text;
       checkSummary(doc);
+    } else if (schema->text == lktm::lint::kLintSchema) {
+      schemaName = schema->text;
+      checkLint(doc);
     } else {
       fail("schema is \"" + schema->text + "\", expected \"" +
            lktm::cfg::kStatsSchema + "\", \"" + lktm::cfg::kManifestSchema +
-           "\" (or v1), or \"" + lktm::cfg::kSummarySchema + "\"");
+           "\" (or v1), \"" + lktm::cfg::kSummarySchema + "\", or \"" +
+           lktm::lint::kLintSchema + "\"");
     }
   }
 

@@ -1,7 +1,9 @@
 // Custom-workload walkthrough: how a downstream user writes their own
 // transactional workload against the public API — a shared work queue where
 // producers push and consumers pop inside critical sections — using the
-// ProgramBuilder assembler and the TmRuntime lock-elision codegen directly.
+// ProgramBuilder assembler and the pluggable tm::Backend interface. The body
+// lambda handed to emitTransaction must be pure emission: dual-path backends
+// (hybrid) invoke it once per execution path.
 #include <cstdio>
 #include <sstream>
 
@@ -29,45 +31,43 @@ class WorkQueueWorkload final : public wl::Workload {
   }
 
   cpu::Program buildProgram(unsigned tid, unsigned nthreads,
-                            const rt::TmRuntime& runtime) override {
+                            tm::Backend& backend) override {
     const bool producer = tid % 2 == 0;
     cpu::ProgramBuilder b;
-    runtime.emitPrologue(b, tid);
+    backend.emitProgramStart(b, tid, nthreads);
     b.mark(TimeCat::NonTran);
     b.compute(static_cast<std::int64_t>(10 + 5 * tid));
     for (unsigned i = 0; i < opsPerThread_; ++i) {
-      runtime.emitEnter(b);
-      b.li(1, static_cast<std::int64_t>(control_));
-      if (producer) {
-        b.load(2, 1, 8);                // tail
-        b.addi(3, 2, 1);
-        b.store(1, 3, 8);               // tail++
-      } else {
-        b.load(2, 1, 0);                // head
-        b.addi(3, 2, 1);
-        b.store(1, 3, 0);               // head++
-      }
-      // slot = (counter % kSlots); touch its payload.
-      b.li(4, kSlots);
-      b.rem(5, 2, 4);
-      b.li(4, kLineBytes);
-      b.mul(5, 5, 4);
-      b.li(4, static_cast<std::int64_t>(slots_));
-      b.add(5, 5, 4);
-      b.load(6, 5);
-      b.addi(6, 6, 1);
-      b.store(5, 6);
-      // ledger, updated atomically with the queue operation
-      b.li(4, static_cast<std::int64_t>(doneCount_));
-      b.load(6, 4);
-      b.addi(6, 6, 1);
-      b.store(4, 6);
-      runtime.emitExit(b);
+      backend.emitTransaction(b, [&](cpu::ProgramBuilder& pb) {
+        pb.li(1, static_cast<std::int64_t>(control_));
+        if (producer) {
+          backend.emitReadDyn(pb, 2, 1, 8);   // tail
+          pb.addi(3, 2, 1);
+          backend.emitWriteDyn(pb, 1, 3, 8);  // tail++
+        } else {
+          backend.emitReadDyn(pb, 2, 1, 0);   // head
+          pb.addi(3, 2, 1);
+          backend.emitWriteDyn(pb, 1, 3, 0);  // head++
+        }
+        // slot = (counter % kSlots); touch its payload. The slot address is
+        // data-dependent, so this workload needs a backend with dynamic
+        // addressing (lockiller/cgl).
+        pb.li(4, kSlots);
+        pb.rem(5, 2, 4);
+        pb.li(4, kLineBytes);
+        pb.mul(5, 5, 4);
+        pb.li(4, static_cast<std::int64_t>(slots_));
+        pb.add(5, 5, 4);
+        backend.emitReadDyn(pb, 6, 5, 0);
+        pb.addi(6, 6, 1);
+        backend.emitWriteDyn(pb, 5, 6, 0);
+        // ledger, updated atomically with the queue operation
+        backend.emitUpdate(pb, doneCount_, 4, 6, 1);
+      });
       b.compute(30);
     }
     b.barrier();
     b.halt();
-    (void)nthreads;
     return b.build();
   }
 

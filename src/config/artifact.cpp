@@ -57,6 +57,7 @@ void writeRun(stats::json::Writer& w, const RunResult& r) {
   w.field("system", r.system);
   w.field("workload", r.workload);
   w.field("machine", r.machine);
+  w.field("backend", r.backend);
   w.field("threads", r.threads);
   w.field("cores", r.cores);
   w.field("banks", r.banks);
@@ -234,6 +235,8 @@ RunResult runResultFromJson(const Value& run) {
   r.system = need(run, "system").text;
   r.workload = need(run, "workload").text;
   r.machine = need(run, "machine").text;
+  // Optional: pre-backend artifacts (schema-compatible) omit it.
+  if (const Value* be = run.find("backend"); be != nullptr) r.backend = be->text;
   r.threads = static_cast<unsigned>(asU64(need(run, "threads")));
   r.cores = static_cast<unsigned>(asU64(need(run, "cores")));
   r.banks = static_cast<unsigned>(asU64(need(run, "banks")));

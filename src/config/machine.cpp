@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "runtime/backends/backend.hpp"
 #include "sim/core_mask.hpp"
 
 namespace lktm::cfg {
@@ -105,6 +106,15 @@ void applyMachineOverrides(MachineParams& m, const MachineOverrides& ov) {
     m.mesh.rows = ov.meshRows;
     m.name += "-m" + std::to_string(ov.meshCols) + "x" + std::to_string(ov.meshRows);
   }
+  if (!ov.backend.empty()) {
+    if (!tm::isBackendName(ov.backend)) {
+      throw std::invalid_argument("machine '" + m.name + "': unknown TM backend '" +
+                                  ov.backend + "' (valid: " +
+                                  tm::backendNameList() + ")");
+    }
+    m.backend = ov.backend;
+    m.name += "-be=" + ov.backend;
+  }
 }
 
 namespace {
@@ -121,6 +131,12 @@ std::size_t parseSuffixToken(const std::string& name, MachineOverrides& ov) {
   unsigned a = 0;
   unsigned b = 0;
   char tail = 0;
+  // "-be=NAME" first: it must never fall through to the numeric patterns
+  // (sscanf would not match "b%u" on "be=...", but keep the intent explicit).
+  if (tok.compare(0, 3, "be=") == 0 && tok.size() > 3) {
+    ov.backend = tok.substr(3);
+    return tok.size() + 1;
+  }
   if (std::sscanf(tok.c_str(), "c%u%c", &a, &tail) == 1 && a != 0) {
     ov.cores = a;
     return tok.size() + 1;

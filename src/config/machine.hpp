@@ -2,11 +2,11 @@
 // configurations (small: 8KB L1 / 1MB LLC, large: 128KB L1 / 32MB LLC).
 //
 // Large-core scaling: every preset can be scaled past its stock geometry with
-// MachineOverrides (core count, LLC bank count, mesh shape). Overrides are
-// recorded in the machine *name* as "-cN" / "-bN" / "-mWxH" suffixes, and
-// machineByName parses those suffixes back — so a sweep manifest entry like
-// "typical-c128-b8" round-trips through the orchestrator with no schema
-// change and no code edits.
+// MachineOverrides (core count, LLC bank count, mesh shape, TM backend).
+// Overrides are recorded in the machine *name* as "-cN" / "-bN" / "-mWxH" /
+// "-be=NAME" suffixes, and machineByName parses those suffixes back — so a
+// sweep manifest entry like "typical-c128-b8" or "typical-be=tl2" round-trips
+// through the orchestrator with no schema change and no code edits.
 #pragma once
 
 #include <string>
@@ -32,6 +32,9 @@ struct MachineParams {
   Cycle idealNetworkLatency = 6;       ///< ~average mesh traversal
   Cycle maxCycles = 400'000'000;       ///< per-run simulation budget
   Cycle watchdogWindow = 4'000'000;    ///< forward-progress hang detector
+  /// TM backend forced by a "-be=NAME" name suffix; empty = let the system
+  /// row / its policy decide (see tm::defaultBackendFor).
+  std::string backend;
 
   /// Table I baseline configuration.
   static MachineParams typical();
@@ -58,18 +61,21 @@ struct MachineOverrides {
   unsigned banks = 0;
   unsigned meshCols = 0;
   unsigned meshRows = 0;
+  std::string backend;  ///< empty = keep the system's backend choice
 };
 
-/// Apply `ov` to `m`, suffixing the machine name ("-cN", "-bN", "-mWxH") so
-/// artifacts and manifests record the scaled configuration. Does not
-/// validate; call m.validate() when the configuration is final.
+/// Apply `ov` to `m`, suffixing the machine name ("-cN", "-bN", "-mWxH",
+/// "-be=NAME") so artifacts and manifests record the scaled configuration.
+/// Throws std::invalid_argument on a backend name not in the registry;
+/// geometry is not validated here — call m.validate() when final.
 void applyMachineOverrides(MachineParams& m, const MachineOverrides& ov);
 
 /// Look up a machine by name: the presets "typical", "small-cache" (alias
 /// "small"), "large-cache" (alias "large"), optionally scaled by suffixes as
-/// produced by applyMachineOverrides — e.g. "typical-c128-b8" or
-/// "large-cache-c256-b16-m16x16". Throws std::invalid_argument on an unknown
-/// name (the sweep manifest stores machines by these names).
+/// produced by applyMachineOverrides — e.g. "typical-c128-b8",
+/// "large-cache-c256-b16-m16x16", or "typical-be=hybrid". Throws
+/// std::invalid_argument on an unknown name (the sweep manifest stores
+/// machines by these names).
 MachineParams machineByName(const std::string& name);
 
 }  // namespace lktm::cfg

@@ -13,7 +13,7 @@
 #include "cpu/core.hpp"
 #include "noc/ideal.hpp"
 #include "noc/mesh.hpp"
-#include "runtime/tm_runtime.hpp"
+#include "runtime/backends/backend.hpp"
 #include "sim/engine.hpp"
 #include "stats/tx_stats.hpp"
 
@@ -66,7 +66,7 @@ std::uint64_t RunResult::abortCount(AbortCause cause) const {
 }
 
 double RunResult::commitRate() const {
-  return stats::commitRate(htmCommits(), stlCommits(), aborts());
+  return stats::commitRate(htmCommits(), stlCommits() + stmCommits(), aborts());
 }
 
 TimeBreakdown RunResult::breakdown() const {
@@ -92,8 +92,8 @@ std::string RunResult::str() const {
   oss << system << "/" << workload << "@" << threads << "t[" << machine
       << "]: " << cycles << " cycles, commits htm=" << htmCommits()
       << " lock=" << lockCommits() << " stl=" << stlCommits()
-      << " aborts=" << aborts() << " (rate=" << commitRate() << ")"
-      << (ok() ? "" : " FAILED");
+      << " stm=" << stmCommits() << " aborts=" << aborts()
+      << " (rate=" << commitRate() << ")" << (ok() ? "" : " FAILED");
   for (const auto& v : violations) oss << "\n  violation: " << v;
   if (status != RunStatus::Ok) {
     oss << "\n  " << toString(status) << ": " << diagnostic;
@@ -152,8 +152,22 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
     dir.preloadLlc(lineOf(wl::kFallbackLockAddr), lineOf(workload->footprintEnd()) + 1);
   }
 
-  rt::TmRuntime runtime(rt::runtimeFor(cfg.system.policy), wl::kFallbackLockAddr,
-                        cfg.system.retry);
+  // Backend resolution: machine suffix > system row > policy default.
+  const std::string backendName = !cfg.machine.backend.empty()
+                                      ? cfg.machine.backend
+                                      : (!cfg.system.backend.empty()
+                                             ? cfg.system.backend
+                                             : tm::defaultBackendFor(cfg.system.policy));
+  std::unique_ptr<tm::Backend> backend = tm::makeBackend(
+      backendName,
+      tm::BackendConfig{cfg.system.policy, cfg.system.retry, wl::kFallbackLockAddr});
+  res.backend = backend->name();
+  if (backend->usesStmScratch() && workload->footprintEnd() > tm::kStmScratchBase) {
+    throw std::invalid_argument(
+        "backend '" + backendName + "': workload '" + res.workload +
+        "' footprint reaches into the software-TM metadata region (>= " +
+        std::to_string(tm::kStmScratchBase) + ")");
+  }
 
   std::vector<std::unique_ptr<coh::L1Controller>> l1s;
   l1s.reserve(n);
@@ -179,7 +193,7 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
   for (unsigned i = 0; i < n; ++i) {
     cpus.push_back(std::make_unique<cpu::Cpu>(
         simCtx, static_cast<CoreId>(i), *l1s[i], barrier,
-        workload->buildProgram(i, n, runtime), cpuParams));
+        workload->buildProgram(i, n, *backend), cpuParams));
     engine.addDiagnostic([c = cpus.back().get()] { return c->diagnostic(); });
   }
   engine.addDiagnostic([&dir] { return dir.diagnostic(); });

@@ -49,6 +49,7 @@ struct RunResult {
   std::string system;
   std::string workload;
   std::string machine;
+  std::string backend;  ///< TM backend the run executed on (registry name)
   unsigned threads = 0;
   unsigned cores = 0;      ///< machine core count the run executed with
   unsigned banks = 1;      ///< LLC directory bank count
@@ -69,8 +70,9 @@ struct RunResult {
   std::uint64_t htmCommits() const { return stats.sumMatching("core.*.commits.htm"); }
   std::uint64_t lockCommits() const { return stats.sumMatching("core.*.commits.lock"); }
   std::uint64_t stlCommits() const { return stats.sumMatching("core.*.commits.stl"); }
+  std::uint64_t stmCommits() const { return stats.sumMatching("core.*.commits.stm"); }
   std::uint64_t totalCommits() const {
-    return htmCommits() + lockCommits() + stlCommits();
+    return htmCommits() + lockCommits() + stlCommits() + stmCommits();
   }
   std::uint64_t aborts() const { return stats.sumMatching("core.*.aborts.total"); }
   std::uint64_t abortCount(AbortCause cause) const;
@@ -89,8 +91,8 @@ struct RunResult {
   std::uint64_t dataMessages() const { return stats.value("noc.data_messages"); }
   std::uint64_t flitHops() const { return stats.value("noc.flit_hops"); }
 
-  /// Commit rate of speculative attempts: (htm+stl)/(htm+stl+aborts); 1.0
-  /// when there were none (same math as the retired TxCounters).
+  /// Commit rate of speculative attempts: (htm+stl+stm)/(htm+stl+stm+aborts);
+  /// 1.0 when there were none (same math as the retired TxCounters).
   double commitRate() const;
 
   /// Sum over all threads (Fig 9); per-thread view for skew analysis.

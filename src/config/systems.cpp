@@ -1,6 +1,9 @@
 #include "config/systems.hpp"
 
+#include <cstring>
 #include <stdexcept>
+
+#include "runtime/backends/backend.hpp"
 
 namespace lktm::cfg {
 
@@ -50,6 +53,22 @@ TmPolicy withSwitching(TmPolicy p) {
   p.switching = true;
   return p;
 }
+
+/// Policy backing a backend-defined Table II row. The backend decides the
+/// execution path itself; the policy only has to agree with it about whether
+/// the HTM hardware may be engaged.
+TmPolicy policyForBackend(const char* backendName) {
+  TmPolicy p;
+  if (std::strcmp(backendName, "tl2") == 0 ||
+      std::strcmp(backendName, "cgl") == 0) {
+    p.htmEnabled = false;  // pure software: HTM never engaged
+  } else {
+    // hybrid: best-effort HTM, but no fallback-lock subscription — the HTM
+    // path subscribes the STM commit clock instead.
+    p.subscribeLock = false;
+  }
+  return p;
+}
 }  // namespace
 
 std::vector<SystemSpec> evaluatedSystems() {
@@ -76,6 +95,14 @@ std::vector<SystemSpec> evaluatedSystems() {
       {"LockillerTM", "Lockiller-RWI + HTMLock + SwitchingMode",
        withSwitching(withHtmLock(recovery(RejectAction::WaitWakeup, PriorityKind::InstsBased))),
        {}});
+  // Backend-defined rows (TL2-STM, Hybrid-TM): one per registry entry that
+  // declares itself a Table II system, so bench/table2_systems and this list
+  // can never drift apart.
+  for (const tm::BackendInfo& info : tm::backendRegistry()) {
+    if (info.systemRow == nullptr) continue;
+    out.push_back({info.systemRow, info.systemDesc, policyForBackend(info.name),
+                   {}, info.name});
+  }
   return out;
 }
 

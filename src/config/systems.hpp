@@ -14,11 +14,15 @@ struct SystemSpec {
   std::string description;
   core::TmPolicy policy{};
   rt::RetryPolicy retry{};
+  /// TM backend this row runs on. Empty = pick from the policy
+  /// (tm::defaultBackendFor); a machine-name `-be=` suffix overrides both.
+  std::string backend;
 };
 
-/// All nine rows of Table II, in paper order:
-/// CGL, Baseline, LosaTM-SAFU, Lockiller-RAI, -RRI, -RWI, -RWL, -RWIL,
-/// LockillerTM.
+/// All eleven evaluated rows: the paper's Table II in paper order
+/// (CGL, Baseline, LosaTM-SAFU, Lockiller-RAI, -RRI, -RWI, -RWL, -RWIL,
+/// LockillerTM) plus one row per backend-defined system from the backend
+/// registry (TL2-STM, Hybrid-TM).
 std::vector<SystemSpec> evaluatedSystems();
 
 SystemSpec systemByName(const std::string& name);

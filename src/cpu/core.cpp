@@ -185,9 +185,25 @@ void Cpu::step() {
       retire(1);
       return;
     case Op::Note:
-      if (i.imm == 0) {
-        ++txCounters().lockCommits;
-        engine_.noteProgress();
+      switch (i.imm) {
+        case kNoteLockCommit:
+          ++txCounters().lockCommits;
+          engine_.noteProgress();
+          break;
+        case kNoteStmCommit:
+          ++txCounters().stmCommits;
+          engine_.noteProgress();
+          break;
+        // STM aborts do NOT note progress: a livelocked software path must
+        // still trip the forward-progress watchdog.
+        case kNoteStmAbortLock:
+          txCounters().recordAbort(AbortCause::LockConflict);
+          break;
+        case kNoteStmAbortValidation:
+          txCounters().recordAbort(AbortCause::MemConflict);
+          break;
+        default:
+          break;
       }
       retire(1);
       return;

@@ -27,8 +27,17 @@ inline constexpr std::uint64_t kTtestStl = 0x0FFFFFFF;
 inline constexpr std::uint64_t kTtestTl = 0x1FFFFFFF;
 
 /// Software abort code used by Listing 1 line 9 (TME_LOCK_IS_ACQUIRED);
-/// accounted as a `mutex` abort like the paper does.
+/// accounted as a `mutex` abort like the paper does. The hybrid backend
+/// reuses it when an HTM attempt finds an orec locked by an STM committer —
+/// the same "someone holds the software lock" situation.
 inline constexpr std::int64_t kAbortCodeLockHeld = 0xFE;
+
+/// Op::Note pulse codes (the imm operand): software-path statistics events
+/// that have no hardware side effects.
+inline constexpr std::int64_t kNoteLockCommit = 0;          ///< lock-path critical section done
+inline constexpr std::int64_t kNoteStmCommit = 1;           ///< software transaction committed
+inline constexpr std::int64_t kNoteStmAbortLock = 2;        ///< STM abort: busy orec lock
+inline constexpr std::int64_t kNoteStmAbortValidation = 3;  ///< STM abort: read validation failed
 
 enum class Op : std::uint8_t {
   Nop,
@@ -62,7 +71,7 @@ enum class Op : std::uint8_t {
   TTest,    ///< rd = STL/TL marker or nesting depth
   SysCall,  ///< exception: aborts an HTM tx (fault), survivable in TL/STL
   Mark,     ///< attribute following cycles to TimeCat(imm) (profiling hint)
-  Note,     ///< statistics pulse: imm 0 = completed a lock-path critical section
+  Note,     ///< statistics pulse: see the kNote* codes above
   Barrier,  ///< synchronize with all other cores
   Halt,     ///< thread done
 };

@@ -22,6 +22,8 @@ constexpr const char* kRuleStatPath = "stat-path-literal";
 constexpr const char* kRuleSuppression = "suppression-needs-reason";
 
 /// Deterministic-zone path prefixes: code that runs inside simulated time.
+/// Prefix match, so subtrees are covered too (src/runtime/ takes in the
+/// src/runtime/backends/ TM-backend emitters).
 constexpr std::array<std::string_view, 9> kDeterministicPrefixes = {
     "src/sim/",   "src/coherence/", "src/core/",      "src/cpu/",
     "src/mem/",   "src/noc/",       "src/runtime/",   "src/workloads/",

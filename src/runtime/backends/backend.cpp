@@ -1,0 +1,78 @@
+#include "runtime/backends/backend.hpp"
+
+#include <stdexcept>
+
+#include "runtime/backends/hybrid.hpp"
+#include "runtime/backends/lockiller.hpp"
+#include "runtime/backends/tl2.hpp"
+
+namespace lktm::tm {
+
+const std::vector<BackendInfo>& backendRegistry() {
+  static const std::vector<BackendInfo> kRegistry = {
+      {"lockiller",
+       "HTM lock elision per the system's Table II policy (Listings 1/2)",
+       nullptr, nullptr},
+      {"cgl", "plain coarse-grained locking, HTM never engaged", nullptr,
+       nullptr},
+      {"tl2",
+       "TL2-style software TM: versioned orecs, global commit clock, redo log",
+       "TL2-STM",
+       "software TM baseline: TL2 global-version-clock, commit-time locking"},
+      {"hybrid",
+       "best-effort HTM falling back to the TL2 software path on "
+       "capacity/conflict aborts",
+       "Hybrid-TM",
+       "best-effort HTM with a TL2 software fallback instead of the global "
+       "lock"},
+  };
+  return kRegistry;
+}
+
+std::vector<std::string> backendNames() {
+  std::vector<std::string> names;
+  names.reserve(backendRegistry().size());
+  for (const BackendInfo& info : backendRegistry()) names.emplace_back(info.name);
+  return names;
+}
+
+bool isBackendName(const std::string& name) {
+  return backendInfo(name) != nullptr;
+}
+
+const BackendInfo* backendInfo(const std::string& name) {
+  for (const BackendInfo& info : backendRegistry()) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+std::string backendNameList() {
+  std::string out;
+  for (const BackendInfo& info : backendRegistry()) {
+    if (!out.empty()) out += ", ";
+    out += info.name;
+  }
+  return out;
+}
+
+std::string defaultBackendFor(const core::TmPolicy& policy) {
+  return policy.htmEnabled ? "lockiller" : "cgl";
+}
+
+std::unique_ptr<Backend> makeBackend(const std::string& name,
+                                     const BackendConfig& cfg) {
+  if (name == "lockiller") {
+    return std::make_unique<LockillerBackend>(cfg, rt::runtimeFor(cfg.policy),
+                                              "lockiller");
+  }
+  if (name == "cgl") {
+    return std::make_unique<LockillerBackend>(cfg, rt::RuntimeKind::CGL, "cgl");
+  }
+  if (name == "tl2") return std::make_unique<Tl2Backend>(cfg);
+  if (name == "hybrid") return std::make_unique<HybridBackend>(cfg);
+  throw std::invalid_argument("unknown TM backend '" + name +
+                              "' (valid: " + backendNameList() + ")");
+}
+
+}  // namespace lktm::tm

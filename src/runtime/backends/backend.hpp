@@ -1,0 +1,153 @@
+// Pluggable TM backends: the transaction execution path as an emission-level
+// interface.
+//
+// A backend decides what bytecode a critical section turns into — HTM lock
+// elision (lockiller), a plain coarse-grained lock (cgl), a TL2-style
+// software TM (tl2), or best-effort HTM that falls back to software
+// transactions (hybrid). Workloads describe *what* a transaction does
+// (reads/writes/updates over shared addresses) and the backend decides *how*
+// that becomes instructions, so every Table II row and every future backend
+// reuses the same workload generators unchanged.
+//
+// The interface is emission-level rather than a runtime dispatch layer on
+// purpose: programs stay plain bytecode interpreted by the unmodified
+// in-order cores, so the lockiller backend reproduces the pre-refactor
+// instruction stream byte-for-byte (golden-trace tests pin this), and
+// software backends pay their bookkeeping in *simulated* instructions, which
+// is exactly the cost model the paper's comparison needs.
+//
+// begin/commit/abort are folded into emitTransaction(): with statically
+// emitted programs the backend lays out the whole attempt/retry/fallback
+// structure around the body, and the abort path is a branch target inside
+// that structure, not a callback. The contention manager is the RetryPolicy
+// each backend receives in its BackendConfig (attempt budgets, backoff
+// shape); `contentionPolicy()` exposes it for ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/conflict_manager.hpp"
+#include "cpu/program.hpp"
+#include "runtime/retry_policy.hpp"
+#include "sim/types.hpp"
+
+namespace lktm::tm {
+
+/// Base of the software-TM metadata region (global commit clock, orec table,
+/// per-thread redo logs). Far above every workload footprint; the runner
+/// rejects workloads that would grow into it. MainMemory is sparse and reads
+/// absent lines as zero, so the whole region is implicitly zero-initialized
+/// (clock 0, all orecs unlocked at version 0).
+inline constexpr Addr kStmScratchBase = 0x4000'0000;
+
+/// Everything a backend needs to emit programs for one run.
+struct BackendConfig {
+  core::TmPolicy policy{};
+  rt::RetryPolicy retry{};
+  Addr lockAddr = 0;  ///< fallback-lock word (lock-elision backends)
+};
+
+class Backend {
+ public:
+  /// Emits the accesses of one transaction through the hooks below. MUST be
+  /// pure emission (no side effects on the workload object): dual-path
+  /// backends invoke it more than once per transaction (e.g. the hybrid
+  /// backend emits an HTM attempt and an STM fallback of the same body).
+  using BodyFn = std::function<void(cpu::ProgramBuilder&)>;
+
+  virtual ~Backend() = default;
+
+  /// Registry name ("lockiller", "cgl", "tl2", "hybrid").
+  virtual const char* name() const = 0;
+
+  /// Emit once at program start, before any transaction: materialize lock /
+  /// scratch addresses and record `tid` for per-thread metadata layout.
+  virtual void emitProgramStart(cpu::ProgramBuilder& b, unsigned tid,
+                                unsigned nthreads) = 0;
+
+  /// One atomic section: the backend brackets `body` with its begin/commit/
+  /// abort/retry structure. On fall-through the section has committed
+  /// (possibly after retries or on a fallback path).
+  virtual void emitTransaction(cpu::ProgramBuilder& b, const BodyFn& body) = 0;
+
+  // ---- access hooks, valid only inside a `body` callback ----
+  // `addrReg`/`valReg` preserve each workload's historical register
+  // allocation so the lockiller backend reproduces the pre-refactor byte
+  // sequences exactly. Backends reserve r21-r31 inside transactions;
+  // workload bodies keep live values in r1-r5 only.
+
+  /// valReg = *addr.
+  virtual void emitRead(cpu::ProgramBuilder& b, Addr addr, unsigned addrReg,
+                        unsigned valReg) = 0;
+  /// *addr = valReg.
+  virtual void emitWrite(cpu::ProgramBuilder& b, Addr addr, unsigned addrReg,
+                         unsigned valReg) = 0;
+  /// valReg = *addr + delta; *addr = valReg (read-modify-write).
+  virtual void emitUpdate(cpu::ProgramBuilder& b, Addr addr, unsigned addrReg,
+                          unsigned valReg, std::int64_t delta) = 0;
+
+  // Data-dependent addressing (pointer chasing): the address lives in a
+  // register, unknown at emission time. Backends whose conflict detection
+  // needs emission-time-static access sets (tl2, hybrid) throw
+  // std::invalid_argument with a diagnostic naming the limitation.
+
+  /// rd = *(addrReg + off).
+  virtual void emitReadDyn(cpu::ProgramBuilder& b, unsigned rd,
+                           unsigned addrReg, std::int64_t off) = 0;
+  /// *(addrReg + off) = valReg.
+  virtual void emitWriteDyn(cpu::ProgramBuilder& b, unsigned addrReg,
+                            unsigned valReg, std::int64_t off) = 0;
+
+  /// True when the backend keeps software-TM metadata above kStmScratchBase
+  /// (the runner rejects workloads whose footprint would collide).
+  virtual bool usesStmScratch() const { return false; }
+
+  /// Contention-manager hook: the retry/backoff strategy this backend emits
+  /// between attempts.
+  const rt::RetryPolicy& contentionPolicy() const { return retry_; }
+
+ protected:
+  explicit Backend(const rt::RetryPolicy& retry) : retry_(retry) {}
+  rt::RetryPolicy retry_;
+};
+
+/// One registry row. Backends that exist as their own Table II system carry
+/// the row's name/description here, so adding a backend in the registry adds
+/// its row to cfg::evaluatedSystems() *and* bench/table2_systems at once.
+struct BackendInfo {
+  const char* name;        ///< registry key / `-be=` suffix / --backend value
+  const char* summary;     ///< one-line mechanism description
+  const char* systemRow;   ///< Table II system name, or nullptr when the
+                           ///< backend is selected by existing rows' policies
+  const char* systemDesc;  ///< Table II description for systemRow
+};
+
+/// All backends, in presentation order: lockiller, cgl, tl2, hybrid.
+const std::vector<BackendInfo>& backendRegistry();
+
+/// Registry names, in order ("lockiller", "cgl", "tl2", "hybrid").
+std::vector<std::string> backendNames();
+
+bool isBackendName(const std::string& name);
+
+/// Registry row for `name`; nullptr when unknown.
+const BackendInfo* backendInfo(const std::string& name);
+
+/// One comma-separated line of the valid names, for diagnostics.
+std::string backendNameList();
+
+/// Backend implied by a Table II policy when neither the system row nor the
+/// machine name carries an explicit override: "cgl" when HTM is disabled,
+/// "lockiller" (the policy-driven elision runtime) otherwise.
+std::string defaultBackendFor(const core::TmPolicy& policy);
+
+/// Factory. Throws std::invalid_argument listing the valid names on an
+/// unknown `name`.
+std::unique_ptr<Backend> makeBackend(const std::string& name,
+                                     const BackendConfig& cfg);
+
+}  // namespace lktm::tm

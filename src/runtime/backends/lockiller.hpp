@@ -1,0 +1,76 @@
+// The first backend: the pre-refactor lock-elision runtime (tm_runtime.*)
+// behind the Backend interface. Covers two registry rows:
+//
+//  * "lockiller" — the policy-driven flavour (CGL / BestEffort / HtmLock via
+//    rt::runtimeFor), i.e. exactly what every Table II row emitted before
+//    backends existed. Golden-trace tests pin that the instruction stream is
+//    byte-identical to the pre-refactor tree.
+//  * "cgl"       — the same wrapper with RuntimeKind::CGL forced, so
+//    `-be=cgl` turns any system's sections into plain coarse-grained
+//    locking regardless of its HTM policy.
+#pragma once
+
+#include "runtime/backends/backend.hpp"
+#include "runtime/tm_runtime.hpp"
+
+namespace lktm::tm {
+
+class LockillerBackend final : public Backend {
+ public:
+  LockillerBackend(const BackendConfig& cfg, rt::RuntimeKind kind,
+                   const char* name)
+      : Backend(cfg.retry),
+        runtime_(kind, cfg.lockAddr, cfg.retry),
+        name_(name) {}
+
+  const char* name() const override { return name_; }
+
+  void emitProgramStart(cpu::ProgramBuilder& b, unsigned tid,
+                        unsigned /*nthreads*/) override {
+    runtime_.emitPrologue(b, tid);
+  }
+
+  void emitTransaction(cpu::ProgramBuilder& b, const BodyFn& body) override {
+    runtime_.emitEnter(b);
+    body(b);
+    runtime_.emitExit(b);
+  }
+
+  void emitRead(cpu::ProgramBuilder& b, Addr addr, unsigned addrReg,
+                unsigned valReg) override {
+    b.li(addrReg, static_cast<std::int64_t>(addr));
+    b.load(valReg, addrReg);
+  }
+
+  void emitWrite(cpu::ProgramBuilder& b, Addr addr, unsigned addrReg,
+                 unsigned valReg) override {
+    b.li(addrReg, static_cast<std::int64_t>(addr));
+    b.store(addrReg, valReg);
+  }
+
+  void emitUpdate(cpu::ProgramBuilder& b, Addr addr, unsigned addrReg,
+                  unsigned valReg, std::int64_t delta) override {
+    b.li(addrReg, static_cast<std::int64_t>(addr));
+    b.load(valReg, addrReg);
+    b.addi(valReg, valReg, delta);
+    b.store(addrReg, valReg);
+  }
+
+  void emitReadDyn(cpu::ProgramBuilder& b, unsigned rd, unsigned addrReg,
+                   std::int64_t off) override {
+    b.load(rd, addrReg, off);
+  }
+
+  void emitWriteDyn(cpu::ProgramBuilder& b, unsigned addrReg, unsigned valReg,
+                    std::int64_t off) override {
+    b.store(addrReg, valReg, off);
+  }
+
+  const rt::TmRuntime& runtime() const { return runtime_; }
+
+ private:
+  rt::TmRuntime runtime_;
+  const char* name_;
+};
+
+}  // namespace lktm::tm

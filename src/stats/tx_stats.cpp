@@ -32,11 +32,11 @@ const char* timeCatSlug(TimeCat c) {
   return "?";
 }
 
-double commitRate(std::uint64_t htmCommits, std::uint64_t stlCommits,
+double commitRate(std::uint64_t htmCommits, std::uint64_t swCommits,
                   std::uint64_t aborts) {
-  const std::uint64_t attempts = htmCommits + stlCommits + aborts;
+  const std::uint64_t attempts = htmCommits + swCommits + aborts;
   if (attempts == 0) return 1.0;
-  return static_cast<double>(htmCommits + stlCommits) / static_cast<double>(attempts);
+  return static_cast<double>(htmCommits + swCommits) / static_cast<double>(attempts);
 }
 
 namespace {
@@ -61,6 +61,8 @@ TxStats::TxStats(StatRegistry& reg, const std::string& prefix)
                               "critical sections completed in TL mode")),
       stlCommits(reg.counter(statPath(prefix, "commits.stl"),
                              "transactions that switched (STL) and committed")),
+      stmCommits(reg.counter(statPath(prefix, "commits.stm"),
+                             "software (TL2 path) transactions committed")),
       aborts(reg.counter(statPath(prefix, "aborts.total"),
                          "total aborted speculative attempts")),
       abortsByCause(registerCauses(reg, prefix)),

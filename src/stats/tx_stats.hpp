@@ -21,23 +21,25 @@ const char* abortCauseSlug(AbortCause c);
 /// Stable path segment for a time category ("htm", "switch_lock", ...).
 const char* timeCatSlug(TimeCat c);
 
-/// Commit rate of *speculative* attempts: (htm + stl) / (htm + stl + aborts).
+/// Commit rate of *speculative* attempts: (htm + sw) / (htm + sw + aborts),
+/// where `swCommits` is every software speculative flavour (STL + STM).
 /// Lock-mode (TL) commits are excluded: they never abort. 1.0 when there were
 /// no speculative attempts at all.
-double commitRate(std::uint64_t htmCommits, std::uint64_t stlCommits,
+double commitRate(std::uint64_t htmCommits, std::uint64_t swCommits,
                   std::uint64_t aborts);
 
 struct TxStats {
   static constexpr std::size_t kCauses = 8;  ///< indexed by AbortCause
 
   /// Registers everything under `prefix` (e.g. "core.3"): commits.{htm,lock,
-  /// stl}, aborts.total, aborts.<cause>, switch.{attempts,grants},
+  /// stl,stm}, aborts.total, aborts.<cause>, switch.{attempts,grants},
   /// rejects.{sent,received}, wakeups.sent.
   TxStats(StatRegistry& reg, const std::string& prefix);
 
   Counter& htmCommits;   ///< transactions committed speculatively
   Counter& lockCommits;  ///< critical sections completed in TL mode
   Counter& stlCommits;   ///< transactions that switched (STL) and committed
+  Counter& stmCommits;   ///< software (TL2 path) transactions committed
   Counter& aborts;       ///< total aborted speculative attempts
   std::array<Counter*, kCauses> abortsByCause;
 
@@ -58,11 +60,14 @@ struct TxStats {
 
   /// Total committed critical sections of any kind.
   std::uint64_t totalCommits() const {
-    return htmCommits.value() + lockCommits.value() + stlCommits.value();
+    return htmCommits.value() + lockCommits.value() + stlCommits.value() +
+           stmCommits.value();
   }
 
   double commitRate() const {
-    return stats::commitRate(htmCommits.value(), stlCommits.value(), aborts.value());
+    return stats::commitRate(htmCommits.value(),
+                             stlCommits.value() + stmCommits.value(),
+                             aborts.value());
   }
 };
 

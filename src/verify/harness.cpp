@@ -126,6 +126,25 @@ std::optional<ModelConfig> namedConfig(const std::string& name) {
     base.banks = 2;
     return base;
   }
+  if (name == "stm-commit") {
+    // The coherence footprint of a TL2-STM commit (runtime/backends/tl2.cpp)
+    // racing a concurrent reader, scripted as plain non-transactional
+    // accesses: line 1 is the global version clock, line 2 an orec, line 3
+    // the guarded data word. The writer locks the orec (odd word), publishes
+    // the data, bumps the clock, and releases the orec at the new version;
+    // the reader samples clock / orec / data / orec — the TL2 validation
+    // read sequence. Every interleaving must keep SWMR and coherence over
+    // the mixed write-write/write-read sharing this traffic produces.
+    cfg.cores = 2;
+    cfg.lines = {1, 2, 3};
+    cfg.programs = {
+        {{OpKind::Store, 2, 3}, {OpKind::Store, 3, 42}, {OpKind::Store, 1, 1},
+         {OpKind::Store, 2, 4}},
+        {{OpKind::Load, 1}, {OpKind::Load, 2}, {OpKind::Load, 3},
+         {OpKind::Load, 2}},
+    };
+    return cfg;
+  }
   if (name == "tl-overflow") {
     // A TL lock transaction overflows a 2-line direct-mapped L1 (lines 1 and
     // 3 collide) while a peer HTM transaction keeps poking the spilled line:
@@ -148,7 +167,7 @@ std::optional<ModelConfig> namedConfig(const std::string& name) {
 
 std::vector<std::string> configNames() {
   return {"2c1l",          "2c2l-cycle", "3c1l",   "3c2l",
-          "tl-overflow",   "2c2l-cycle-2b", "3c2l-2b",
+          "tl-overflow",   "stm-commit", "2c2l-cycle-2b", "3c2l-2b",
           "tl-overflow-2b"};
 }
 

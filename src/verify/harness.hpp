@@ -52,8 +52,9 @@ struct ModelConfig {
 };
 
 /// The built-in small configurations lktm_check exposes (2c1l, 2c2l-cycle,
-/// 3c1l, 3c2l, tl-overflow, plus the 2-bank variants 2c2l-cycle-2b, 3c2l-2b
-/// and tl-overflow-2b that split the line universe across directory banks —
+/// 3c1l, 3c2l, tl-overflow, stm-commit — the TL2 software-commit coherence
+/// footprint — plus the 2-bank variants 2c2l-cycle-2b, 3c2l-2b and
+/// tl-overflow-2b that split the line universe across directory banks —
 /// tl-overflow-2b drives the inter-bank lock/clear broadcasts). Returns
 /// nullopt for unknown names.
 std::optional<ModelConfig> namedConfig(const std::string& name);

@@ -69,9 +69,9 @@ class BankWorkload final : public Workload {
   }
 
   cpu::Program buildProgram(unsigned tid, unsigned nthreads,
-                            const rt::TmRuntime& runtime) override {
+                            tm::Backend& backend) override {
     cpu::ProgramBuilder b;
-    runtime.emitPrologue(b, tid);
+    backend.emitProgramStart(b, tid, nthreads);
     b.mark(TimeCat::NonTran);
     b.compute(static_cast<std::int64_t>(30 + 11 * tid));
     sim::Rng rng(seed_ ^ (0xBA4Cull * (tid + 1)));
@@ -81,18 +81,14 @@ class BankWorkload final : public Workload {
       const std::uint64_t from = rng.below(accounts_);
       std::uint64_t to = rng.below(accounts_);
       if (to == from) to = (to + 1) % accounts_;
-      runtime.emitEnter(b);
-      // balance[from] -= 1; balance[to] += 1 (atomically)
-      b.li(kRegAddr, static_cast<std::int64_t>(base_ + from * kLineBytes));
-      b.load(kRegVal, kRegAddr);
-      b.addi(kRegVal, kRegVal, -1);
-      b.store(kRegAddr, kRegVal);
-      b.compute(8);
-      b.li(kRegAddr, static_cast<std::int64_t>(base_ + to * kLineBytes));
-      b.load(kRegVal, kRegAddr);
-      b.addi(kRegVal, kRegVal, 1);
-      b.store(kRegAddr, kRegVal);
-      runtime.emitExit(b);
+      const Addr fromAddr = base_ + from * kLineBytes;
+      const Addr toAddr = base_ + to * kLineBytes;
+      backend.emitTransaction(b, [&](cpu::ProgramBuilder& pb) {
+        // balance[from] -= 1; balance[to] += 1 (atomically)
+        backend.emitUpdate(pb, fromAddr, kRegAddr, kRegVal, -1);
+        pb.compute(8);
+        backend.emitUpdate(pb, toAddr, kRegAddr, kRegVal, 1);
+      });
       b.compute(25);
     }
     b.barrier();
@@ -144,9 +140,9 @@ class LinkedListWorkload final : public Workload {
   }
 
   cpu::Program buildProgram(unsigned tid, unsigned nthreads,
-                            const rt::TmRuntime& runtime) override {
+                            tm::Backend& backend) override {
     cpu::ProgramBuilder b;
-    runtime.emitPrologue(b, tid);
+    backend.emitProgramStart(b, tid, nthreads);
     b.mark(TimeCat::NonTran);
     b.compute(static_cast<std::int64_t>(20 + 9 * tid));
     sim::Rng rng(seed_ ^ (0x115Dull * (tid + 1)));
@@ -154,17 +150,19 @@ class LinkedListWorkload final : public Workload {
     const unsigned hi = totalTxs_ * (tid + 1) / nthreads;
     for (unsigned t = lo; t < hi; ++t) {
       const std::uint64_t start = rng.below(nodes_);
-      runtime.emitEnter(b);
-      b.li(kRegPtr, static_cast<std::int64_t>(head_ + start * kLineBytes));
-      // Pointer-chase `hops_` links: addresses are data-dependent, coming
-      // from simulated memory through the coherence protocol.
-      for (unsigned h = 0; h < hops_; ++h) {
-        b.load(kRegPtr, kRegPtr, 0);
-      }
-      b.load(kRegTmp, kRegPtr, 8);
-      b.addi(kRegTmp, kRegTmp, 1);
-      b.store(kRegPtr, kRegTmp, 8);
-      runtime.emitExit(b);
+      const Addr startAddr = head_ + start * kLineBytes;
+      backend.emitTransaction(b, [&](cpu::ProgramBuilder& pb) {
+        pb.li(kRegPtr, static_cast<std::int64_t>(startAddr));
+        // Pointer-chase `hops_` links: addresses are data-dependent, coming
+        // from simulated memory through the coherence protocol. Backends
+        // without dynamic-address support reject this workload up front.
+        for (unsigned h = 0; h < hops_; ++h) {
+          backend.emitReadDyn(pb, kRegPtr, kRegPtr, 0);
+        }
+        backend.emitReadDyn(pb, kRegTmp, kRegPtr, 8);
+        pb.addi(kRegTmp, kRegTmp, 1);
+        backend.emitWriteDyn(pb, kRegPtr, kRegTmp, 8);
+      });
       b.compute(20);
     }
     b.barrier();

@@ -6,7 +6,7 @@
 namespace lktm::wl {
 
 namespace {
-// Workload body registers (runtime reserves r27-r31).
+// Workload body registers (backends reserve r21-r31 inside transactions).
 constexpr unsigned kRegAddr = 1;
 constexpr unsigned kRegVal = 2;
 constexpr unsigned kRegPriv = 3;
@@ -24,10 +24,10 @@ void StampWorkloadBase::init(mem::MainMemory& memory, unsigned nthreads) {
 }
 
 cpu::Program StampWorkloadBase::buildProgram(unsigned tid, unsigned nthreads,
-                                             const rt::TmRuntime& runtime) {
+                                             tm::Backend& backend) {
   if (!initialized_) throw std::logic_error("init() must run before buildProgram()");
   cpu::ProgramBuilder b;
-  runtime.emitPrologue(b, tid);
+  backend.emitProgramStart(b, tid, nthreads);
   b.li(kRegTid, static_cast<std::int64_t>(tid + 1));
   b.mark(TimeCat::NonTran);
   b.compute(static_cast<std::int64_t>(startupCompute(tid)));
@@ -39,7 +39,7 @@ cpu::Program StampWorkloadBase::buildProgram(unsigned tid, unsigned nthreads,
   sim::Rng rng = makeRng(0x5157ull * (tid + 1));
   for (unsigned t = lo; t < hi; ++t) {
     const TxDesc d = genTx(rng, tid, nthreads, t);
-    emitTx(b, d, tid, runtime);
+    emitTx(b, d, tid, backend);
   }
   b.barrier();
   b.halt();
@@ -47,45 +47,46 @@ cpu::Program StampWorkloadBase::buildProgram(unsigned tid, unsigned nthreads,
 }
 
 void StampWorkloadBase::emitTx(cpu::ProgramBuilder& b, const TxDesc& d,
-                               unsigned tid, const rt::TmRuntime& runtime) {
-  runtime.emitEnter(b);
+                               unsigned tid, tm::Backend& backend) {
+  // Account the increments up front: the body lambda below must be pure
+  // emission, because dual-path backends invoke it more than once.
   unsigned increments = 0;
+  for (const Access& a : d.accesses) {
+    if (a.kind == Access::Kind::Increment) {
+      incrementCells_.insert(a.addr);
+      ++increments;
+      ++expectedTotal_;
+    }
+  }
   const std::size_t n = d.accesses.size();
   // Spread intra-tx computation between accesses.
   const Cycle perGap = n > 0 ? d.computeInside / n : d.computeInside;
   const std::size_t syscallAt = n > 0 ? n - 1 : 0;  // faults strike at the end:
                                                     // the whole attempt is wasted
-  for (std::size_t i = 0; i < n; ++i) {
-    const Access& a = d.accesses[i];
-    b.li(kRegAddr, static_cast<std::int64_t>(a.addr));
-    switch (a.kind) {
-      case Access::Kind::Read:
-        b.load(kRegVal, kRegAddr);
-        break;
-      case Access::Kind::Write:
-        b.store(kRegAddr, kRegTid);
-        break;
-      case Access::Kind::Increment:
-        b.load(kRegVal, kRegAddr);
-        b.addi(kRegVal, kRegVal, 1);
-        b.store(kRegAddr, kRegVal);
-        incrementCells_.insert(a.addr);
-        ++increments;
-        ++expectedTotal_;
-        break;
+  backend.emitTransaction(b, [&](cpu::ProgramBuilder& pb) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Access& a = d.accesses[i];
+      switch (a.kind) {
+        case Access::Kind::Read:
+          backend.emitRead(pb, a.addr, kRegAddr, kRegVal);
+          break;
+        case Access::Kind::Write:
+          backend.emitWrite(pb, a.addr, kRegAddr, kRegTid);
+          break;
+        case Access::Kind::Increment:
+          backend.emitUpdate(pb, a.addr, kRegAddr, kRegVal, 1);
+          break;
+      }
+      if (perGap > 0) pb.compute(static_cast<std::int64_t>(perGap));
+      if (d.syscall && i == syscallAt) pb.syscall();
     }
-    if (perGap > 0) b.compute(static_cast<std::int64_t>(perGap));
-    if (d.syscall && i == syscallAt) b.syscall();
-  }
-  if (d.syscall && n == 0) b.syscall();
-  if (increments > 0) {
-    // Private commit ledger, updated atomically with the shared increments.
-    b.li(kRegPriv, static_cast<std::int64_t>(privCounters_.at(tid)));
-    b.load(kRegVal, kRegPriv);
-    b.addi(kRegVal, kRegVal, static_cast<std::int64_t>(increments));
-    b.store(kRegPriv, kRegVal);
-  }
-  runtime.emitExit(b);
+    if (d.syscall && n == 0) pb.syscall();
+    if (increments > 0) {
+      // Private commit ledger, updated atomically with the shared increments.
+      backend.emitUpdate(pb, privCounters_.at(tid), kRegPriv, kRegVal,
+                         static_cast<std::int64_t>(increments));
+    }
+  });
   if (d.gapAfter > 0) b.compute(static_cast<std::int64_t>(d.gapAfter));
 }
 

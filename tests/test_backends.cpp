@@ -1,0 +1,364 @@
+// The pluggable TM-backend layer (src/runtime/backends): registry contracts,
+// lockiller bit-identity with the direct runtime emission, TL2 orec algebra
+// and commit/abort accounting, hybrid HTM+STM mixing, the -be= machine
+// suffix, and host-thread-count independence of the backend sweep rows.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "config/machine.hpp"
+#include "config/orchestrator.hpp"
+#include "config/runner.hpp"
+#include "config/sweep.hpp"
+#include "config/systems.hpp"
+#include "runtime/backends/backend.hpp"
+#include "runtime/backends/tl2.hpp"
+#include "runtime/tm_runtime.hpp"
+#include "workloads/micro.hpp"
+#include "workloads/workload.hpp"
+
+namespace lktm::tm {
+namespace {
+
+cfg::RunResult runMicro(const std::string& system, unsigned threads,
+                        const std::function<std::unique_ptr<wl::Workload>()>& mk,
+                        cfg::MachineParams machine = cfg::MachineParams::typical()) {
+  cfg::RunConfig rc;
+  rc.machine = machine;
+  rc.system = cfg::systemByName(system);
+  rc.threads = threads;
+  return cfg::runSimulation(rc, mk);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(BackendRegistry, NamesRowsAndLookups) {
+  const auto names = backendNames();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "lockiller");
+  EXPECT_EQ(names[1], "cgl");
+  EXPECT_EQ(names[2], "tl2");
+  EXPECT_EQ(names[3], "hybrid");
+  for (const std::string& n : names) {
+    EXPECT_TRUE(isBackendName(n)) << n;
+    EXPECT_NE(backendNameList().find(n), std::string::npos) << n;
+  }
+  EXPECT_FALSE(isBackendName("stm"));
+  // Only the backends that add Table II rows carry a systemRow.
+  EXPECT_STREQ(backendInfo("tl2")->systemRow, "TL2-STM");
+  EXPECT_STREQ(backendInfo("hybrid")->systemRow, "Hybrid-TM");
+  EXPECT_EQ(backendInfo("lockiller")->systemRow, nullptr);
+  EXPECT_EQ(backendInfo("cgl")->systemRow, nullptr);
+}
+
+TEST(BackendRegistry, UnknownNameThrows) {
+  EXPECT_THROW(makeBackend("no-such-backend", BackendConfig{}),
+               std::invalid_argument);
+  EXPECT_EQ(backendInfo("no-such-backend"), nullptr);
+}
+
+TEST(BackendRegistry, DefaultFollowsPolicy) {
+  core::TmPolicy htm;  // htmEnabled defaults true
+  EXPECT_EQ(defaultBackendFor(htm), "lockiller");
+  core::TmPolicy cglOnly;
+  cglOnly.htmEnabled = false;
+  EXPECT_EQ(defaultBackendFor(cglOnly), "cgl");
+}
+
+TEST(BackendRegistry, HybridRequiresHtm) {
+  BackendConfig bc;
+  bc.policy.htmEnabled = false;
+  bc.lockAddr = wl::kFallbackLockAddr;
+  EXPECT_THROW(makeBackend("hybrid", bc), std::invalid_argument);
+}
+
+// ------------------------------------------------- lockiller bit-identity
+
+void expectSamePrograms(const cpu::Program& a, const cpu::Program& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t pc = 0; pc < a.size(); ++pc) {
+    const cpu::Instr& x = a.at(pc);
+    const cpu::Instr& y = b.at(pc);
+    EXPECT_TRUE(x.op == y.op && x.rd == y.rd && x.rs1 == y.rs1 &&
+                x.rs2 == y.rs2 && x.imm == y.imm)
+        << "pc " << pc << ": " << x.str() << " vs " << y.str();
+  }
+}
+
+TEST(LockillerBackend, EmitsByteIdenticalToDirectRuntime) {
+  const Addr addr = 0x10000;
+  for (const char* system : {"CGL", "Baseline", "LockillerTM"}) {
+    const cfg::SystemSpec sys = cfg::systemByName(system);
+
+    cpu::ProgramBuilder direct;
+    rt::TmRuntime rt(rt::runtimeFor(sys.policy), wl::kFallbackLockAddr,
+                     sys.retry);
+    rt.emitPrologue(direct, 3);
+    rt.emitEnter(direct);
+    direct.li(10, static_cast<std::int64_t>(addr));
+    direct.load(11, 10);
+    direct.li(10, static_cast<std::int64_t>(addr));
+    direct.load(11, 10);
+    direct.addi(11, 11, 1);
+    direct.store(10, 11);
+    rt.emitExit(direct);
+    direct.halt();
+
+    BackendConfig bc;
+    bc.policy = sys.policy;
+    bc.retry = sys.retry;
+    bc.lockAddr = wl::kFallbackLockAddr;
+    auto backend = makeBackend(defaultBackendFor(sys.policy), bc);
+    cpu::ProgramBuilder viaBackend;
+    backend->emitProgramStart(viaBackend, 3, 8);
+    backend->emitTransaction(viaBackend, [&](cpu::ProgramBuilder& pb) {
+      backend->emitRead(pb, addr, 10, 11);
+      backend->emitUpdate(pb, addr, 10, 11, 1);
+    });
+    viaBackend.halt();
+
+    SCOPED_TRACE(system);
+    expectSamePrograms(direct.build(), viaBackend.build());
+  }
+}
+
+TEST(LockillerBackend, MachineSuffixRunMatchesDefaultRun) {
+  // Forcing -be=lockiller on a machine must be a no-op for an HTM system:
+  // same cycles, same full stat snapshot.
+  const auto mk = [] { return wl::makeCounter(4, 2, 64); };
+  const auto a = runMicro("LockillerTM", 4, mk);
+  cfg::MachineOverrides ov;
+  ov.backend = "lockiller";
+  cfg::MachineParams forced = cfg::MachineParams::typical();
+  cfg::applyMachineOverrides(forced, ov);
+  const auto b = runMicro("LockillerTM", 4, mk, forced);
+  ASSERT_TRUE(a.ok()) << a.str();
+  ASSERT_TRUE(b.ok()) << b.str();
+  EXPECT_EQ(a.backend, "lockiller");
+  EXPECT_EQ(b.backend, "lockiller");
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_TRUE(a.stats == b.stats);
+}
+
+// ----------------------------------------------------------- TL2 orec math
+
+TEST(Tl2, OrecEncodingWrapsAtMaxVersion) {
+  EXPECT_EQ(orecVersion(encodeOrec(7)), 7u);
+  EXPECT_FALSE(orecLocked(encodeOrec(7)));
+  // Version overflow wraps through the lock bit instead of setting it.
+  EXPECT_EQ(encodeOrec(kMaxOrecVersion + 1), 0u);
+  EXPECT_FALSE(orecLocked(encodeOrec(kMaxOrecVersion + 1)));
+  EXPECT_EQ(orecVersion(encodeOrec(kMaxOrecVersion)), kMaxOrecVersion);
+  // Lock words are odd, owner-distinct, never version-shaped.
+  EXPECT_TRUE(orecLocked(orecLockWord(0)));
+  EXPECT_TRUE(orecLocked(orecLockWord(31)));
+  EXPECT_NE(orecLockWord(0), orecLockWord(1));
+}
+
+TEST(Tl2, OrecTableMapsWholeLinesInsideScratch) {
+  for (const Addr a : {Addr{0}, Addr{0x1234}, Addr{0xfffff8}, Addr{1} << 29}) {
+    const Addr oa = orecAddrOf(a);
+    EXPECT_GE(oa, kOrecBase);
+    EXPECT_LT(oa, kOrecBase + kNumOrecs * kLineBytes);
+    // One orec per cache line: all words of a line share the stripe.
+    EXPECT_EQ(orecAddrOf(a), orecAddrOf((a & ~Addr{kLineBytes - 1}) + 8));
+  }
+}
+
+TEST(Tl2, RejectsDataDependentAddresses) {
+  BackendConfig bc;
+  bc.policy.htmEnabled = false;
+  bc.lockAddr = wl::kFallbackLockAddr;
+  auto tl2 = makeBackend("tl2", bc);
+  cpu::ProgramBuilder pb;
+  EXPECT_THROW(tl2->emitReadDyn(pb, 10, 11, 0), std::invalid_argument);
+  EXPECT_THROW(tl2->emitWriteDyn(pb, 10, 11, 0), std::invalid_argument);
+  // End to end: the pointer-chasing workload cannot build on the STM row.
+  EXPECT_THROW(runMicro("TL2-STM", 2, [] { return wl::makeLinkedList(16, 3, 16); }),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------- TL2 end to end
+
+TEST(Tl2, CommitsAreSoftwareAndInvariantsHold) {
+  const auto r = runMicro("TL2-STM", 4, [] { return wl::makeCounter(4, 2, 96); });
+  ASSERT_TRUE(r.ok()) << r.str();
+  EXPECT_EQ(r.backend, "tl2");
+  EXPECT_GT(r.stmCommits(), 0u);
+  EXPECT_EQ(r.htmCommits(), 0u);
+  EXPECT_EQ(r.lockCommits(), 0u);
+  EXPECT_EQ(r.stlCommits(), 0u);
+  EXPECT_EQ(r.totalCommits(), r.stmCommits());
+}
+
+TEST(Tl2, ContentionAbortsAreCountedButHarmless) {
+  // Maximum contention: every transaction increments the same single cell,
+  // so commit-time lock/validation conflicts are guaranteed at 4 threads.
+  const auto r = runMicro("TL2-STM", 4, [] { return wl::makeCounter(1, 1, 96); });
+  ASSERT_TRUE(r.ok()) << r.str();
+  EXPECT_GT(r.stmCommits(), 0u);
+  EXPECT_GT(r.aborts(), 0u);
+  EXPECT_GT(r.abortCount(AbortCause::LockConflict) +
+                r.abortCount(AbortCause::MemConflict),
+            0u);
+  EXPECT_LT(r.commitRate(), 1.0);
+}
+
+TEST(Tl2, BankTransfersStayAtomic) {
+  const auto r = runMicro("TL2-STM", 4, [] { return wl::makeBank(8, 128); });
+  ASSERT_TRUE(r.ok()) << r.str();  // verify() checks balance conservation
+  EXPECT_GT(r.stmCommits(), 0u);
+}
+
+// A one-thread workload whose transaction writes A, then B, then A again:
+// pins the redo log's program-order writeback with last-wins semantics.
+class RewriteWorkload : public wl::Workload {
+ public:
+  std::string name() const override { return "rewrite"; }
+  void init(mem::MainMemory&, unsigned) override {}
+  Addr footprintEnd() const override { return kA + kLineBytes; }
+  cpu::Program buildProgram(unsigned tid, unsigned,
+                            tm::Backend& backend) override {
+    cpu::ProgramBuilder pb;
+    backend.emitProgramStart(pb, tid, 1);
+    backend.emitTransaction(pb, [&](cpu::ProgramBuilder& b) {
+      pb.li(11, 5);
+      backend.emitWrite(b, kA, 10, 11);
+      pb.li(11, 6);
+      backend.emitWrite(b, kB, 10, 11);
+      pb.li(11, 7);
+      backend.emitWrite(b, kA, 10, 11);
+    });
+    pb.halt();
+    return pb.build();
+  }
+  std::vector<std::string> verify(const wl::WordReader& read,
+                                  unsigned) const override {
+    std::vector<std::string> v;
+    if (read(kA) != 7) v.push_back("A: rewrite lost (want 7)");
+    if (read(kB) != 6) v.push_back("B: write lost (want 6)");
+    return v;
+  }
+  // Same line on purpose: the second A-write must reuse the A redo slot.
+  static constexpr Addr kA = 0x20000;
+  static constexpr Addr kB = 0x20008;
+};
+
+TEST(Tl2, RedoLogWritebackIsLastWins) {
+  cfg::RunConfig rc;
+  rc.system = cfg::systemByName("TL2-STM");
+  rc.threads = 1;
+  const auto r = cfg::runSimulation(rc, [] { return std::make_unique<RewriteWorkload>(); });
+  ASSERT_TRUE(r.ok()) << r.str();
+  EXPECT_EQ(r.stmCommits(), 1u);
+}
+
+// The runner must refuse to aim an STM backend at a workload whose data
+// footprint would alias the orec/clock/redo metadata region.
+class HugeFootprintWorkload final : public RewriteWorkload {
+ public:
+  Addr footprintEnd() const override { return kStmScratchBase + kLineBytes; }
+};
+
+TEST(Tl2, ScratchCollisionIsRejected) {
+  cfg::RunConfig rc;
+  rc.system = cfg::systemByName("TL2-STM");
+  rc.threads = 1;
+  EXPECT_THROW(
+      cfg::runSimulation(rc, [] { return std::make_unique<HugeFootprintWorkload>(); }),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------------ hybrid row
+
+TEST(Hybrid, CommitsInHardwareWithSoftwareFallback) {
+  const auto r = runMicro("Hybrid-TM", 4, [] { return wl::makeCounter(4, 2, 96); });
+  ASSERT_TRUE(r.ok()) << r.str();
+  EXPECT_EQ(r.backend, "hybrid");
+  // No global-lock path exists in the hybrid: commits are HTM or TL2.
+  EXPECT_EQ(r.lockCommits(), 0u);
+  EXPECT_EQ(r.stlCommits(), 0u);
+  EXPECT_GT(r.htmCommits() + r.stmCommits(), 0u);
+  EXPECT_GT(r.htmCommits(), 0u) << "low contention should mostly commit in HTM";
+}
+
+TEST(Hybrid, HighContentionExercisesTheStmFallback) {
+  const auto r = runMicro("Hybrid-TM", 8, [] { return wl::makeCounter(1, 1, 192); });
+  ASSERT_TRUE(r.ok()) << r.str();
+  EXPECT_GT(r.htmCommits() + r.stmCommits(), 0u);
+  EXPECT_GT(r.aborts(), 0u);
+  EXPECT_EQ(r.totalCommits(), r.htmCommits() + r.stmCommits());
+}
+
+TEST(Hybrid, BankTransfersStayAtomic) {
+  const auto r = runMicro("Hybrid-TM", 4, [] { return wl::makeBank(8, 128); });
+  ASSERT_TRUE(r.ok()) << r.str();
+}
+
+TEST(Backends, RunsAreDeterministic) {
+  for (const char* system : {"TL2-STM", "Hybrid-TM"}) {
+    const auto mk = [] { return wl::makeBank(8, 96); };
+    const auto a = runMicro(system, 4, mk);
+    const auto b = runMicro(system, 4, mk);
+    ASSERT_TRUE(a.ok()) << a.str();
+    EXPECT_EQ(a.cycles, b.cycles) << system;
+    EXPECT_TRUE(a.stats == b.stats) << system;
+  }
+}
+
+// ------------------------------------------------------- machine suffix
+
+TEST(MachineSuffix, BackendRoundTripsThroughTheName) {
+  cfg::MachineOverrides ov;
+  ov.backend = "tl2";
+  cfg::MachineParams m = cfg::MachineParams::typical();
+  cfg::applyMachineOverrides(m, ov);
+  EXPECT_EQ(m.backend, "tl2");
+  EXPECT_NE(m.name.find("-be=tl2"), std::string::npos);
+  const cfg::MachineParams parsed = cfg::machineByName(m.name);
+  EXPECT_EQ(parsed.backend, "tl2");
+  EXPECT_EQ(parsed.name, m.name);
+}
+
+TEST(MachineSuffix, UnknownBackendNamesAreRejected) {
+  cfg::MachineOverrides ov;
+  ov.backend = "vaporware";
+  cfg::MachineParams m = cfg::MachineParams::typical();
+  EXPECT_THROW(cfg::applyMachineOverrides(m, ov), std::invalid_argument);
+  EXPECT_THROW(cfg::machineByName("typical-be=vaporware"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- sweep rows
+
+TEST(BackendSweep, ResultsIndependentOfHostThreads) {
+  // The backend Table II rows inherit the sweep determinism contract: the
+  // same manifest merged from 1, 2 or 4 worker threads is bit-identical.
+  std::vector<cfg::RunResult> reference;
+  for (const unsigned hostThreads : {1u, 2u, 4u}) {
+    cfg::SweepManifest m =
+        cfg::makeManifest("", "typical", {"TL2-STM", "Hybrid-TM"},
+                          {"counter", "bank"}, {2}, cfg::kDefaultSweepSeed);
+    cfg::OrchestratorOptions opts;
+    opts.hostThreads = hostThreads;
+    std::vector<cfg::RunResult> results;
+    cfg::runManifest(m, "", opts, {}, &results);
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto& r : results) {
+      EXPECT_TRUE(r.ok()) << r.str();
+      EXPECT_GT(r.stmCommits() + r.htmCommits(), 0u) << r.str();
+    }
+    if (reference.empty()) {
+      reference = std::move(results);
+      continue;
+    }
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(results[i].cycles, reference[i].cycles)
+          << "hostThreads=" << hostThreads << " job " << i;
+      EXPECT_TRUE(results[i].stats == reference[i].stats)
+          << "snapshot diverged at hostThreads=" << hostThreads << " job " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lktm::tm

@@ -186,7 +186,7 @@ TEST(Integration, BreakdownAccountsForAllCycles) {
 
 TEST(Integration, Table2RegistryMatchesPaper) {
   const auto systems = evaluatedSystems();
-  ASSERT_EQ(systems.size(), 9u);
+  ASSERT_EQ(systems.size(), 11u);  // 9 paper rows + TL2-STM + Hybrid-TM
   EXPECT_EQ(systems[0].name, "CGL");
   EXPECT_FALSE(systems[0].policy.htmEnabled);
   EXPECT_EQ(systems[1].name, "Baseline");
@@ -204,6 +204,14 @@ TEST(Integration, Table2RegistryMatchesPaper) {
   EXPECT_TRUE(systems[8].policy.htmLock);
   EXPECT_TRUE(systems[8].policy.switching);
   EXPECT_FALSE(systems[8].policy.subscribeLock);
+  // Backend-defined rows come from the backend registry, after the paper's.
+  EXPECT_EQ(systems[9].name, "TL2-STM");
+  EXPECT_EQ(systems[9].backend, "tl2");
+  EXPECT_FALSE(systems[9].policy.htmEnabled);
+  EXPECT_EQ(systems[10].name, "Hybrid-TM");
+  EXPECT_EQ(systems[10].backend, "hybrid");
+  EXPECT_TRUE(systems[10].policy.htmEnabled);
+  EXPECT_FALSE(systems[10].policy.subscribeLock);
   EXPECT_THROW(systemByName("nope"), std::invalid_argument);
 }
 

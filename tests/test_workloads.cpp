@@ -10,6 +10,14 @@
 namespace lktm::wl {
 namespace {
 
+/// Best-effort lock-elision backend with the default policy — the emission
+/// path every pre-backend test used.
+std::unique_ptr<tm::Backend> makeElisionBackend() {
+  tm::BackendConfig bc;
+  bc.lockAddr = kFallbackLockAddr;
+  return tm::makeBackend("lockiller", bc);
+}
+
 TEST(AddressSpace, BumpAllocatesAligned) {
   AddressSpace s(0x1000);
   const Addr a = s.alloc(100);
@@ -43,10 +51,13 @@ TEST(Stamp, ProgramsAreBuildableForEveryThreadCount) {
   for (const auto& n : stampNames()) {
     auto w = makeStamp(n);
     w->init(mem, 32);
-    rt::TmRuntime runtime(rt::RuntimeKind::HtmLock, kFallbackLockAddr);
+    tm::BackendConfig bc;
+    bc.policy.htmLock = true;
+    bc.lockAddr = kFallbackLockAddr;
+    auto backend = tm::makeBackend("lockiller", bc);
     std::size_t total = 0;
     for (unsigned t = 0; t < 32; ++t) {
-      const auto p = w->buildProgram(t, 32, runtime);
+      const auto p = w->buildProgram(t, 32, *backend);
       EXPECT_GT(p.size(), 4u) << n;
       total += p.size();
     }
@@ -68,10 +79,11 @@ TEST(Stamp, GenerationIsDeterministic) {
   auto b = makeVacation(true, 42);
   a->init(m1, 4);
   b->init(m2, 4);
-  rt::TmRuntime runtime(rt::RuntimeKind::BestEffort, kFallbackLockAddr);
+  auto ba = makeElisionBackend();
+  auto bb = makeElisionBackend();
   for (unsigned t = 0; t < 4; ++t) {
-    const auto pa = a->buildProgram(t, 4, runtime);
-    const auto pb = b->buildProgram(t, 4, runtime);
+    const auto pa = a->buildProgram(t, 4, *ba);
+    const auto pb = b->buildProgram(t, 4, *bb);
     ASSERT_EQ(pa.size(), pb.size());
     for (std::size_t i = 0; i < pa.size(); ++i) {
       EXPECT_EQ(pa.code[i].op, pb.code[i].op);
@@ -86,9 +98,9 @@ TEST(Stamp, DifferentSeedsDiffer) {
   auto b = makeVacation(true, 2);
   a->init(m1, 2);
   b->init(m2, 2);
-  rt::TmRuntime runtime(rt::RuntimeKind::BestEffort, kFallbackLockAddr);
-  const auto pa = a->buildProgram(0, 2, runtime);
-  const auto pb = b->buildProgram(0, 2, runtime);
+  auto backend = makeElisionBackend();
+  const auto pa = a->buildProgram(0, 2, *backend);
+  const auto pb = b->buildProgram(0, 2, *backend);
   bool differs = pa.size() != pb.size();
   for (std::size_t i = 0; !differs && i < pa.size(); ++i) {
     differs = pa.code[i].imm != pb.code[i].imm;
@@ -103,8 +115,8 @@ TEST(Stamp, WorkIsPartitionedNotReplicated) {
     auto w = makeSsca2(7);
     auto* base = dynamic_cast<StampWorkloadBase*>(w.get());
     w->init(mem, threads);
-    rt::TmRuntime runtime(rt::RuntimeKind::BestEffort, kFallbackLockAddr);
-    for (unsigned t = 0; t < threads; ++t) w->buildProgram(t, threads, runtime);
+    auto backend = makeElisionBackend();
+    for (unsigned t = 0; t < threads; ++t) w->buildProgram(t, threads, *backend);
     return base->expectedIncrementTotal();
   };
   EXPECT_EQ(total(2), total(32));
@@ -116,8 +128,8 @@ TEST(Stamp, LabyrinthHasLargeSets) {
   mem::MainMemory mem;
   auto w = makeLabyrinth(3);
   w->init(mem, 2);
-  rt::TmRuntime runtime(rt::RuntimeKind::BestEffort, kFallbackLockAddr);
-  const auto p = w->buildProgram(0, 2, runtime);
+  auto backend = makeElisionBackend();
+  const auto p = w->buildProgram(0, 2, *backend);
   // 24 txs/thread, each >120 accesses: the program must be large.
   EXPECT_GT(p.size(), 24u * 120u);
 }
@@ -126,8 +138,8 @@ TEST(Stamp, YadaRaisesExceptions) {
   mem::MainMemory mem;
   auto w = makeYada(3);
   w->init(mem, 2);
-  rt::TmRuntime runtime(rt::RuntimeKind::BestEffort, kFallbackLockAddr);
-  const auto p = w->buildProgram(0, 2, runtime);
+  auto backend = makeElisionBackend();
+  const auto p = w->buildProgram(0, 2, *backend);
   unsigned syscalls = 0;
   for (const auto& i : p.code) syscalls += i.op == cpu::Op::SysCall;
   EXPECT_GT(syscalls, 20u);  // ~70% of 64 transactions
@@ -139,8 +151,8 @@ TEST(Stamp, KmeansContentionKnob) {
     mem::MainMemory mem;
     auto w = makeKmeans(high, 5);
     w->init(mem, 2);
-    rt::TmRuntime runtime(rt::RuntimeKind::BestEffort, kFallbackLockAddr);
-    w->buildProgram(0, 1, runtime);
+    auto backend = makeElisionBackend();
+    w->buildProgram(0, 1, *backend);
     return w->footprintEnd();
   };
   EXPECT_LT(distinctCells(true), distinctCells(false));

@@ -14,6 +14,7 @@
 #include "config/artifact.hpp"
 #include "config/runner.hpp"
 #include "config/systems.hpp"
+#include "runtime/backends/backend.hpp"
 #include "sim/core_mask.hpp"
 #include "sim/trace.hpp"
 #include "stats/report.hpp"
@@ -40,6 +41,9 @@ void usage() {
       "                         near-square mesh unless --mesh is given)\n"
       "  --banks N              LLC directory banks (power of two <= cores)\n"
       "  --mesh WxH             mesh geometry, e.g. --mesh 16x8\n"
+      "  --backend NAME         force the TM backend (lockiller | cgl | tl2 |\n"
+      "                         hybrid); default: the system row's choice.\n"
+      "                         Equivalent to a -be=NAME machine suffix\n"
       "  --seed N               workload generation seed (default 11)\n"
       "  --breakdown            print the per-category time breakdown\n"
       "  --stats-json PATH      write the lktm.stats.v1 artifact to PATH\n"
@@ -93,8 +97,12 @@ int main(int argc, char** argv) {
       std::printf(
           " counter bank linkedlist\n"
           "machines: typical small large (suffixable: typical-c128-b8-m16x8)\n"
-          "          this build supports up to %u cores (LKTM_MAX_CORES)\n",
+          "          this build supports up to %u cores (LKTM_MAX_CORES)\n"
+          "backends:\n",
           sim::CoreMask::kMaxCores);
+      for (const auto& be : tm::backendRegistry()) {
+        std::printf("  %-16s %s\n", be.name, be.summary);
+      }
       return 0;
     } else if (a == "--system") {
       system = next();
@@ -120,6 +128,14 @@ int main(int argc, char** argv) {
       if (std::sscanf(next(), "%ux%u", &overrides.meshCols, &overrides.meshRows) != 2 ||
           overrides.meshCols == 0 || overrides.meshRows == 0) {
         std::fprintf(stderr, "--mesh wants WxH, e.g. --mesh 16x8\n");
+        return 2;
+      }
+    } else if (a == "--backend") {
+      overrides.backend = next();
+      if (!tm::isBackendName(overrides.backend)) {
+        std::fprintf(stderr, "unknown TM backend '%s' (valid: %s)\n",
+                     overrides.backend.c_str(),
+                     tm::backendNameList().c_str());
         return 2;
       }
     } else if (a == "--seed") {
@@ -188,12 +204,14 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", r.str().c_str());
   std::printf("machine: %s\n", rc.machine.describe().c_str());
+  std::printf("backend: %s\n", r.backend.c_str());
   stats::Table t({"metric", "value"});
   t.addRow({"cycles", std::to_string(r.cycles)});
   t.addRow({"commit rate", stats::Table::pct(r.commitRate())});
   t.addRow({"htm commits", std::to_string(r.htmCommits())});
   t.addRow({"lock commits", std::to_string(r.lockCommits())});
   t.addRow({"stl commits", std::to_string(r.stlCommits())});
+  t.addRow({"stm commits", std::to_string(r.stmCommits())});
   t.addRow({"aborts", std::to_string(r.aborts())});
   for (auto cause : {AbortCause::MemConflict, AbortCause::LockConflict,
                      AbortCause::Mutex, AbortCause::NonTran, AbortCause::Overflow,

@@ -47,7 +47,8 @@ void usage() {
       "  plan    create a job manifest\n"
       "    --manifest PATH      manifest file to write (required)\n"
       "    --artifact-dir DIR   per-job artifact directory (default: <manifest>.d)\n"
-      "    --preset NAME        smoke | figures | bigcores-128 | bigcores-256\n"
+      "    --preset NAME        smoke | figures | table2-backends |\n"
+      "                         bigcores-128 | bigcores-256\n"
       "                         (default smoke; bigcores-* need a build with\n"
       "                         -DLKTM_MAX_CORES large enough, e.g. the\n"
       "                         'bigcores' CMake preset)\n"
@@ -112,6 +113,14 @@ cfg::SweepManifest planPreset(const std::string& preset, const std::string& arti
     }
     return m;
   }
+  if (preset == "table2-backends") {
+    // The TM-backend comparison rows (Table II bottom block): the hardware
+    // lockiller flagship vs. the lock baseline vs. the software TL2 and the
+    // hybrid HTM/STM fallback, across all eight STAMP analogs.
+    return cfg::makeManifest(artifactDir, "typical",
+                             {"LockillerTM", "CGL", "TL2-STM", "Hybrid-TM"},
+                             wl::stampNames(), {8}, seed);
+  }
   if (preset == "bigcores-128" || preset == "bigcores-256") {
     // Fig 7/12-style speedup grids past 64 cores: the headline systems
     // (Baseline, LosaTM-SAFU, LockillerTM) on a banked large-core machine.
@@ -130,7 +139,7 @@ cfg::SweepManifest planPreset(const std::string& preset, const std::string& arti
   }
   throw std::invalid_argument(
       "unknown preset: " + preset +
-      " (try smoke | figures | bigcores-128 | bigcores-256)");
+      " (try smoke | figures | table2-backends | bigcores-128 | bigcores-256)");
 }
 
 std::string slurpFile(const std::string& path) {

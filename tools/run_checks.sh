@@ -65,6 +65,39 @@ echo "== stats artifact: emit + validate (lktm.stats.v1) =="
   --stats-json build/stats_check.json >/dev/null
 ./build/tools/validate_stats_json build/stats_check.json
 
+echo "== TM backends: each registry backend runs + validates (lktm-sim --backend) =="
+run_backend_smoke() {
+  # $1 = build dir. Every registered backend must run a small workload end to
+  # end (workload invariants + coherence checker on), report itself in the
+  # run metadata, and emit a valid lktm.stats.v1 artifact; an unknown
+  # backend name must exit 2 with the valid-name list.
+  local bdir="$1" be out
+  for be in lockiller cgl tl2 hybrid; do
+    out="$bdir/backend_${be}_check.json"
+    "$bdir/tools/lktm-sim" --backend "$be" --system LockillerTM \
+      --workload counter --threads 4 --stats-json "$out" \
+      | grep -q "backend: $be" || {
+      echo "lktm-sim --backend $be did not report backend: $be" >&2
+      return 1
+    }
+    "$bdir/tools/validate_stats_json" "$out"
+  done
+  if "$bdir/tools/lktm-sim" --backend vaporware --workload counter \
+      --threads 2 >/dev/null 2>"$bdir/backend_reject.txt"; then
+    echo "lktm-sim accepted an unknown backend name" >&2
+    return 1
+  fi
+  grep -q "lockiller" "$bdir/backend_reject.txt" || {
+    echo "unknown-backend rejection lacks the valid-name list" >&2
+    return 1
+  }
+}
+run_backend_smoke build
+
+echo "== model checker: TL2 commit footprint (stm-commit, exhaustive) =="
+./build/tools/lktm_check --config stm-commit --depth 4000 | grep -q "CLEAN" \
+  || { echo "stm-commit not clean" >&2; exit 1; }
+
 echo "== lktm_lint: seeded-violation self-test =="
 # Mirrors lktm_check --inject-bug: every rule's planted violation must be
 # caught and its clean twin must stay quiet.
@@ -248,6 +281,9 @@ run_distrib_smoke build-sanitize
 echo "== large-core smoke + banked model checker under ASan/UBSan =="
 run_bigcore_smoke build-sanitize
 run_banked_check build-sanitize
+
+echo "== TM backends smoke under ASan/UBSan =="
+run_backend_smoke build-sanitize
 
 echo "== bigcores grid: 128-core sweep split across 2 worker processes =="
 # Build only the sweep tools of the bigcores preset (LKTM_MAX_CORES=256) and

@@ -21,6 +21,7 @@
 #include "config/artifact.hpp"
 #include "config/orchestrator.hpp"
 #include "lint/rules.hpp"
+#include "runtime/backends/backend.hpp"
 #include "stats/json.hpp"
 
 namespace {
@@ -88,6 +89,19 @@ void checkRun(const Value& run, unsigned idx) {
   for (const char* key : {"threads", "cores", "banks", "seed", "cycles",
                           "wall_seconds"}) {
     requireNumber(run, key, where);
+  }
+  // "backend" arrived with the pluggable TM-backend registry; earlier
+  // artifacts omit it. When present it must name a registered backend so
+  // downstream row-grouping (Table II) can't silently mislabel a run.
+  const Value* backendV = run.find("backend");
+  if (backendV != nullptr) {
+    if (!backendV->isString()) {
+      fail(where + ": \"backend\" must be a string");
+    } else if (!backendV->text.empty() &&
+               !lktm::tm::isBackendName(backendV->text)) {
+      fail(where + ": unknown backend \"" + backendV->text + "\" (valid: " +
+           lktm::tm::backendNameList() + ")");
+    }
   }
   // Machine-scale metadata must be self-consistent: a run cannot use more
   // threads than cores, and the directory always has at least one bank.

@@ -22,7 +22,7 @@ int main() {
     const double s = speedupVsCgl(results, "Baseline", w, 2);
     const auto* r = cfg::findResult(results, "Baseline", w, 2);
     t.addRow({w, stats::Table::fixed(s, 2),
-              stats::Table::pct(r != nullptr ? r->commitRate() : 0.0, 1),
+              r != nullptr ? stats::Table::pct(r->commitRate(), 1) : "-",
               stats::bar(s / 2.0)});
   }
   t.addRow({"geo-mean",

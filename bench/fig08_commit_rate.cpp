@@ -32,8 +32,11 @@ int main() {
       int n = 0;
       for (const auto& w : workloads) {
         const auto* r = cfg::findResult(results, s, w, th);
-        if (r != nullptr) {
-          sum += r->commitRate();
+        // Runs with no speculative attempts report an absent rate; averaging
+        // them in (as the old 1.0 default did) inflated the figure.
+        if (r == nullptr) continue;
+        if (const auto rate = r->commitRate(); rate.has_value()) {
+          sum += *rate;
           ++n;
         }
       }

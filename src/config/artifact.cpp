@@ -24,6 +24,9 @@ void writeSnapshotJson(stats::json::Writer& w, const stats::StatSnapshot& snap) 
       case stats::StatKind::Histogram: {
         w.field("count", e.count);
         w.field("sum", e.sum);
+        // Emitted only when set: absent means false, and the common case
+        // stays byte-identical to pre-overflow-flag artifacts.
+        if (e.overflowed) w.field("overflowed", true);
         w.key("buckets");
         w.beginArray();
         for (const auto& [b, n] : e.buckets) {
@@ -38,8 +41,12 @@ void writeSnapshotJson(stats::json::Writer& w, const stats::StatSnapshot& snap) 
       case stats::StatKind::Distribution:
         w.field("count", e.count);
         w.field("sum", e.sum);
-        w.field("min", e.min);
-        w.field("max", e.max);
+        // No samples, no extrema: emitting min=0/max=0 would make an empty
+        // stat indistinguishable from a real 0-cycle sample.
+        if (e.count != 0) {
+          w.field("min", e.min);
+          w.field("max", e.max);
+        }
         break;
       case stats::StatKind::Formula:
         w.field("value", e.number);
@@ -74,12 +81,27 @@ void writeRun(stats::json::Writer& w, const RunResult& r) {
   w.endArray();
   w.key("derived");
   w.beginObject();
-  w.field("commit_rate", r.commitRate());
+  w.key("commit_rate");
+  if (const auto rate = r.commitRate(); rate.has_value()) {
+    w.value(*rate);
+  } else {
+    w.null();  // no speculative attempts — not a perfect 1.0
+  }
   w.field("total_commits", r.totalCommits());
   w.field("htm_commits", r.htmCommits());
   w.field("lock_commits", r.lockCommits());
   w.field("stl_commits", r.stlCommits());
+  w.field("stm_commits", r.stmCommits());
   w.field("aborts", r.aborts());
+  const stats::SnapshotEntry lat = r.commitLatency();
+  w.key("commit_latency");
+  w.beginObject();
+  w.field("count", lat.count);
+  w.field("p50", stats::histogramPercentile(lat, 500));
+  w.field("p90", stats::histogramPercentile(lat, 900));
+  w.field("p99", stats::histogramPercentile(lat, 990));
+  w.field("p999", stats::histogramPercentile(lat, 999));
+  w.endObject();
   w.endObject();
   w.key("stats");
   writeSnapshotJson(w, r.stats);
@@ -203,6 +225,9 @@ stats::SnapshotEntry snapshotEntryFromJson(const Value& e) {
     out.kind = stats::StatKind::Histogram;
     out.count = asU64(need(e, "count"));
     out.sum = asU64(need(e, "sum"));
+    if (const Value* of = e.find("overflowed"); of != nullptr) {
+      out.overflowed = of->boolean;
+    }
     const Value& buckets = need(e, "buckets");
     if (!buckets.isArray()) malformed(out.path + ": buckets is not an array");
     for (const Value& b : *buckets.array) {
@@ -216,8 +241,10 @@ stats::SnapshotEntry snapshotEntryFromJson(const Value& e) {
     out.kind = stats::StatKind::Distribution;
     out.count = asU64(need(e, "count"));
     out.sum = asU64(need(e, "sum"));
-    out.min = asU64(need(e, "min"));
-    out.max = asU64(need(e, "max"));
+    if (out.count != 0) {
+      out.min = asU64(need(e, "min"));
+      out.max = asU64(need(e, "max"));
+    }
   } else if (kind == "formula") {
     out.kind = stats::StatKind::Formula;
     out.number = need(e, "value").number;

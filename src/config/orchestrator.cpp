@@ -12,6 +12,7 @@
 #include "config/artifact.hpp"
 #include "config/systems.hpp"
 #include "stats/json.hpp"
+#include "workloads/db_traffic.hpp"
 #include "workloads/micro.hpp"
 #include "workloads/workload.hpp"
 
@@ -235,6 +236,7 @@ std::unique_ptr<wl::Workload> makeJobWorkload(const std::string& name,
   if (name == "counter") return wl::makeCounter(4, 2, 256, seed);
   if (name == "bank") return wl::makeBank(64, 480, seed);
   if (name == "linkedlist") return wl::makeLinkedList(128, 6, 240, seed);
+  if (wl::isDbWorkloadName(name)) return wl::makeDbWorkload(name, seed);
   return wl::makeStamp(name, seed);
 }
 

@@ -65,7 +65,7 @@ std::uint64_t RunResult::abortCount(AbortCause cause) const {
   return stats.sumMatching(std::string("core.*.aborts.") + stats::abortCauseSlug(cause));
 }
 
-double RunResult::commitRate() const {
+std::optional<double> RunResult::commitRate() const {
   return stats::commitRate(htmCommits(), stlCommits() + stmCommits(), aborts());
 }
 
@@ -92,8 +92,13 @@ std::string RunResult::str() const {
   oss << system << "/" << workload << "@" << threads << "t[" << machine
       << "]: " << cycles << " cycles, commits htm=" << htmCommits()
       << " lock=" << lockCommits() << " stl=" << stlCommits()
-      << " stm=" << stmCommits() << " aborts=" << aborts()
-      << " (rate=" << commitRate() << ")" << (ok() ? "" : " FAILED");
+      << " stm=" << stmCommits() << " aborts=" << aborts() << " (rate=";
+  if (const auto rate = commitRate(); rate.has_value()) {
+    oss << *rate;
+  } else {
+    oss << "-";
+  }
+  oss << ")" << (ok() ? "" : " FAILED");
   for (const auto& v : violations) oss << "\n  violation: " << v;
   if (status != RunStatus::Ok) {
     oss << "\n  " << toString(status) << ": " << diagnostic;
@@ -148,10 +153,6 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
   res.workload = workload->name();
   workload->init(memory, n);
 
-  if (cfg.warmLlc) {
-    dir.preloadLlc(lineOf(wl::kFallbackLockAddr), lineOf(workload->footprintEnd()) + 1);
-  }
-
   // Backend resolution: machine suffix > system row > policy default.
   const std::string backendName = !cfg.machine.backend.empty()
                                       ? cfg.machine.backend
@@ -162,11 +163,18 @@ RunResult runSimulation(const RunConfig& cfg, const WorkloadFactory& makeWorkloa
       backendName,
       tm::BackendConfig{cfg.system.policy, cfg.system.retry, wl::kFallbackLockAddr});
   res.backend = backend->name();
+  // The footprint guard must precede the LLC warm-up: preloading a footprint
+  // that reaches the STM scratch region would allocate LLC state for the
+  // whole (possibly enormous) range before the rejection fires.
   if (backend->usesStmScratch() && workload->footprintEnd() > tm::kStmScratchBase) {
     throw std::invalid_argument(
         "backend '" + backendName + "': workload '" + res.workload +
         "' footprint reaches into the software-TM metadata region (>= " +
         std::to_string(tm::kStmScratchBase) + ")");
+  }
+
+  if (cfg.warmLlc) {
+    dir.preloadLlc(lineOf(wl::kFallbackLockAddr), lineOf(workload->footprintEnd()) + 1);
   }
 
   std::vector<std::unique_ptr<coh::L1Controller>> l1s;

@@ -13,6 +13,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -92,8 +93,19 @@ struct RunResult {
   std::uint64_t flitHops() const { return stats.value("noc.flit_hops"); }
 
   /// Commit rate of speculative attempts: (htm+stl+stm)/(htm+stl+stm+aborts);
-  /// 1.0 when there were none (same math as the retired TxCounters).
-  double commitRate() const;
+  /// absent when there were none — idle cores must not read as perfect.
+  std::optional<double> commitRate() const;
+
+  /// All cores' commit-latency histograms ("core.*.latency.commit") merged
+  /// into one entry: cycles from a critical section's first attempt to its
+  /// commit, spanning aborts/retries/fallback.
+  stats::SnapshotEntry commitLatency() const {
+    return stats.mergedHistogram("core.*.latency.commit");
+  }
+  /// Commit-latency percentile in cycles (permille: p50=500, p999=999).
+  std::uint64_t commitLatencyPercentile(unsigned permille) const {
+    return stats::histogramPercentile(commitLatency(), permille);
+  }
 
   /// Sum over all threads (Fig 9); per-thread view for skew analysis.
   TimeBreakdown breakdown() const;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "config/orchestrator.hpp"
 #include "workloads/workload.hpp"
 
 namespace lktm::cfg {
@@ -111,7 +112,10 @@ std::vector<RunResult> sweepSystems(const MachineParams& machine,
               cfg.system = s;
               cfg.threads = t;
               cfg.rngSeed = jobRunSeed(seed, s.name, w, t);
-              return runSimulation(cfg, [&] { return wl::makeStamp(w, seed); }, &ctx);
+              // Same name registry as the manifest orchestrator, so a bench
+              // grid and a sweep job agree on every workload family (STAMP,
+              // micro, database traffic).
+              return runSimulation(cfg, [&] { return makeJobWorkload(w, seed); }, &ctx);
             }});
       }
     }

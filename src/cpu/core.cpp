@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "stats/path.hpp"
+
 namespace lktm::cpu {
 
 Cpu::Cpu(sim::SimContext& ctx, CoreId id, coh::L1Controller& l1, BarrierUnit& barrier,
@@ -15,7 +17,10 @@ Cpu::Cpu(sim::SimContext& ctx, CoreId id, coh::L1Controller& l1, BarrierUnit& ba
       prog_(std::move(program)),
       params_(params),
       onHalt_(std::move(onHalt)),
-      bd_(ctx.stats(), "core." + std::to_string(id)) {
+      bd_(ctx.stats(), "core." + std::to_string(id)),
+      commitLatency_(ctx.stats().histogram(
+          stats::statPath("core." + std::to_string(id), "latency.commit"),
+          "cycles from critical-section begin to commit, spanning retries")) {
   l1_.setCallbacks(coh::L1Controller::Callbacks{
       .priorityValue = [this] { return priorityValue(); },
       .onAbort = [this](AbortCause c) { onAbort(c); },
@@ -180,18 +185,26 @@ void Cpu::step() {
       }
       retire(params_.syscallCost);
       return;
-    case Op::Mark:
-      bd_.beginSegment(static_cast<TimeCat>(i.imm), engine_.now());
+    case Op::Mark: {
+      const auto cat = static_cast<TimeCat>(i.imm);
+      // Every backend opens a critical section through exactly one of these
+      // marks (CGL: WaitLock; TL2/hybrid: Htm) or through xbegin; re-marks
+      // inside an open section (fallback, backoff) are no-ops for latency.
+      if (cat == TimeCat::Htm || cat == TimeCat::WaitLock) sectionBegin();
+      bd_.beginSegment(cat, engine_.now());
       retire(1);
       return;
+    }
     case Op::Note:
       switch (i.imm) {
         case kNoteLockCommit:
           ++txCounters().lockCommits;
+          sectionCommit();
           engine_.noteProgress();
           break;
         case kNoteStmCommit:
           ++txCounters().stmCommits;
+          sectionCommit();
           engine_.noteProgress();
           break;
         // STM aborts do NOT note progress: a livelocked software path must
@@ -264,6 +277,7 @@ void Cpu::execTx(const Instr& i) {
         ckpt_.statusReg = i.rd;
         instsInTx_ = 0;
         memRefsInTx_ = 0;
+        sectionBegin();  // survives aborts: latency spans the whole section
         l1_.txBegin();
         bd_.beginSegment(TimeCat::Htm, engine_.now());  // provisional
       }
@@ -281,6 +295,7 @@ void Cpu::execTx(const Instr& i) {
       l1_.txCommit([this, ep = epoch_] {
         if (ep != epoch_ || halted_) return;
         ++txCounters().htmCommits;
+        sectionCommit();
         bd_.resolveSegment(TimeCat::Htm, engine_.now(), TimeCat::NonTran);
         engine_.noteProgress();
         retire(1);
@@ -312,6 +327,7 @@ void Cpu::execTx(const Instr& i) {
       nestDepth_ = 0;
       l1_.hlEnd([this, ep = epoch_, m] {
         if (ep != epoch_ || halted_) return;
+        sectionCommit();
         if (m == TxMode::STL) {
           ++txCounters().stlCommits;
           // The whole attempt survived by switching: paper's `switchLock`.

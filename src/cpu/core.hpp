@@ -74,6 +74,27 @@ class Cpu {
 
   stats::ThreadBreakdown bd_;
 
+  /// Commit latency ("core.<id>.latency.commit"): cycles from the first
+  /// attempt of a critical section to its commit, spanning aborts, retries
+  /// and fallback — the tail-latency view of the lower-bound claim. Inferred
+  /// from the instruction stream the backends already emit (xbegin / the
+  /// Htm and WaitLock marks open a section; xend / hlend / the lock and STM
+  /// commit notes close it), so tracking adds no instructions or cycles.
+  stats::Histogram& commitLatency_;
+  bool inSection_ = false;
+  Cycle sectionStart_ = 0;
+
+  void sectionBegin() {
+    if (inSection_) return;
+    inSection_ = true;
+    sectionStart_ = engine_.now();
+  }
+  void sectionCommit() {
+    if (!inSection_) return;
+    inSection_ = false;
+    commitLatency_.record(engine_.now() - sectionStart_);
+  }
+
   void step();
   void scheduleNext(Cycle delay);
   void retire(Cycle delay);

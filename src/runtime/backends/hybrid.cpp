@@ -16,9 +16,10 @@ HybridBackend::HybridBackend(const BackendConfig& cfg)
   }
 }
 
-void HybridBackend::emitProgramStart(ProgramBuilder& /*b*/, unsigned tid,
+void HybridBackend::emitProgramStart(ProgramBuilder& b, unsigned tid,
                                      unsigned /*nthreads*/) {
   stm_.setThread(tid);
+  stm_.emitSeedInit(b);  // the STM fallback's backoff jitter needs its PRNG
 }
 
 // Guard one line's orec before the HTM attempt touches the line. The load

@@ -15,6 +15,18 @@ void insertUnique(std::vector<Addr>& v, Addr a) {
 
 }  // namespace
 
+void Tl2Emitter::emitSeedInit(ProgramBuilder& b) {
+  // splitmix64 of (tid + 1): distinct, well-mixed, and never zero (zero is
+  // the xorshift64 fixed point), computed here so the program carries only
+  // one li.
+  std::uint64_t s = (tid_ + 1) * 0x9e3779b97f4a7c15ull;
+  s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ull;
+  s = (s ^ (s >> 27)) * 0x94d049bb133111ebull;
+  s ^= s >> 31;
+  if (s == 0) s = 0x2545f4914f6cdd1dull;
+  b.li(kRegRnd, static_cast<std::int64_t>(s));
+}
+
 // One shared-memory read. Reads-after-writes are resolved at emission time
 // from the redo log; fresh reads are the TL2 inline check: orec v1, data,
 // orec v2 — consistent iff v1 unlocked, v1 <= rv, and v2 == v1.
@@ -160,8 +172,9 @@ void Tl2Emitter::emitStmTransaction(ProgramBuilder& b,
   // acquired so far (restoring the exact saved versions — restoring zero
   // would corrupt other readers' snapshot checks), pulses the abort cause,
   // backs off, and retries. Unbounded retry: try-lock + backoff cannot
-  // deadlock, and the tid-staggered exponential backoff breaks the symmetry
-  // that could otherwise livelock two deterministic adversaries.
+  // deadlock, and the xorshift-jittered exponential backoff breaks the
+  // symmetry that would otherwise livelock deterministic adversaries whose
+  // capped delays have phase-locked (see kRegRnd in the header).
   const auto busyStub = b.here();
   b.li(kRegCode, kBusy);
   const auto toAbort = b.jmp();
@@ -189,7 +202,22 @@ void Tl2Emitter::emitStmTransaction(ProgramBuilder& b,
   b.note(cpu::kNoteStmAbortValidation);
   b.patchTarget(toBackoff, b.here());
   b.mark(TimeCat::WaitLock);
-  b.delayReg(kRegBk);
+  // Advance the per-thread xorshift64 (shifts 13/7/17)...
+  b.li(kRegT1, 13);
+  b.shl(kRegT3, kRegRnd, kRegT1);
+  b.xorb(kRegRnd, kRegRnd, kRegT3);
+  b.li(kRegT1, 7);
+  b.shr(kRegT3, kRegRnd, kRegT1);
+  b.xorb(kRegRnd, kRegRnd, kRegT3);
+  b.li(kRegT1, 17);
+  b.shl(kRegT3, kRegRnd, kRegT1);
+  b.xorb(kRegRnd, kRegRnd, kRegT3);
+  // ...and sleep bk + (rnd % (bk + 1)): uniform in [bk, 2bk]. Registers are
+  // unsigned, and the divisor bk + 1 >= 1, so Rem is always defined.
+  b.addi(kRegT2, kRegBk, 1);
+  b.rem(kRegT3, kRegRnd, kRegT2);
+  b.add(kRegT3, kRegBk, kRegT3);
+  b.delayReg(kRegT3);
   b.add(kRegBk, kRegBk, kRegBk);
   b.li(kRegT3, static_cast<std::int64_t>(backoffCap()));
   const auto noCap = b.blt(kRegBk, kRegT3);
@@ -203,9 +231,10 @@ void Tl2Emitter::emitStmTransaction(ProgramBuilder& b,
 
 // ---- Tl2Backend ----
 
-void Tl2Backend::emitProgramStart(ProgramBuilder& /*b*/, unsigned tid,
+void Tl2Backend::emitProgramStart(ProgramBuilder& b, unsigned tid,
                                   unsigned /*nthreads*/) {
   emitter_.setThread(tid);
+  emitter_.emitSeedInit(b);
 }
 
 void Tl2Backend::emitTransaction(ProgramBuilder& b, const BodyFn& body) {

@@ -14,7 +14,8 @@
 // transaction — inline read checks, commit-time lock acquisition, read-set
 // validation, writeback, release, and the abort/undo path — unrolls into
 // straight-line bytecode with constant-folded addresses. Conflicts are
-// resolved by try-lock + abort + tid-staggered exponential backoff (no
+// resolved by try-lock + abort + randomized exponential backoff (an emitted
+// per-thread xorshift64 jitters every delay — see kRegRnd below; no
 // blocking, no deadlock); aborts are pulsed to the stats spine via Op::Note
 // (kNoteStmAbortLock / kNoteStmAbortValidation) and commits via
 // kNoteStmCommit.
@@ -84,6 +85,15 @@ inline constexpr unsigned kRegRv = 24;    ///< read version (clock at start)
 inline constexpr unsigned kRegWv = 23;    ///< write version (clock after bump)
 inline constexpr unsigned kRegHeld = 22;  ///< orec locks acquired so far
 inline constexpr unsigned kRegBk = 21;    ///< backoff accumulator
+/// Per-thread xorshift64 state, seeded once at program start (emitSeedInit)
+/// and advanced on every backoff. The simulator is fully deterministic, so
+/// without jitter two threads whose transactions lock overlapping orec sets
+/// in opposite orders (A,B vs B,A) phase-lock into a permanent mutual-abort
+/// livelock once both reach the backoff cap; the jitter breaks the symmetry
+/// while keeping every run bit-reproducible (the seed is a pure function of
+/// tid). Lives below the T1-T3/code/rv/wv/held/bk block and above workload
+/// registers (r1-r5) — it must survive the whole program, not one attempt.
+inline constexpr unsigned kRegRnd = 20;
 
 /// Shared TL2 emission engine: Tl2Backend uses it for every transaction, the
 /// hybrid backend for its software fallback path. One instance per program
@@ -93,6 +103,12 @@ class Tl2Emitter {
   explicit Tl2Emitter(const rt::RetryPolicy& retry) : retry_(retry) {}
 
   void setThread(unsigned tid) { tid_ = tid; }
+
+  /// Seed kRegRnd with a per-thread splitmix64 constant. Must run once at
+  /// program start (before the first emitStmTransaction) on every path that
+  /// can reach the backoff code — both the pure-STM backend and the hybrid
+  /// backend's software fallback.
+  void emitSeedInit(cpu::ProgramBuilder& b);
 
   /// Emit a complete software transaction: attempt loop, inline-checked
   /// reads/redo-logged writes (via the hooks below, called back through

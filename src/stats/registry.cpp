@@ -17,18 +17,39 @@ const char* toString(StatKind k) {
 }
 
 unsigned Histogram::bucketOf(std::uint64_t v) {
-  return static_cast<unsigned>(std::bit_width(v));
+  if (v < kSubBuckets) return static_cast<unsigned>(v);
+  const unsigned e = static_cast<unsigned>(std::bit_width(v)) - 1;  // MSB index, >= kSubBits
+  const unsigned sub = static_cast<unsigned>((v >> (e - kSubBits)) & (kSubBuckets - 1));
+  return (e - kSubBits + 1) * kSubBuckets + sub;
 }
 
 std::uint64_t Histogram::bucketLow(unsigned b) {
-  if (b == 0) return 0;
-  return std::uint64_t{1} << (b - 1);
+  if (b < kSubBuckets) return b;
+  const unsigned e = b / kSubBuckets + kSubBits - 1;
+  const unsigned sub = b % kSubBuckets;
+  return static_cast<std::uint64_t>(kSubBuckets + sub) << (e - kSubBits);
 }
 
 std::uint64_t Histogram::bucketHigh(unsigned b) {
-  if (b == 0) return 0;
-  if (b >= 64) return std::numeric_limits<std::uint64_t>::max();
-  return (std::uint64_t{1} << b) - 1;
+  if (b < kSubBuckets) return b;
+  const unsigned e = b / kSubBuckets + kSubBits - 1;
+  const std::uint64_t width = std::uint64_t{1} << (e - kSubBits);
+  return bucketLow(b) + (width - 1);
+}
+
+std::uint64_t histogramPercentile(const SnapshotEntry& e, unsigned permille) {
+  if (e.kind != StatKind::Histogram || e.count == 0) return 0;
+  // rank = ceil(count * permille / 1000), clamped into [1, count].
+  const auto prod = static_cast<unsigned __int128>(e.count) * permille;
+  std::uint64_t rank = static_cast<std::uint64_t>((prod + 999) / 1000);
+  if (rank == 0) rank = 1;
+  if (rank > e.count) rank = e.count;
+  std::uint64_t cum = 0;
+  for (const auto& [b, n] : e.buckets) {
+    cum += n;
+    if (cum >= rank) return Histogram::bucketHigh(b);
+  }
+  return Histogram::bucketHigh(e.buckets.empty() ? 0 : e.buckets.back().first);
 }
 
 // ---------------------------------------------------------------------------
@@ -87,6 +108,23 @@ std::uint64_t StatSnapshot::sumMatching(std::string_view pattern) const {
     if (e.kind == StatKind::Counter && matches(pattern, e.path)) total += e.value;
   }
   return total;
+}
+
+SnapshotEntry StatSnapshot::mergedHistogram(std::string_view pattern) const {
+  StatSnapshot acc;
+  SnapshotEntry out;
+  out.path = std::string(pattern);
+  out.kind = StatKind::Histogram;
+  acc.add(out);
+  for (const SnapshotEntry& e : entries_) {
+    if (e.kind != StatKind::Histogram || !matches(pattern, e.path)) continue;
+    StatSnapshot one;
+    SnapshotEntry c = e;
+    c.path = std::string(pattern);
+    one.add(std::move(c));
+    acc.merge(one);
+  }
+  return acc.entries().front();
 }
 
 namespace {
@@ -161,7 +199,13 @@ void StatSnapshot::merge(const StatSnapshot& other) {
       throw std::logic_error("StatSnapshot::merge: kind mismatch at '" + o.path + "'");
     }
     it->value += o.value;
-    it->sum += o.sum;
+    if (o.sum > std::numeric_limits<std::uint64_t>::max() - it->sum) {
+      it->sum = std::numeric_limits<std::uint64_t>::max();
+      it->overflowed = true;
+    } else {
+      it->sum += o.sum;
+    }
+    it->overflowed = it->overflowed || o.overflowed;
     it->buckets = mergeBuckets(it->buckets, o.buckets);
     // min/max widen; empty sides (count == 0) must not contribute their zeros.
     if (o.count != 0) {
@@ -263,6 +307,7 @@ StatSnapshot StatRegistry::snapshot() const {
         const Histogram& h = histograms_[e.index];
         s.count = h.count();
         s.sum = h.sum();
+        s.overflowed = h.overflowed();
         for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
           if (h.bucket(b) != 0) s.buckets.emplace_back(b, h.bucket(b));
         }

@@ -7,8 +7,10 @@
 //
 // Kinds:
 //  * Counter      — monotonically increasing u64 (the workhorse)
-//  * Histogram    — log2-bucketed value distribution (bucket 0 holds the
-//                   value 0, bucket b>0 holds [2^(b-1), 2^b))
+//  * Histogram    — HDR-style log2 buckets split into 16 linear sub-buckets
+//                   (values < 16 are exact; above that the relative error of
+//                   a bucket's bound is at most 1/16), with a saturating sum
+//                   and an `overflowed` flag
 //  * Distribution — count/sum/min/max summary
 //  * Formula      — a double computed from other stats at snapshot time
 //
@@ -55,9 +57,15 @@ class Counter {
 
 class Histogram {
  public:
-  /// 65 buckets cover the full u64 range: bucket 0 holds the value 0,
-  /// bucket b (1..64) holds [2^(b-1), 2^b).
-  static constexpr unsigned kBuckets = 65;
+  /// HDR-style bucketing: each power-of-two range [2^e, 2^(e+1)) is split
+  /// into 2^kSubBits linear sub-buckets, so any recorded value is bounded by
+  /// its bucket edges with relative error <= 2^-kSubBits (6.25%). Values
+  /// below 2^kSubBits get a bucket each (exact). Buckets 0..15 hold the
+  /// values 0..15; bucket 16*(e-3)+s (e = 4..63, s = 0..15) holds
+  /// [(16+s)*2^(e-4), (17+s)*2^(e-4)).
+  static constexpr unsigned kSubBits = 4;
+  static constexpr unsigned kSubBuckets = 1u << kSubBits;  // 16
+  static constexpr unsigned kBuckets = 61 * kSubBuckets;   // 976, covers all u64
 
   static unsigned bucketOf(std::uint64_t v);
   /// Inclusive value range of bucket `b`.
@@ -67,21 +75,30 @@ class Histogram {
   void record(std::uint64_t v) {
     ++buckets_[bucketOf(v)];
     ++count_;
-    sum_ += v;
+    if (v > std::numeric_limits<std::uint64_t>::max() - sum_) {
+      sum_ = std::numeric_limits<std::uint64_t>::max();
+      overflowed_ = true;
+    } else {
+      sum_ += v;
+    }
   }
   std::uint64_t count() const { return count_; }
+  /// Saturates at u64 max instead of wrapping; `overflowed()` reports it.
   std::uint64_t sum() const { return sum_; }
+  bool overflowed() const { return overflowed_; }
   std::uint64_t bucket(unsigned b) const { return buckets_.at(b); }
   void reset() {
     buckets_.fill(0);
     count_ = 0;
     sum_ = 0;
+    overflowed_ = false;
   }
 
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
+  bool overflowed_ = false;
 };
 
 class Distribution {
@@ -126,10 +143,17 @@ struct SnapshotEntry {
   std::uint64_t value = 0;                                  ///< Counter
   std::uint64_t count = 0, sum = 0, min = 0, max = 0;       ///< Histogram/Distribution
   std::vector<std::pair<unsigned, std::uint64_t>> buckets;  ///< Histogram (sparse, sorted)
+  bool overflowed = false;                                  ///< Histogram sum saturated
   double number = 0.0;                                      ///< Formula
 
   bool operator==(const SnapshotEntry&) const = default;
 };
+
+/// Upper bound of the histogram bucket holding the sample of rank
+/// ceil(count * permille / 1000) — p50 is permille 500, p999 is 999. The
+/// true sample is within kSubBits relative error below the returned value.
+/// 0 when the entry is empty or not a histogram.
+std::uint64_t histogramPercentile(const SnapshotEntry& e, unsigned permille);
 
 /// A path-sorted, self-contained dump of a registry. Safe to keep after the
 /// registry (or the components whose formulas it evaluated) are gone.
@@ -150,6 +174,11 @@ class StatSnapshot {
   /// segment matches exactly one path segment: "core.*.commits.htm" sums the
   /// htm commits of every core. Exact paths are a special case.
   std::uint64_t sumMatching(std::string_view pattern) const;
+
+  /// Bucket-wise union of every *histogram* entry matching `pattern` (same
+  /// wildcard rules as sumMatching): counts, sums (saturating) and buckets
+  /// add, overflowed ORs. Path is the pattern; empty entry when none match.
+  SnapshotEntry mergedHistogram(std::string_view pattern) const;
 
   /// Entry-wise `this - base` for entries present in both (counters, counts,
   /// sums, buckets subtract saturating at 0; formulas subtract; min/max carry

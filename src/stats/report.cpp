@@ -53,6 +53,10 @@ std::string Table::pct(double fraction, int precision) {
   return fixed(fraction * 100.0, precision) + "%";
 }
 
+std::string Table::pct(std::optional<double> fraction, int precision) {
+  return fraction.has_value() ? pct(*fraction, precision) : "-";
+}
+
 std::string bar(double fraction, int width) {
   fraction = std::clamp(fraction, 0.0, 1.0);
   const int filled = static_cast<int>(std::lround(fraction * width));

@@ -2,6 +2,7 @@
 // figure-reproduction benches to print paper-style rows.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,8 @@ class Table {
   /// Format helpers.
   static std::string fixed(double v, int precision = 2);
   static std::string pct(double fraction, int precision = 1);
+  /// Absent values (e.g. commit rate with zero attempts) render as "-".
+  static std::string pct(std::optional<double> fraction, int precision = 1);
 
  private:
   std::vector<std::vector<std::string>> rows_;

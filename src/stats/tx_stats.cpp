@@ -32,10 +32,10 @@ const char* timeCatSlug(TimeCat c) {
   return "?";
 }
 
-double commitRate(std::uint64_t htmCommits, std::uint64_t swCommits,
-                  std::uint64_t aborts) {
+std::optional<double> commitRate(std::uint64_t htmCommits, std::uint64_t swCommits,
+                                 std::uint64_t aborts) {
   const std::uint64_t attempts = htmCommits + swCommits + aborts;
-  if (attempts == 0) return 1.0;
+  if (attempts == 0) return std::nullopt;
   return static_cast<double>(htmCommits + swCommits) / static_cast<double>(attempts);
 }
 

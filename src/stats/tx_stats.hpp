@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "sim/types.hpp"
@@ -23,10 +24,11 @@ const char* timeCatSlug(TimeCat c);
 
 /// Commit rate of *speculative* attempts: (htm + sw) / (htm + sw + aborts),
 /// where `swCommits` is every software speculative flavour (STL + STM).
-/// Lock-mode (TL) commits are excluded: they never abort. 1.0 when there were
-/// no speculative attempts at all.
-double commitRate(std::uint64_t htmCommits, std::uint64_t swCommits,
-                  std::uint64_t aborts);
+/// Lock-mode (TL) commits are excluded: they never abort. Absent (nullopt)
+/// when there were no speculative attempts at all — an idle core has no
+/// commit rate, and treating it as 1.0 inflates averaged figures.
+std::optional<double> commitRate(std::uint64_t htmCommits, std::uint64_t swCommits,
+                                 std::uint64_t aborts);
 
 struct TxStats {
   static constexpr std::size_t kCauses = 8;  ///< indexed by AbortCause
@@ -64,7 +66,7 @@ struct TxStats {
            stmCommits.value();
   }
 
-  double commitRate() const {
+  std::optional<double> commitRate() const {
     return stats::commitRate(htmCommits.value(),
                              stlCommits.value() + stmCommits.value(),
                              aborts.value());

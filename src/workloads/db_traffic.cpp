@@ -1,0 +1,460 @@
+#include "workloads/db_traffic.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "workloads/zipfian.hpp"
+
+namespace lktm::wl {
+namespace {
+
+constexpr unsigned kRegAddr = 1;
+constexpr unsigned kRegVal = 2;
+constexpr unsigned kRegAddr2 = 3;
+constexpr unsigned kRegVal2 = 4;
+constexpr Addr kWordBytes = sizeof(std::uint64_t);
+
+// Every generator keeps transaction synthesis in one deterministic replayable
+// pass (forEachTx), shared verbatim between buildProgram and verify: the
+// verifier recomputes the expected conservation totals by replaying the same
+// seeded per-thread streams instead of trusting state accumulated during
+// emission, so building a program twice can never skew the invariant.
+
+// -------------------------------------------------------------------- ycsb
+
+class YcsbWorkload final : public Workload {
+ public:
+  YcsbWorkload(std::string name, unsigned rows, double theta, unsigned readPct,
+               unsigned scanPct, unsigned opsPerTx, unsigned scanLen,
+               unsigned totalTxs, std::uint64_t seed)
+      : name_(std::move(name)),
+        rows_(rows),
+        readPct_(readPct),
+        scanPct_(scanPct),
+        opsPerTx_(opsPerTx),
+        scanLen_(scanLen),
+        totalTxs_(totalTxs),
+        seed_(seed),
+        zipf_(rows, theta) {
+    if (rows_ == 0) throw std::invalid_argument("ycsb: need at least one row");
+  }
+
+  std::string name() const override { return name_; }
+
+  void init(mem::MainMemory&, unsigned) override {
+    // One cache line per row. Rows start at 0 (sparse memory reads absent
+    // lines as zero), so even huge stores cost nothing to lay out.
+    base_ = space_.allocLines(rows_);
+  }
+
+  cpu::Program buildProgram(unsigned tid, unsigned nthreads,
+                            tm::Backend& backend) override {
+    cpu::ProgramBuilder b;
+    backend.emitProgramStart(b, tid, nthreads);
+    b.mark(TimeCat::NonTran);
+    b.compute(static_cast<std::int64_t>(30 + 11 * tid));
+    forEachTx(tid, nthreads, [&](const std::vector<Op>& ops) {
+      backend.emitTransaction(b, [&](cpu::ProgramBuilder& pb) {
+        for (const Op& op : ops) {
+          const Addr addr = base_ + static_cast<Addr>(op.key) * kLineBytes;
+          if (op.write) {
+            backend.emitUpdate(pb, addr, kRegAddr, kRegVal, 1);
+          } else {
+            backend.emitRead(pb, addr, kRegAddr, kRegVal);
+          }
+        }
+      });
+      b.compute(25);
+    });
+    b.barrier();
+    b.halt();
+    return b.build();
+  }
+
+  std::vector<std::string> verify(const WordReader& read,
+                                  unsigned nthreads) const override {
+    std::uint64_t expected = 0;
+    for (unsigned tid = 0; tid < nthreads; ++tid) {
+      forEachTx(tid, nthreads, [&](const std::vector<Op>& ops) {
+        for (const Op& op : ops) {
+          if (op.write) ++expected;
+        }
+      });
+    }
+    std::uint64_t total = 0;
+    for (unsigned r = 0; r < rows_; ++r) {
+      total += read(base_ + static_cast<Addr>(r) * kLineBytes);
+    }
+    if (total == expected) return {};
+    std::ostringstream oss;
+    oss << name_ << ": row-update total " << total << " != generated " << expected
+        << " (lost or duplicated updates)";
+    return {oss.str()};
+  }
+
+  Addr footprintEnd() const override { return space_.used(); }
+
+ private:
+  struct Op {
+    bool write = false;
+    unsigned key = 0;
+  };
+
+  template <typename Fn>
+  void forEachTx(unsigned tid, unsigned nthreads, const Fn& fn) const {
+    sim::Rng rng(seed_ ^ (0xDB01ull * (tid + 1)));
+    const unsigned lo = totalTxs_ * tid / nthreads;
+    const unsigned hi = totalTxs_ * (tid + 1) / nthreads;
+    std::vector<Op> ops;
+    for (unsigned t = lo; t < hi; ++t) {
+      ops.clear();
+      if (scanPct_ != 0 && rng.percent(scanPct_)) {
+        const auto start = static_cast<unsigned>(zipf_.sample(rng));
+        for (unsigned j = 0; j < scanLen_; ++j) {
+          ops.push_back({false, (start + j) % rows_});
+        }
+      } else {
+        for (unsigned i = 0; i < opsPerTx_; ++i) {
+          const auto key = static_cast<unsigned>(zipf_.sample(rng));
+          ops.push_back({!rng.percent(readPct_), key});
+        }
+      }
+      fn(ops);
+    }
+  }
+
+  std::string name_;
+  unsigned rows_;
+  unsigned readPct_;
+  unsigned scanPct_;
+  unsigned opsPerTx_;
+  unsigned scanLen_;
+  unsigned totalTxs_;
+  std::uint64_t seed_;
+  Zipfian zipf_;
+  AddressSpace space_;
+  Addr base_ = 0;
+};
+
+// -------------------------------------------------------------------- tpcc
+
+class TpccLiteWorkload final : public Workload {
+ public:
+  TpccLiteWorkload(unsigned warehouses, unsigned districts, unsigned customers,
+                   unsigned items, unsigned totalTxs, std::uint64_t seed)
+      : warehouses_(warehouses),
+        districts_(districts),
+        customers_(customers),
+        items_(items),
+        totalTxs_(totalTxs),
+        seed_(seed),
+        custZipf_(customers, 0.99),
+        itemZipf_(items, 0.99) {
+    if (warehouses_ == 0 || districts_ == 0 || customers_ == 0 || items_ == 0) {
+      throw std::invalid_argument("tpcc: all row populations must be non-zero");
+    }
+  }
+
+  std::string name() const override { return "tpcc"; }
+
+  void init(mem::MainMemory& memory, unsigned) override {
+    whBase_ = space_.allocLines(warehouses_);
+    distBase_ = space_.allocLines(warehouses_ * districts_);
+    custBase_ = space_.allocLines(warehouses_ * districts_ * customers_);
+    itemBase_ = space_.allocLines(items_);
+    for (unsigned c = 0; c < warehouses_ * districts_ * customers_; ++c) {
+      memory.writeWord(custBase_ + static_cast<Addr>(c) * kLineBytes, kInitBalance);
+    }
+    for (unsigned i = 0; i < items_; ++i) {
+      memory.writeWord(itemBase_ + static_cast<Addr>(i) * kLineBytes, kInitStock);
+    }
+  }
+
+  cpu::Program buildProgram(unsigned tid, unsigned nthreads,
+                            tm::Backend& backend) override {
+    cpu::ProgramBuilder b;
+    backend.emitProgramStart(b, tid, nthreads);
+    b.mark(TimeCat::NonTran);
+    b.compute(static_cast<std::int64_t>(30 + 11 * tid));
+    forEachTx(tid, nthreads, [&](const std::vector<RowOp>& ops) {
+      backend.emitTransaction(b, [&](cpu::ProgramBuilder& pb) {
+        for (const RowOp& op : ops) {
+          if (op.read) {
+            backend.emitRead(pb, op.addr, kRegAddr, kRegVal);
+          } else {
+            backend.emitUpdate(pb, op.addr, kRegAddr, kRegVal, op.delta);
+          }
+        }
+      });
+      b.compute(20);
+    });
+    b.barrier();
+    b.halt();
+    return b.build();
+  }
+
+  std::vector<std::string> verify(const WordReader& read,
+                                  unsigned nthreads) const override {
+    // Replay the generation streams to recover the expected conservation
+    // totals, then check every ledger the two transaction types touch.
+    std::uint64_t amountTotal = 0, newOrders = 0, orderLines = 0;
+    for (unsigned tid = 0; tid < nthreads; ++tid) {
+      forEachTx(tid, nthreads, [&](const std::vector<RowOp>& ops) {
+        if (ops.front().read) {  // new-order starts with the customer read
+          ++newOrders;
+          orderLines += ops.size() - 2;  // minus customer read + next_o_id
+        } else {
+          amountTotal += static_cast<std::uint64_t>(ops.front().delta);
+        }
+      });
+    }
+    const std::uint64_t nCust = warehouses_ * districts_ * customers_;
+    std::uint64_t whYtd = 0, distYtd = 0, nextOid = 0, custBal = 0, custYtd = 0,
+                  stock = 0;
+    for (unsigned w = 0; w < warehouses_; ++w) whYtd += read(whAddr(w));
+    for (unsigned wd = 0; wd < warehouses_ * districts_; ++wd) {
+      distYtd += read(distBase_ + static_cast<Addr>(wd) * kLineBytes);
+      nextOid += read(distBase_ + static_cast<Addr>(wd) * kLineBytes + kWordBytes);
+    }
+    for (unsigned c = 0; c < nCust; ++c) {
+      custBal += read(custBase_ + static_cast<Addr>(c) * kLineBytes);
+      custYtd += read(custBase_ + static_cast<Addr>(c) * kLineBytes + kWordBytes);
+    }
+    for (unsigned i = 0; i < items_; ++i) {
+      stock += read(itemBase_ + static_cast<Addr>(i) * kLineBytes);
+    }
+    std::vector<std::string> out;
+    const auto check = [&out](const char* what, std::uint64_t got,
+                              std::uint64_t want) {
+      if (got == want) return;
+      std::ostringstream oss;
+      oss << "tpcc: " << what << " " << got << " != expected " << want;
+      out.push_back(oss.str());
+    };
+    check("warehouse ytd", whYtd, amountTotal);
+    check("district ytd", distYtd, amountTotal);
+    check("customer ytd_payment", custYtd, amountTotal);
+    check("customer balance", custBal, nCust * kInitBalance - amountTotal);
+    check("district next_o_id", nextOid, newOrders);
+    check("item stock", stock,
+          static_cast<std::uint64_t>(items_) * kInitStock - orderLines);
+    return out;
+  }
+
+  Addr footprintEnd() const override { return space_.used(); }
+
+ private:
+  struct RowOp {
+    Addr addr = 0;
+    bool read = false;
+    std::int64_t delta = 0;
+  };
+
+  Addr whAddr(unsigned w) const { return whBase_ + static_cast<Addr>(w) * kLineBytes; }
+  Addr distAddr(unsigned w, unsigned d) const {
+    return distBase_ + static_cast<Addr>(w * districts_ + d) * kLineBytes;
+  }
+  Addr custAddr(unsigned w, unsigned d, unsigned c) const {
+    return custBase_ +
+           static_cast<Addr>((w * districts_ + d) * customers_ + c) * kLineBytes;
+  }
+  Addr itemAddr(unsigned i) const {
+    return itemBase_ + static_cast<Addr>(i) * kLineBytes;
+  }
+
+  template <typename Fn>
+  void forEachTx(unsigned tid, unsigned nthreads, const Fn& fn) const {
+    sim::Rng rng(seed_ ^ (0xDB02ull * (tid + 1)));
+    const unsigned lo = totalTxs_ * tid / nthreads;
+    const unsigned hi = totalTxs_ * (tid + 1) / nthreads;
+    std::vector<RowOp> ops;
+    for (unsigned t = lo; t < hi; ++t) {
+      ops.clear();
+      const auto w = static_cast<unsigned>(rng.below(warehouses_));
+      const auto d = static_cast<unsigned>(rng.below(districts_));
+      const auto c = static_cast<unsigned>(custZipf_.sample(rng));
+      if (rng.percent(43)) {
+        // Payment: one amount flows through every ledger at once.
+        const auto amount = static_cast<std::int64_t>(rng.range(1, 100));
+        ops.push_back({whAddr(w), false, amount});
+        ops.push_back({distAddr(w, d), false, amount});
+        ops.push_back({custAddr(w, d, c), false, -amount});
+        ops.push_back({custAddr(w, d, c) + kWordBytes, false, amount});
+      } else {
+        // New-order: read the customer, take an order id, draw down stock.
+        ops.push_back({custAddr(w, d, c), true, 0});
+        ops.push_back({distAddr(w, d) + kWordBytes, false, 1});
+        const auto olCnt = static_cast<unsigned>(rng.range(3, 8));
+        for (unsigned ol = 0; ol < olCnt; ++ol) {
+          ops.push_back({itemAddr(static_cast<unsigned>(itemZipf_.sample(rng))),
+                         false, -1});
+        }
+      }
+      fn(ops);
+    }
+  }
+
+  static constexpr std::uint64_t kInitBalance = 1'000'000;
+  static constexpr std::uint64_t kInitStock = 100'000;
+  unsigned warehouses_;
+  unsigned districts_;
+  unsigned customers_;
+  unsigned items_;
+  unsigned totalTxs_;
+  std::uint64_t seed_;
+  Zipfian custZipf_;
+  Zipfian itemZipf_;
+  AddressSpace space_;
+  Addr whBase_ = 0, distBase_ = 0, custBase_ = 0, itemBase_ = 0;
+};
+
+// --------------------------------------------------------------------- sps
+
+class SpsWorkload final : public Workload {
+ public:
+  SpsWorkload(bool partDisjoint, unsigned cells, unsigned totalTxs,
+              std::uint64_t seed)
+      : partDisjoint_(partDisjoint), cells_(cells), totalTxs_(totalTxs), seed_(seed) {
+    if (cells_ < 2) throw std::invalid_argument("sps: need at least two cells");
+  }
+
+  std::string name() const override { return partDisjoint_ ? "sps-part" : "sps"; }
+
+  void init(mem::MainMemory& memory, unsigned) override {
+    base_ = space_.allocLines(cells_);
+    for (unsigned i = 0; i < cells_; ++i) {
+      memory.writeWord(cellAddr(i), i + 1);  // distinct non-zero values
+    }
+  }
+
+  cpu::Program buildProgram(unsigned tid, unsigned nthreads,
+                            tm::Backend& backend) override {
+    cpu::ProgramBuilder b;
+    backend.emitProgramStart(b, tid, nthreads);
+    b.mark(TimeCat::NonTran);
+    b.compute(static_cast<std::int64_t>(30 + 11 * tid));
+    forEachTx(tid, nthreads, [&](unsigned a, unsigned c) {
+      const Addr addrA = cellAddr(a);
+      const Addr addrB = cellAddr(c);
+      backend.emitTransaction(b, [&](cpu::ProgramBuilder& pb) {
+        // Atomic swap: any torn interleaving breaks the value multiset.
+        backend.emitRead(pb, addrA, kRegAddr, kRegVal);
+        backend.emitRead(pb, addrB, kRegAddr2, kRegVal2);
+        backend.emitWrite(pb, addrA, kRegAddr, kRegVal2);
+        backend.emitWrite(pb, addrB, kRegAddr2, kRegVal);
+      });
+      b.compute(15);
+    });
+    b.barrier();
+    b.halt();
+    return b.build();
+  }
+
+  std::vector<std::string> verify(const WordReader& read, unsigned) const override {
+    // Swaps permute the initial values 1..cells: conservation of the sum and
+    // of the sum of squares pins the multiset (u64 wrap is consistent on
+    // both sides).
+    std::uint64_t sum = 0, sumSq = 0, wantSum = 0, wantSumSq = 0;
+    for (unsigned i = 0; i < cells_; ++i) {
+      const std::uint64_t v = read(cellAddr(i));
+      sum += v;
+      sumSq += v * v;
+      const std::uint64_t w = i + 1;
+      wantSum += w;
+      wantSumSq += w * w;
+    }
+    if (sum == wantSum && sumSq == wantSumSq) return {};
+    std::ostringstream oss;
+    oss << name() << ": value multiset not conserved (sum " << sum << "/" << wantSum
+        << ", sumsq " << sumSq << "/" << wantSumSq << ")";
+    return {oss.str()};
+  }
+
+  Addr footprintEnd() const override { return space_.used(); }
+
+ private:
+  Addr cellAddr(unsigned i) const {
+    return base_ + static_cast<Addr>(i) * kLineBytes;
+  }
+
+  template <typename Fn>
+  void forEachTx(unsigned tid, unsigned nthreads, const Fn& fn) const {
+    const unsigned sliceLo = partDisjoint_ ? cells_ * tid / nthreads : 0;
+    const unsigned sliceHi = partDisjoint_ ? cells_ * (tid + 1) / nthreads : cells_;
+    const unsigned span = sliceHi - sliceLo;
+    if (span < 2) {
+      throw std::invalid_argument(
+          "sps-part: thread slice has fewer than 2 cells (" +
+          std::to_string(cells_) + " cells / " + std::to_string(nthreads) +
+          " threads); grow the array or drop threads");
+    }
+    sim::Rng rng(seed_ ^ (0xDB03ull * (tid + 1)));
+    const unsigned lo = totalTxs_ * tid / nthreads;
+    const unsigned hi = totalTxs_ * (tid + 1) / nthreads;
+    for (unsigned t = lo; t < hi; ++t) {
+      const auto a = sliceLo + static_cast<unsigned>(rng.below(span));
+      auto c = sliceLo + static_cast<unsigned>(rng.below(span));
+      if (c == a) c = sliceLo + (c - sliceLo + 1) % span;
+      fn(a, c);
+    }
+  }
+
+  bool partDisjoint_;
+  unsigned cells_;
+  unsigned totalTxs_;
+  std::uint64_t seed_;
+  AddressSpace space_;
+  Addr base_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> makeYcsb(std::string name, unsigned rows, double theta,
+                                   unsigned readPct, unsigned scanPct,
+                                   unsigned opsPerTx, unsigned scanLen,
+                                   unsigned totalTxs, std::uint64_t seed) {
+  return std::make_unique<YcsbWorkload>(std::move(name), rows, theta, readPct,
+                                        scanPct, opsPerTx, scanLen, totalTxs, seed);
+}
+
+std::unique_ptr<Workload> makeTpccLite(unsigned warehouses, unsigned districts,
+                                       unsigned customers, unsigned items,
+                                       unsigned totalTxs, std::uint64_t seed) {
+  return std::make_unique<TpccLiteWorkload>(warehouses, districts, customers,
+                                            items, totalTxs, seed);
+}
+
+std::unique_ptr<Workload> makeSps(bool partDisjoint, unsigned cells,
+                                  unsigned totalTxs, std::uint64_t seed) {
+  return std::make_unique<SpsWorkload>(partDisjoint, cells, totalTxs, seed);
+}
+
+const std::vector<std::string>& dbWorkloadNames() {
+  static const std::vector<std::string> names = {
+      "ycsb", "ycsb-lo", "ycsb-w", "ycsb-scan", "tpcc", "sps", "sps-part"};
+  return names;
+}
+
+std::unique_ptr<Workload> makeDbWorkload(const std::string& name,
+                                         std::uint64_t seed) {
+  // Canonical parameterizations: small enough for smoke sweeps, skewed
+  // enough that the theta/mix knobs visibly move the latency tail.
+  if (name == "ycsb") return makeYcsb(name, 1024, 0.99, 95, 0, 4, 0, 384, seed);
+  if (name == "ycsb-lo") return makeYcsb(name, 1024, 0.5, 95, 0, 4, 0, 384, seed);
+  if (name == "ycsb-w") return makeYcsb(name, 1024, 0.99, 50, 0, 4, 0, 384, seed);
+  if (name == "ycsb-scan") {
+    return makeYcsb(name, 1024, 0.99, 95, 30, 4, 16, 256, seed);
+  }
+  if (name == "tpcc") return makeTpccLite(4, 2, 64, 128, 256, seed);
+  if (name == "sps") return makeSps(false, 128, 512, seed);
+  if (name == "sps-part") return makeSps(true, 128, 512, seed);
+  throw std::invalid_argument("unknown database workload '" + name + "'");
+}
+
+bool isDbWorkloadName(const std::string& name) {
+  const auto& names = dbWorkloadNames();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace lktm::wl

@@ -1,0 +1,28 @@
+#include "workloads/zipfian.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lktm::wl {
+
+Zipfian::Zipfian(std::size_t n, double theta) : theta_(theta) {
+  if (n == 0) throw std::invalid_argument("Zipfian: need at least one key");
+  if (!(theta >= 0.0)) throw std::invalid_argument("Zipfian: theta must be >= 0");
+  cum_.reserve(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = std::pow(static_cast<double>(k + 1), -theta);
+    total += w;
+    cum_.push_back(total);
+  }
+}
+
+std::size_t Zipfian::sample(sim::Rng& rng) const {
+  const double u = rng.uniform() * cum_.back();
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cum_.begin());
+  return idx < cum_.size() ? idx : cum_.size() - 1;
+}
+
+}  // namespace lktm::wl

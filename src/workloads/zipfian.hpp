@@ -1,0 +1,35 @@
+// Deterministic Zipfian key sampler for the database-shaped workloads: key
+// popularity follows a power law (key k drawn with probability proportional
+// to 1/(k+1)^theta), the YCSB/TPC-C access pattern that uniform
+// microbenchmarks never produce. The cumulative-weight table is precomputed
+// once per workload (plain libm pow on doubles, one operation per term so
+// no FMA contraction can change results across optimization levels), and
+// sampling is a binary search driven entirely by the caller's seeded
+// sim::Rng — the key sequence is a pure function of (n, theta, seed),
+// independent of host threads, core-count builds, or wall clock.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace lktm::wl {
+
+class Zipfian {
+ public:
+  /// `n` keys, skew `theta` >= 0 (0 = uniform, 0.99 = classic YCSB hot set).
+  Zipfian(std::size_t n, double theta);
+
+  std::size_t n() const { return cum_.size(); }
+  double theta() const { return theta_; }
+
+  /// Next key in [0, n); rank 0 is the most popular.
+  std::size_t sample(sim::Rng& rng) const;
+
+ private:
+  std::vector<double> cum_;  ///< cumulative weights; cum_.back() is the total
+  double theta_;
+};
+
+}  // namespace lktm::wl

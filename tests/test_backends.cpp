@@ -201,7 +201,7 @@ TEST(Tl2, ContentionAbortsAreCountedButHarmless) {
   EXPECT_GT(r.abortCount(AbortCause::LockConflict) +
                 r.abortCount(AbortCause::MemConflict),
             0u);
-  EXPECT_LT(r.commitRate(), 1.0);
+  EXPECT_LT(r.commitRate().value(), 1.0);
 }
 
 TEST(Tl2, BankTransfersStayAtomic) {

@@ -81,8 +81,8 @@ TEST(Fig8, RecoveryImprovesCommitRate) {
   double sumBase = 0.0, sumRwi = 0.0;
   int n = 0;
   for (const char* w : {"kmeans+", "vacation+", "genome", "ssca2"}) {
-    sumBase += run("Baseline", w, 16).commitRate();
-    sumRwi += run("Lockiller-RWI", w, 16).commitRate();
+    sumBase += run("Baseline", w, 16).commitRate().value();
+    sumRwi += run("Lockiller-RWI", w, 16).commitRate().value();
     ++n;
   }
   EXPECT_GT(sumRwi / n, sumBase / n);

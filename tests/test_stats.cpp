@@ -5,8 +5,11 @@
 // identical snapshots).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "config/artifact.hpp"
 #include "config/runner.hpp"
@@ -91,27 +94,39 @@ TEST(Registry, FormulaEvaluatesAtSnapshotTime) {
 // --------------------------------------------------------------- histogram
 
 TEST(Histogram, BucketEdges) {
-  // Bucket 0 holds the value 0; bucket b>0 holds [2^(b-1), 2^b).
-  EXPECT_EQ(Histogram::bucketOf(0), 0u);
-  EXPECT_EQ(Histogram::bucketOf(1), 1u);
-  EXPECT_EQ(Histogram::bucketOf(2), 2u);
-  EXPECT_EQ(Histogram::bucketOf(3), 2u);
-  EXPECT_EQ(Histogram::bucketOf(4), 3u);
-  EXPECT_EQ(Histogram::bucketOf(7), 3u);
-  EXPECT_EQ(Histogram::bucketOf(8), 4u);
-  EXPECT_EQ(Histogram::bucketOf((std::uint64_t{1} << 63) - 1), 63u);
-  EXPECT_EQ(Histogram::bucketOf(std::uint64_t{1} << 63), 64u);
-  EXPECT_EQ(Histogram::bucketOf(~std::uint64_t{0}), 64u);
+  // Values below 16 are exact; above, each power-of-two decade splits into
+  // 16 linear sub-buckets (HDR style, <= 6.25% relative error).
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(Histogram::bucketOf(v), static_cast<unsigned>(v)) << v;
+  }
+  EXPECT_EQ(Histogram::bucketOf(16), 16u);
+  EXPECT_EQ(Histogram::bucketOf(17), 17u);  // still exact: sub-width 1
+  EXPECT_EQ(Histogram::bucketOf(31), 31u);
+  EXPECT_EQ(Histogram::bucketOf(32), 32u);  // [32,64) has sub-width 2
+  EXPECT_EQ(Histogram::bucketOf(33), 32u);
+  EXPECT_EQ(Histogram::bucketOf(34), 33u);
+  EXPECT_EQ(Histogram::bucketOf(63), 47u);
+  EXPECT_EQ(Histogram::bucketOf(64), 48u);
+  EXPECT_EQ(Histogram::bucketOf(~std::uint64_t{0}), Histogram::kBuckets - 1);
 }
 
 TEST(Histogram, BucketRangesRoundTrip) {
-  EXPECT_EQ(Histogram::bucketLow(0), 0u);
-  EXPECT_EQ(Histogram::bucketHigh(0), 0u);
-  for (unsigned b = 1; b < Histogram::kBuckets; ++b) {
+  for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
     EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLow(b)), b) << b;
     EXPECT_EQ(Histogram::bucketOf(Histogram::bucketHigh(b)), b) << b;
-    EXPECT_EQ(Histogram::bucketLow(b), std::uint64_t{1} << (b - 1)) << b;
+    EXPECT_LE(Histogram::bucketLow(b), Histogram::bucketHigh(b)) << b;
+    if (b > 0) {
+      EXPECT_EQ(Histogram::bucketLow(b), Histogram::bucketHigh(b - 1) + 1) << b;
+    }
+    // The defining accuracy bound: bucket width <= 1/16 of its lower edge.
+    const std::uint64_t width = Histogram::bucketHigh(b) - Histogram::bucketLow(b);
+    if (Histogram::bucketLow(b) >= 16) {
+      EXPECT_LE(width, Histogram::bucketLow(b) / 16) << b;
+    } else {
+      EXPECT_EQ(width, 0u) << b;
+    }
   }
+  EXPECT_EQ(Histogram::bucketHigh(Histogram::kBuckets - 1), ~std::uint64_t{0});
 }
 
 TEST(Histogram, RecordsCountSumBuckets) {
@@ -122,10 +137,106 @@ TEST(Histogram, RecordsCountSumBuckets) {
   h.record(5);
   EXPECT_EQ(h.count(), 4u);
   EXPECT_EQ(h.sum(), 11u);
+  EXPECT_FALSE(h.overflowed());
   EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.bucket(1), 1u);
-  EXPECT_EQ(h.bucket(3), 2u);  // 5 lands in [4,8)
+  EXPECT_EQ(h.bucket(5), 2u);  // values < 16 land in their own bucket
   EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(Histogram, SumSaturatesAtBoundaryInsteadOfWrapping) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  Histogram h;
+  h.record(kMax - 10);
+  h.record(10);  // lands exactly on the boundary: no overflow yet
+  EXPECT_EQ(h.sum(), kMax);
+  EXPECT_FALSE(h.overflowed());
+  h.record(1);  // one past the boundary: saturate and flag, don't wrap
+  EXPECT_EQ(h.sum(), kMax);
+  EXPECT_TRUE(h.overflowed());
+  EXPECT_EQ(h.count(), 3u);
+  h.record(kMax);  // stays saturated
+  EXPECT_EQ(h.sum(), kMax);
+  EXPECT_TRUE(h.overflowed());
+  h.reset();
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_FALSE(h.overflowed());
+}
+
+TEST(HistogramPercentile, SmallExactValues) {
+  StatRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+  const StatSnapshot snap = reg.snapshot();
+  const SnapshotEntry* e = snap.find("lat");
+  ASSERT_NE(e, nullptr);
+  // Values < 16 sit in exact buckets, so percentiles are exact order stats:
+  // rank = ceil(count * permille / 1000).
+  EXPECT_EQ(histogramPercentile(*e, 500), 5u);
+  EXPECT_EQ(histogramPercentile(*e, 900), 9u);
+  EXPECT_EQ(histogramPercentile(*e, 990), 10u);
+  EXPECT_EQ(histogramPercentile(*e, 999), 10u);
+  EXPECT_EQ(histogramPercentile(*e, 1000), 10u);
+}
+
+TEST(HistogramPercentile, EmptyHistogramReadsZero) {
+  StatRegistry reg;
+  reg.histogram("lat");
+  const StatSnapshot snap = reg.snapshot();
+  EXPECT_EQ(histogramPercentile(*snap.find("lat"), 500), 0u);
+  // Non-histogram entries also read 0 rather than throwing.
+  reg.counter("c") += 5;
+  EXPECT_EQ(histogramPercentile(*reg.snapshot().find("c"), 500), 0u);
+}
+
+// Golden cross-check: the sparse-bucket percentile walk must agree with a
+// reference computation over the sorted raw samples, up to the documented
+// bucket quantization (the result is the containing bucket's upper edge).
+TEST(HistogramPercentile, AgreesWithReferenceSort) {
+  StatRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  std::vector<std::uint64_t> raw;
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 1000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;  // xorshift64: deterministic, no <random> involved
+    const std::uint64_t v = x % 100000;
+    raw.push_back(v);
+    h.record(v);
+  }
+  std::sort(raw.begin(), raw.end());
+  const StatSnapshot snap = reg.snapshot();
+  const SnapshotEntry* e = snap.find("lat");
+  ASSERT_NE(e, nullptr);
+  for (const unsigned permille : {1u, 100u, 500u, 900u, 990u, 999u, 1000u}) {
+    const std::size_t rank =
+        (raw.size() * permille + 999) / 1000;  // ceil, 1-based
+    const std::uint64_t truth = raw[std::max<std::size_t>(rank, 1) - 1];
+    const std::uint64_t got = histogramPercentile(*e, permille);
+    EXPECT_EQ(got, Histogram::bucketHigh(Histogram::bucketOf(truth)))
+        << "permille=" << permille;
+    EXPECT_GE(got, truth);
+    // <= 6.25% relative quantization error for values >= 16.
+    EXPECT_LE(got - truth, truth / 16 + 1) << "permille=" << permille;
+  }
+}
+
+TEST(HistogramPercentile, MergedHistogramSpansCores) {
+  StatRegistry reg;
+  Histogram& h0 = reg.histogram("core.0.latency.commit");
+  Histogram& h1 = reg.histogram("core.1.latency.commit");
+  for (std::uint64_t v = 1; v <= 5; ++v) h0.record(v);
+  for (std::uint64_t v = 6; v <= 10; ++v) h1.record(v);
+  reg.counter("core.0.commits.htm") += 5;  // non-histogram entries ignored
+  const StatSnapshot snap = reg.snapshot();
+  const SnapshotEntry merged = snap.mergedHistogram("core.*.latency.commit");
+  EXPECT_EQ(merged.count, 10u);
+  EXPECT_EQ(merged.sum, 55u);
+  EXPECT_EQ(histogramPercentile(merged, 500), 5u);
+  EXPECT_EQ(histogramPercentile(merged, 1000), 10u);
+  // A pattern that matches nothing merges to an empty histogram.
+  EXPECT_EQ(snap.mergedHistogram("no.*.match").count, 0u);
 }
 
 TEST(Distribution, TracksExtrema) {
@@ -217,14 +328,19 @@ TEST(TxStats, CommitRateCountsSpeculativeAttemptsOnly) {
   c.stlCommits += 20;
   c.lockCommits += 1000;  // irrelevant: lock transactions never abort
   c.aborts += 20;
-  EXPECT_DOUBLE_EQ(c.commitRate(), 0.8);
+  ASSERT_TRUE(c.commitRate().has_value());
+  EXPECT_DOUBLE_EQ(*c.commitRate(), 0.8);
   EXPECT_EQ(c.totalCommits(), 1080u);
 }
 
-TEST(TxStats, CommitRateWithNoAttemptsIsOne) {
+// An idle core made no speculative attempts; its rate is absent, not a
+// perfect 1.0 (the old default inflated fig08's averages).
+TEST(TxStats, CommitRateWithNoAttemptsIsAbsent) {
   StatRegistry reg;
   TxStats c(reg, "core.0");
-  EXPECT_DOUBLE_EQ(c.commitRate(), 1.0);
+  EXPECT_FALSE(c.commitRate().has_value());
+  c.lockCommits += 7;  // lock commits are not speculative attempts either
+  EXPECT_FALSE(c.commitRate().has_value());
 }
 
 TEST(TxStats, RecordAbortByCauseLandsInRegistry) {
@@ -364,6 +480,40 @@ TEST(StatsJson, GoldenSnapshotSerialization) {
   EXPECT_EQ(os.str(), expected);
 }
 
+// Empty distributions omit min/max (0 would fake a real sample); saturated
+// histograms carry the overflowed flag. Both round-trip through the parser.
+TEST(StatsJson, EmptyDistributionAndOverflowedHistogram) {
+  StatRegistry reg;
+  reg.distribution("dir.waitq.depth");  // registered but never recorded
+  Histogram& h = reg.histogram("noc.hops");
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  h.record(1);  // saturates the sum
+
+  std::ostringstream os;
+  json::Writer w(os, /*pretty=*/true);
+  cfg::writeSnapshotJson(w, reg.snapshot());
+  const std::string text = os.str();
+  EXPECT_EQ(text.find("\"min\""), std::string::npos);
+  EXPECT_EQ(text.find("\"max\""), std::string::npos);
+  EXPECT_NE(text.find("\"overflowed\": true"), std::string::npos);
+
+  // Round-trip via the full artifact reader (the sweep-merge path).
+  cfg::RunResult r;
+  r.stats = reg.snapshot();
+  std::ostringstream artifact;
+  cfg::writeStatsJson(artifact, r);
+  const json::Value doc = json::parse(artifact.str());
+  const cfg::RunResult back = cfg::runResultFromJson(doc.find("runs")->array->front());
+  const SnapshotEntry* dist = back.stats.find("dir.waitq.depth");
+  ASSERT_NE(dist, nullptr);
+  EXPECT_EQ(dist->count, 0u);
+  EXPECT_EQ(dist->min, 0u);
+  const SnapshotEntry* hist = back.stats.find("noc.hops");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_TRUE(hist->overflowed);
+  EXPECT_EQ(hist->sum, std::numeric_limits<std::uint64_t>::max());
+}
+
 cfg::RunResult runCounter(sim::SimContext* ctx = nullptr) {
   cfg::RunConfig rc;
   rc.system = cfg::systemByName("LockillerTM");
@@ -404,9 +554,22 @@ TEST(StatsJson, ArtifactValidatesAgainstSchema) {
     prev = e.find("path")->text;
   }
   // Derived numbers match the accessor math.
-  EXPECT_DOUBLE_EQ(run.find("derived")->find("commit_rate")->number, r.commitRate());
+  ASSERT_TRUE(r.commitRate().has_value());
+  EXPECT_DOUBLE_EQ(run.find("derived")->find("commit_rate")->number,
+                   *r.commitRate());
   EXPECT_DOUBLE_EQ(run.find("derived")->find("total_commits")->number,
                    static_cast<double>(r.totalCommits()));
+  // The commit-latency block mirrors the merged per-core histograms.
+  const json::Value* lat = run.find("derived")->find("commit_latency");
+  ASSERT_TRUE(lat != nullptr && lat->isObject());
+  EXPECT_DOUBLE_EQ(lat->find("count")->number,
+                   static_cast<double>(r.totalCommits()));
+  EXPECT_DOUBLE_EQ(lat->find("p50")->number,
+                   static_cast<double>(r.commitLatencyPercentile(500)));
+  EXPECT_DOUBLE_EQ(lat->find("p999")->number,
+                   static_cast<double>(r.commitLatencyPercentile(999)));
+  EXPECT_GE(lat->find("p999")->number, lat->find("p50")->number);
+  EXPECT_GT(lat->find("p50")->number, 0.0);
 }
 
 // ---------------------------------------------- sweep reset-leakage guard

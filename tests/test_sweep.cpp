@@ -435,7 +435,8 @@ TEST(Orchestrator, ArtifactRoundTripReconstructsRunResult) {
   EXPECT_TRUE(back.stats == results[0].stats);
   // Derived accessors work off the reconstructed snapshot.
   EXPECT_EQ(back.totalCommits(), results[0].totalCommits());
-  EXPECT_DOUBLE_EQ(back.commitRate(), results[0].commitRate());
+  EXPECT_DOUBLE_EQ(back.commitRate().value_or(-1.0),
+                   results[0].commitRate().value_or(-1.0));
 }
 
 TEST(Orchestrator, MergedArtifactIsValidStatsV1) {

@@ -10,15 +10,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "config/artifact.hpp"
+#include "config/orchestrator.hpp"
 #include "config/runner.hpp"
 #include "config/systems.hpp"
 #include "runtime/backends/backend.hpp"
 #include "sim/core_mask.hpp"
 #include "sim/trace.hpp"
 #include "stats/report.hpp"
-#include "workloads/micro.hpp"
+#include "workloads/db_traffic.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -30,7 +32,9 @@ void usage() {
       "usage: lktm_sim [options]\n"
       "  --list                 list systems, workloads and machines\n"
       "  --system NAME          Table II system (default LockillerTM)\n"
-      "  --workload NAME        STAMP analog or counter/bank/linkedlist\n"
+      "  --workload NAME        STAMP analog, counter/bank/linkedlist, or a\n"
+      "                         database-traffic workload: ycsb | ycsb-lo |\n"
+      "                         ycsb-w | ycsb-scan | tpcc | sps | sps-part\n"
       "                         (default vacation+)\n"
       "  --threads N            1..numCores (default 8)\n"
       "  --machine M            typical | small | large, optionally with\n"
@@ -52,14 +56,6 @@ void usage() {
       "  --switch-on-fault      enable the switch-on-fault extension\n"
       "  --ideal-net            contention-free network (ablation)\n"
       "  --no-check             skip coherence checker + invariants\n");
-}
-
-std::unique_ptr<wl::Workload> makeWorkload(const std::string& name,
-                                           std::uint64_t seed) {
-  if (name == "counter") return wl::makeCounter(4, 2, 256, seed);
-  if (name == "bank") return wl::makeBank(64, 480, seed);
-  if (name == "linkedlist") return wl::makeLinkedList(128, 6, 240, seed);
-  return wl::makeStamp(name, seed);
 }
 
 }  // namespace
@@ -94,8 +90,10 @@ int main(int argc, char** argv) {
       }
       std::printf("workloads:\n ");
       for (const auto& w : wl::stampNames()) std::printf(" %s", w.c_str());
+      std::printf(" counter bank linkedlist\n ");
+      for (const auto& w : wl::dbWorkloadNames()) std::printf(" %s", w.c_str());
       std::printf(
-          " counter bank linkedlist\n"
+          "\n"
           "machines: typical small large (suffixable: typical-c128-b8-m16x8)\n"
           "          this build supports up to %u cores (LKTM_MAX_CORES)\n"
           "backends:\n",
@@ -196,7 +194,9 @@ int main(int argc, char** argv) {
 
   cfg::RunResult r;
   try {
-    r = cfg::runSimulation(rc, [&] { return makeWorkload(workload, seed); });
+    // Same factory the sweep orchestrator uses, so `lktm-sim --workload X`
+    // and a sweep job named X run the identical generator parameterization.
+    r = cfg::runSimulation(rc, [&] { return cfg::makeJobWorkload(workload, seed); });
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -213,6 +213,17 @@ int main(int argc, char** argv) {
   t.addRow({"stl commits", std::to_string(r.stlCommits())});
   t.addRow({"stm commits", std::to_string(r.stmCommits())});
   t.addRow({"aborts", std::to_string(r.aborts())});
+  const stats::SnapshotEntry lat = r.commitLatency();
+  t.addRow({"commit latency txs", std::to_string(lat.count)});
+  constexpr std::pair<const char*, unsigned> kPercentiles[] = {
+      {"  latency p50", 500},
+      {"  latency p90", 900},
+      {"  latency p99", 990},
+      {"  latency p999", 999}};
+  for (const auto& [label, permille] : kPercentiles) {
+    t.addRow({label,
+              std::to_string(stats::histogramPercentile(lat, permille)) + " cyc"});
+  }
   for (auto cause : {AbortCause::MemConflict, AbortCause::LockConflict,
                      AbortCause::Mutex, AbortCause::NonTran, AbortCause::Overflow,
                      AbortCause::Fault, AbortCause::Explicit}) {

@@ -48,7 +48,7 @@ void usage() {
       "    --manifest PATH      manifest file to write (required)\n"
       "    --artifact-dir DIR   per-job artifact directory (default: <manifest>.d)\n"
       "    --preset NAME        smoke | figures | table2-backends |\n"
-      "                         bigcores-128 | bigcores-256\n"
+      "                         table3-dbtraffic | bigcores-128 | bigcores-256\n"
       "                         (default smoke; bigcores-* need a build with\n"
       "                         -DLKTM_MAX_CORES large enough, e.g. the\n"
       "                         'bigcores' CMake preset)\n"
@@ -121,6 +121,17 @@ cfg::SweepManifest planPreset(const std::string& preset, const std::string& arti
                              {"LockillerTM", "CGL", "TL2-STM", "Hybrid-TM"},
                              wl::stampNames(), {8}, seed);
   }
+  if (preset == "table3-dbtraffic") {
+    // Database-shaped traffic (Table III): skewed YCSB mixes, TPC-C-lite and
+    // the SPS swap stressor across every TM backend, judged on the
+    // commit-latency percentiles in the derived block rather than on mean
+    // throughput.
+    return cfg::makeManifest(artifactDir, "typical",
+                             {"LockillerTM", "CGL", "TL2-STM", "Hybrid-TM"},
+                             {"ycsb", "ycsb-lo", "ycsb-w", "ycsb-scan", "tpcc",
+                              "sps", "sps-part"},
+                             {8}, seed);
+  }
   if (preset == "bigcores-128" || preset == "bigcores-256") {
     // Fig 7/12-style speedup grids past 64 cores: the headline systems
     // (Baseline, LosaTM-SAFU, LockillerTM) on a banked large-core machine.
@@ -139,7 +150,8 @@ cfg::SweepManifest planPreset(const std::string& preset, const std::string& arti
   }
   throw std::invalid_argument(
       "unknown preset: " + preset +
-      " (try smoke | figures | table2-backends | bigcores-128 | bigcores-256)");
+      " (try smoke | figures | table2-backends | table3-dbtraffic | "
+      "bigcores-128 | bigcores-256)");
 }
 
 std::string slurpFile(const std::string& path) {

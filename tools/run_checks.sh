@@ -12,7 +12,11 @@
 # the default and sanitize builds), smoke the distributed fan-out (3 workers
 # on one claim spool, one SIGKILLed mid-job and reclaimed via heartbeat
 # lease, merge must cmp equal to a single-process run — default and sanitize
-# builds), enforce the bench/ artifact size cap, re-run the committed
+# builds), smoke the database-traffic family (ycsb on the TL2 backend must
+# emit validating commit-latency percentiles; the table3-dbtraffic grid must
+# merge bit-identically across 1 host thread, 4 host threads and a 2-worker
+# distributed run — default and sanitize builds), enforce the bench/
+# artifact size cap, re-run the committed
 # 128-core fig07 grid split across 2 worker processes on the bigcores build
 # (summary must cmp equal to the committed lktm.summary.v1), build + test
 # the trace preset (LKTM_TRACE=ON), run the lktm_lint determinism linter
@@ -229,6 +233,58 @@ run_distrib_smoke() {
 }
 run_distrib_smoke build
 
+echo "== database traffic: ycsb tail latency + table3 grid bit-identical merges =="
+run_dbtraffic_smoke() {
+  # $1 = build dir. The tail-latency acceptance checks: ycsb on the TL2
+  # backend must report commit-latency percentiles and emit an artifact that
+  # validates against lktm.stats.v1 (with the p999 field present), and the
+  # table3-dbtraffic grid must merge bit-identically whether run on 1 host
+  # thread, 4 host threads, or split across 2 distributed workers.
+  local bdir="$1" d wa wb
+  d="$bdir/dbtraffic_check"
+  rm -rf "$d" && mkdir -p "$d/h1" "$d/h4" "$d/dist"
+  "$bdir/tools/lktm-sim" --system LockillerTM --backend tl2 --workload ycsb \
+    --threads 4 --stats-json "$d/ycsb.json" | grep -q "latency p99" || {
+    echo "lktm-sim ycsb/tl2 did not report commit-latency percentiles" >&2
+    return 1
+  }
+  "$bdir/tools/validate_stats_json" "$d/ycsb.json"
+  grep -q '"p999"' "$d/ycsb.json" || {
+    echo "ycsb artifact lacks the p999 commit-latency field" >&2
+    return 1
+  }
+  "$bdir/tools/lktm_sweep" plan --preset table3-dbtraffic \
+    --manifest "$d/h1/sweep.json" >/dev/null
+  "$bdir/tools/lktm_sweep" run --manifest "$d/h1/sweep.json" \
+    --host-threads 1 --quiet >/dev/null
+  "$bdir/tools/lktm_sweep" merge --manifest "$d/h1/sweep.json" \
+    --out "$d/h1/merged.json" >/dev/null
+  "$bdir/tools/lktm_sweep" plan --preset table3-dbtraffic \
+    --manifest "$d/h4/sweep.json" >/dev/null
+  "$bdir/tools/lktm_sweep" run --manifest "$d/h4/sweep.json" \
+    --host-threads 4 --quiet >/dev/null
+  "$bdir/tools/lktm_sweep" merge --manifest "$d/h4/sweep.json" \
+    --out "$d/h4/merged.json" >/dev/null
+  cmp "$d/h1/merged.json" "$d/h4/merged.json"
+  "$bdir/tools/lktm_sweep" plan --preset table3-dbtraffic \
+    --manifest "$d/dist/sweep.json" --shards 2 >/dev/null
+  "$bdir/tools/lktm_sweep" work --manifest "$d/dist/sweep.json" \
+    --worker-id db-a --shard 0 --quiet >/dev/null &
+  wa=$!
+  "$bdir/tools/lktm_sweep" work --manifest "$d/dist/sweep.json" \
+    --worker-id db-b --shard 1 --quiet >/dev/null &
+  wb=$!
+  wait "$wa"
+  wait "$wb"
+  "$bdir/tools/lktm_sweep" merge --manifest "$d/dist/sweep.json" \
+    --out "$d/dist/merged.json" --summary "$d/dist/summary.json" >/dev/null
+  cmp "$d/h1/merged.json" "$d/dist/merged.json"
+  "$bdir/tools/validate_stats_json" "$d/dist/sweep.json" \
+    "$d/dist/merged.json" "$d/dist/summary.json"
+  echo "  (db grid: 1-thread, 4-thread and 2-worker merges all bit-identical)"
+}
+run_dbtraffic_smoke build
+
 echo "== size guard: no bulk artifacts in bench/ (256 KiB per-file cap) =="
 # The raw bigcores grids were 8/16 MB; only their lktm.summary.v1 condensates
 # (a few tens of KB) belong in the tree.
@@ -277,6 +333,9 @@ run_sweep_smoke build-sanitize
 
 echo "== distributed sweep: kill/reclaim/merge under ASan/UBSan =="
 run_distrib_smoke build-sanitize
+
+echo "== database traffic smoke under ASan/UBSan =="
+run_dbtraffic_smoke build-sanitize
 
 echo "== large-core smoke + banked model checker under ASan/UBSan =="
 run_bigcore_smoke build-sanitize

@@ -57,10 +57,28 @@ void checkStatEntry(const Value& e, const std::string& where) {
   if (k == "counter" || k == "formula") {
     requireNumber(e, "value", at);
   } else if (k == "distribution") {
-    for (const char* f : {"count", "sum", "min", "max"}) requireNumber(e, f, at);
+    requireNumber(e, "count", at);
+    requireNumber(e, "sum", at);
+    const Value* count = e.find("count");
+    if (count != nullptr && count->isNumber() && count->number == 0) {
+      // Empty distributions must omit extrema: a min/max of 0 would be
+      // indistinguishable from a real 0-cycle sample.
+      for (const char* f : {"min", "max"}) {
+        if (e.find(f) != nullptr) {
+          fail(at + ": \"" + f + "\" present on an empty distribution (count == 0)");
+        }
+      }
+    } else {
+      requireNumber(e, "min", at);
+      requireNumber(e, "max", at);
+    }
   } else if (k == "histogram") {
     requireNumber(e, "count", at);
     requireNumber(e, "sum", at);
+    const Value* overflowed = e.find("overflowed");
+    if (overflowed != nullptr && overflowed->kind != Value::Kind::Bool) {
+      fail(at + ": \"overflowed\" must be a boolean");
+    }
     const Value* buckets = e.find("buckets");
     if (buckets == nullptr || !buckets->isArray()) {
       fail(at + ": histogram without a \"buckets\" array");
@@ -75,6 +93,44 @@ void checkStatEntry(const Value& e, const std::string& where) {
     }
   } else {
     fail(at + ": unknown kind \"" + k + "\"");
+  }
+}
+
+// The derived block shared by lktm.stats.v1 and lktm.summary.v1 runs.
+// commit_rate is null (not 1.0) when the run made no speculative attempts;
+// commit_latency carries the HDR-histogram percentiles in cycles.
+void checkDerived(const Value& derived, const std::string& where) {
+  const Value* rate = derived.find("commit_rate");
+  if (rate == nullptr ||
+      (!rate->isNumber() && rate->kind != Value::Kind::Null)) {
+    fail(where + ": \"commit_rate\" must be a number or null");
+  }
+  for (const char* key : {"total_commits", "htm_commits", "lock_commits",
+                          "stl_commits", "stm_commits", "aborts"}) {
+    requireNumber(derived, key, where);
+  }
+  const Value* lat = derived.find("commit_latency");
+  if (lat == nullptr || !lat->isObject()) {
+    fail(where + ": missing \"commit_latency\" object");
+    return;
+  }
+  const std::string lw = where + ".commit_latency";
+  for (const char* key : {"count", "p50", "p90", "p99", "p999"}) {
+    requireNumber(*lat, key, lw);
+  }
+  double prev = 0.0;
+  for (const char* key : {"p50", "p90", "p99", "p999"}) {
+    const Value* v = lat->find(key);
+    if (v == nullptr || !v->isNumber()) return;
+    if (v->number < prev) {
+      fail(lw + ": percentiles not monotone at \"" + key + "\"");
+      return;
+    }
+    prev = v->number;
+  }
+  const Value* count = lat->find("count");
+  if (count != nullptr && count->isNumber() && count->number == 0 && prev != 0.0) {
+    fail(lw + ": non-zero percentiles with count == 0");
   }
 }
 
@@ -137,10 +193,7 @@ void checkRun(const Value& run, unsigned idx) {
   if (derived == nullptr || !derived->isObject()) {
     fail(where + ": missing \"derived\" object");
   } else {
-    for (const char* key : {"commit_rate", "total_commits", "htm_commits",
-                            "lock_commits", "stl_commits", "aborts"}) {
-      requireNumber(*derived, key, where + ".derived");
-    }
+    checkDerived(*derived, where + ".derived");
   }
   const Value* stats = run.find("stats");
   if (stats == nullptr || !stats->isArray()) {
@@ -188,10 +241,7 @@ void checkSummaryRun(const Value& run, unsigned idx) {
   if (derived == nullptr || !derived->isObject()) {
     fail(where + ": missing \"derived\" object");
   } else {
-    for (const char* key : {"commit_rate", "total_commits", "htm_commits",
-                            "lock_commits", "stl_commits", "aborts"}) {
-      requireNumber(*derived, key, where + ".derived");
-    }
+    checkDerived(*derived, where + ".derived");
   }
 }
 
